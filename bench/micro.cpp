@@ -1,0 +1,131 @@
+// google-benchmark micro-benchmarks for the simulation kernels: PDN solves,
+// sensor sampling, AES, CPA trace updates and key-rank estimation. These
+// quantify the cost model behind the campaign runtimes quoted in
+// EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "attack/cpa.h"
+#include "attack/key_rank.h"
+#include "core/leaky_dsp.h"
+#include "crypto/aes128.h"
+#include "pdn/coupling.h"
+#include "pdn/grid.h"
+#include "pdn/transient.h"
+#include "sensors/tdc.h"
+#include "sim/scenarios.h"
+#include "util/rng.h"
+
+using namespace leakydsp;
+
+namespace {
+
+const sim::Basys3Scenario& scenario() {
+  static const sim::Basys3Scenario instance;
+  return instance;
+}
+
+void BM_PdnTransferSolve(benchmark::State& state) {
+  const auto& grid = scenario().grid();
+  std::size_t node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.transfer_gains(node));
+    node = (node + 37) % grid.node_count();
+  }
+}
+BENCHMARK(BM_PdnTransferSolve);
+
+void BM_PdnDcDroop(benchmark::State& state) {
+  const auto& grid = scenario().grid();
+  const std::vector<pdn::CurrentInjection> draws = {
+      {grid.node_index(3, 3), 1.0}, {grid.node_index(9, 9), 0.5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.dc_droop(draws));
+  }
+}
+BENCHMARK(BM_PdnDcDroop);
+
+void BM_PdnTransientStep(benchmark::State& state) {
+  const auto& grid = scenario().grid();
+  pdn::TransientSolver solver(grid);
+  const std::vector<pdn::CurrentInjection> draws = {
+      {grid.node_index(7, 7), 1.0}};
+  for (auto _ : state) {
+    solver.step(draws);
+    benchmark::DoNotOptimize(solver.droop(0));
+  }
+}
+BENCHMARK(BM_PdnTransientStep);
+
+void BM_LeakyDspSample(benchmark::State& state) {
+  core::LeakyDspSensor sensor(scenario().device(),
+                              scenario().fig3_dsp_site());
+  util::Rng rng(1);
+  sensor.calibrate(1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor.sample(0.998, rng));
+  }
+}
+BENCHMARK(BM_LeakyDspSample);
+
+void BM_TdcSample(benchmark::State& state) {
+  sensors::TdcSensor sensor(scenario().device(), scenario().fig3_clb_site());
+  util::Rng rng(2);
+  sensor.calibrate(1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor.sample(0.998, rng));
+  }
+}
+BENCHMARK(BM_TdcSample);
+
+void BM_AesEncrypt(benchmark::State& state) {
+  const crypto::Key key{};
+  const crypto::Aes128 aes(key);
+  crypto::Block block{};
+  for (auto _ : state) {
+    block = aes.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_AesEncrypt);
+
+void BM_CpaAddTrace(benchmark::State& state) {
+  const auto poi = static_cast<std::size_t>(state.range(0));
+  attack::CpaAttack cpa(poi);
+  util::Rng rng(3);
+  crypto::Block ct;
+  std::vector<double> samples(poi);
+  for (auto _ : state) {
+    for (auto& b : ct) b = static_cast<std::uint8_t>(rng() & 0xff);
+    for (auto& s : samples) s = rng.gaussian();
+    cpa.add_trace(ct, samples);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CpaAddTrace)->Arg(6)->Arg(30);
+
+void BM_KeyRankEstimate(benchmark::State& state) {
+  util::Rng rng(4);
+  std::array<attack::ByteScores, 16> scores;
+  for (auto& bs : scores) {
+    for (auto& s : bs.score) s = rng.uniform(0.01, 0.05);
+  }
+  const crypto::RoundKey truth{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::estimate_key_rank(scores, truth));
+  }
+}
+BENCHMARK(BM_KeyRankEstimate);
+
+void BM_SensorCoupling(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pdn::SensorCoupling(scenario().grid(), {16, 20}));
+  }
+}
+BENCHMARK(BM_SensorCoupling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Regenerates Table I: number of traces required to break the full AES
+// 128-bit key for different sensor placements.
+//
+// For each of the eight attacker placements P1..P8 the bench runs a full
+// key-extraction campaign against the AES core (20 MHz victim clock,
+// 300 MHz sensor clock, chained plaintexts, last-round CPA, checkpoint
+// every 1 k traces) and reports the first checkpoint at which the complete
+// master key is stably recovered. A TDC baseline runs once at the CLB site
+// adjacent to the best placement (the paper notes the two sensor types
+// cannot occupy the same site).
+//
+// Paper reference: LeakyDSP 25 k-58 k traces across placements (P6 best);
+// TDC 51 k traces in its single evaluated setting.
+#include <iostream>
+
+#include "attack/campaign.h"
+#include "core/leaky_dsp.h"
+#include "pdn/coupling.h"
+#include "sensors/tdc.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "victim/aes_core.h"
+
+using namespace leakydsp;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"seed", "max-traces", "quick!"});
+  const auto seed = cli.get_seed("seed", 7);
+  const bool quick = cli.get_flag("quick");
+  const auto max_traces = static_cast<std::size_t>(
+      cli.get_int("max-traces", quick ? 8000 : 90000));
+
+  const sim::Basys3Scenario scenario;
+  util::Rng rng(seed);
+  crypto::Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng() & 0xff);
+
+  victim::AesCoreParams aes_params;
+  if (quick) aes_params.current_per_hd_bit *= 3.0;  // ~9x fewer traces
+
+  std::cout << "=== Table I: traces to break the full AES-128 key ===\n"
+            << "AES @ " << aes_params.clock_mhz
+            << " MHz at site (" << scenario.aes_site().x << ","
+            << scenario.aes_site().y << "); sensor @ 300 MHz; seed " << seed
+            << (quick ? " [--quick: leakage boosted 3x]" : "") << "\n\n";
+
+  attack::CampaignConfig config;
+  config.max_traces = max_traces;
+  config.rank_stride = 5000;
+
+  util::Table table({"placement", "site", "coupling [uV/A]",
+                     "traces to break", "paper"});
+  const std::size_t aes_node = scenario.grid().node_of_site(scenario.aes_site());
+  const char* paper_notes[] = {"",          "(closest)", "", "",
+                               "",          "(best)",    "", ""};
+  for (std::size_t i = 0; i < scenario.attack_placements().size(); ++i) {
+    const auto site = scenario.attack_placements()[i];
+    util::Rng run_rng = rng.fork(i);
+    victim::AesCoreModel aes(key, scenario.aes_site(), scenario.grid(),
+                             aes_params);
+    core::LeakyDspSensor sensor(scenario.device(), site);
+    sim::SensorRig rig(scenario.grid(), sensor);
+    rig.calibrate(run_rng);
+    attack::TraceCampaign campaign(rig, aes, config);
+    const auto result = campaign.run(run_rng);
+
+    const pdn::SensorCoupling coupling(scenario.grid(), site);
+    table.row()
+        .add("P" + std::to_string(i + 1) + " " + paper_notes[i])
+        .add("(" + std::to_string(site.x) + "," + std::to_string(site.y) + ")")
+        .add(coupling.gain_at_node(aes_node) * 1e6, 0)
+        .add(result.broken ? util::format_count(result.traces_to_break)
+                           : ("not broken in " +
+                              util::format_count(result.traces_run)))
+        .add(i == 5 ? "25k (best)" : "25k-58k");
+  }
+
+  // TDC baseline next to the best placement.
+  {
+    util::Rng run_rng = rng.fork(100);
+    victim::AesCoreModel aes(key, scenario.aes_site(), scenario.grid(),
+                             aes_params);
+    const auto best =
+        scenario.attack_placements()[sim::Basys3Scenario::kBestPlacementIndex];
+    const auto tdc_site = scenario.adjacent_clb_site(best);
+    sensors::TdcSensor tdc(scenario.device(), tdc_site);
+    sim::SensorRig rig(scenario.grid(), tdc);
+    rig.calibrate(run_rng);
+    attack::TraceCampaign campaign(rig, aes, config);
+    const auto result = campaign.run(run_rng);
+    const pdn::SensorCoupling coupling(scenario.grid(), tdc_site);
+    table.row()
+        .add("TDC")
+        .add("(" + std::to_string(tdc_site.x) + "," +
+             std::to_string(tdc_site.y) + ")")
+        .add(coupling.gain_at_node(aes_node) * 1e6, 0)
+        .add(result.broken ? util::format_count(result.traces_to_break)
+                           : ("not broken in " +
+                              util::format_count(result.traces_run)))
+        .add("51k");
+  }
+
+  table.print(std::cout);
+  std::cout << "\nNote: per-placement cells of the paper's Table I are only "
+               "available as an image;\nEXPERIMENTS.md checks the range "
+               "(25k-58k), the best placement (P6), and the\nTDC-comparable "
+               "magnitude instead of exact cells.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Compares the three on-chip sensor families the paper discusses —
+// LeakyDSP (DSP blocks), TDC (carry chains) and RO (combinational loops) —
+// on the same voltage staircase: resource type used, voltage resolution,
+// and whether a provider's bitstream scanner would catch them.
+//
+//   $ ./example_sensor_comparison
+#include <iostream>
+#include <vector>
+
+#include "core/leaky_dsp.h"
+#include "fabric/bitstream_checker.h"
+#include "sensors/ro_sensor.h"
+#include "sensors/tdc.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace leakydsp;
+
+int main() {
+  util::Rng rng(12);
+  const sim::Basys3Scenario scenario;
+  const auto& device = scenario.device();
+
+  core::LeakyDspSensor leaky(device, {16, 20});
+  sensors::TdcSensor tdc(device, {15, 20});
+  sensors::RoSensor ro(device, {14, 20});
+
+  leaky.calibrate(1.0, rng, 256);
+  tdc.calibrate(1.0, rng, 256);
+  ro.calibrate(1.0, rng, 256);
+
+  std::cout << "=== Sensor family comparison (same supply staircase) ===\n\n";
+  util::Table staircase(
+      {"droop [mV]", "LeakyDSP [bits]", "TDC [stages]", "RO [counts]"});
+  auto mean_of = [&](sensors::VoltageSensor& s, double v) {
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i) xs.push_back(s.sample(v, rng));
+    return stats::mean(xs);
+  };
+  for (const double droop_mv : {0.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double v = 1.0 - droop_mv * 1e-3;
+    staircase.row()
+        .add(droop_mv, 1)
+        .add(mean_of(leaky, v), 2)
+        .add(mean_of(tdc, v), 2)
+        .add(mean_of(ro, v), 2);
+  }
+  staircase.print(std::cout);
+
+  std::cout << "\n=== Structure & detectability ===\n\n";
+  const auto deployed = fabric::CheckPolicy::deployed();
+  auto verdict = [&](const fabric::Netlist& nl) {
+    return audit_bitstream(nl, deployed).accepted()
+               ? std::string("passes deployed checks")
+               : "REJECTED: " +
+                     audit_bitstream(nl, deployed).violations.front().rule;
+  };
+  util::Table summary({"sensor", "fabric resources", "output width",
+                       "bitstream scan"});
+  summary.row()
+      .add("LeakyDSP")
+      .add("3 DSP48 blocks + 2 IDELAY")
+      .add(leaky.readout_bits())
+      .add(verdict(leaky.netlist()));
+  summary.row()
+      .add("TDC")
+      .add("LUT delay line + 32 CARRY4 + 128 FF")
+      .add(tdc.readout_bits())
+      .add(verdict(tdc.netlist()));
+  summary.row()
+      .add("RO")
+      .add("LUT loop + counter FFs")
+      .add(ro.readout_bits())
+      .add(verdict(ro.netlist()));
+  summary.print(std::cout);
+
+  std::cout << "\nLeakyDSP is the only family invisible to deployed "
+               "bitstream checks — the paper's core security argument.\n";
+  return 0;
+}

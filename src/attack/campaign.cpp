@@ -1,0 +1,145 @@
+#include "attack/campaign.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+TraceCampaign::TraceCampaign(sim::SensorRig& rig, victim::AesCoreModel& aes,
+                             CampaignConfig config)
+    : rig_(&rig), aes_(&aes), config_(config) {
+  LD_REQUIRE(config_.max_traces >= 2, "campaign needs traces");
+  LD_REQUIRE(config_.break_check_stride >= 1, "bad break stride");
+  LD_REQUIRE(config_.rank_stride >= 1, "bad rank stride");
+
+  const double sensor_period = rig.params().sample_period_ns;
+  const double victim_period = aes.clock_period_ns();
+  spc_ = static_cast<std::size_t>(std::lround(victim_period / sensor_period));
+  LD_REQUIRE(spc_ >= 1,
+             "victim clock faster than the sensor sample clock (period "
+                 << victim_period << " ns vs " << sensor_period << " ns)");
+
+  // Trace covers the whole encryption plus two cycles of droop ringing.
+  const std::size_t cycles = aes.cycles_per_encryption() + 2;
+  trace_samples_ = cycles * spc_;
+
+  // POI window: the victim cycle in which round 10 registers, plus one
+  // cycle of ringing.
+  const std::size_t round10_cycle = aes.params().load_cycles + 9;
+  poi_begin_ = round10_cycle * spc_;
+  poi_count_ = 2 * spc_;
+  LD_ENSURE(poi_begin_ + poi_count_ <= trace_samples_, "POI outside trace");
+}
+
+void TraceCampaign::add_interferer(Interferer interferer) {
+  LD_REQUIRE(interferer != nullptr, "null interferer");
+  interferers_.push_back(std::move(interferer));
+}
+
+double TraceCampaign::interference_droop(
+    double t_ns, util::Rng& rng,
+    std::vector<pdn::CurrentInjection>& scratch) const {
+  if (interferers_.empty()) return 0.0;
+  scratch.clear();
+  for (const auto& f : interferers_) f(t_ns, rng, scratch);
+  return rig_->coupling().droop_for(scratch);
+}
+
+std::vector<double> TraceCampaign::generate_trace(
+    const crypto::Block& plaintext, util::Rng& rng) {
+  aes_->start_encryption(plaintext);
+  const double gain = rig_->coupling().gain_at_node(aes_->pdn_node());
+  const double dt = rig_->params().sample_period_ns;
+  std::vector<double> samples;
+  samples.reserve(trace_samples_);
+  std::vector<pdn::CurrentInjection> scratch;
+  for (std::size_t s = 0; s < trace_samples_; ++s) {
+    const std::size_t cycle = s / spc_;
+    const double droop =
+        gain * aes_->current_at_cycle(cycle) +
+        interference_droop(static_cast<double>(s) * dt, rng, scratch);
+    const double v = rig_->supply_for_droop(droop, rng);
+    samples.push_back(rig_->sensor().sample(v, rng));
+  }
+  return samples;
+}
+
+CampaignResult TraceCampaign::run(util::Rng& rng, bool stop_when_broken) {
+  CpaAttack cpa(poi_count_);
+  CampaignResult result;
+  const crypto::Key true_key = aes_->cipher().round_keys()[0];
+  const crypto::RoundKey true_rk10 = aes_->cipher().round_keys()[10];
+
+  crypto::Block plaintext;
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng() & 0xff);
+
+  double poi_sum = 0.0;
+  std::size_t consecutive_ok = 0;
+  const double gain = rig_->coupling().gain_at_node(aes_->pdn_node());
+  const double dt = rig_->params().sample_period_ns;
+  std::vector<double> poi(poi_count_);
+  std::vector<pdn::CurrentInjection> scratch;
+
+  for (std::size_t t = 1; t <= config_.max_traces; ++t) {
+    aes_->start_encryption(plaintext);
+    for (std::size_t s = 0; s < trace_samples_; ++s) {
+      const std::size_t cycle = s / spc_;
+      const double droop =
+          gain * aes_->current_at_cycle(cycle) +
+          interference_droop(static_cast<double>(s) * dt, rng, scratch);
+      const double v = rig_->supply_for_droop(droop, rng);
+      const double readout = rig_->sensor().sample(v, rng);
+      if (s >= poi_begin_ && s < poi_begin_ + poi_count_) {
+        poi[s - poi_begin_] = readout;
+        poi_sum += readout;
+      }
+    }
+    cpa.add_trace(aes_->ciphertext(), poi);
+    plaintext = aes_->ciphertext();  // the paper chains ciphertexts
+
+    if (!result.broken && t % config_.break_check_stride == 0 && t >= 2) {
+      const bool ok = cpa.recovered_master_key() == true_key;
+      if (ok) {
+        if (consecutive_ok == 0) {
+          result.traces_to_break = t;  // first stride of the stable run
+        }
+        ++consecutive_ok;
+      } else {
+        consecutive_ok = 0;
+        result.traces_to_break = 0;
+      }
+      if (consecutive_ok >= config_.stable_breaks) {
+        result.broken = true;
+      }
+    }
+
+    if (t % config_.rank_stride == 0 && t >= 2) {
+      const auto scores = cpa.snapshot();
+      Checkpoint cp;
+      cp.traces = t;
+      cp.rank = estimate_key_rank(scores, true_rk10, config_.rank_params);
+      const auto recovered = cpa.recovered_round_key();
+      for (int b = 0; b < 16; ++b) {
+        if (recovered[static_cast<std::size_t>(b)] ==
+            true_rk10[static_cast<std::size_t>(b)]) {
+          ++cp.correct_bytes;
+        }
+      }
+      cp.full_key = cpa.recovered_master_key() == true_key;
+      result.checkpoints.push_back(cp);
+      if (stop_when_broken && result.broken) {
+        result.traces_run = t;
+        break;
+      }
+    }
+    result.traces_run = t;
+  }
+
+  result.mean_poi_readout =
+      poi_sum / (static_cast<double>(result.traces_run) *
+                 static_cast<double>(poi_count_));
+  return result;
+}
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,104 @@
+// End-to-end AES key-extraction campaign (Section IV-B).
+//
+// Drives the full pipeline for tens of thousands of traces: chained
+// plaintexts into the victim AES core, per-cycle leakage current through
+// the PDN coupling and droop dynamics, sensor readouts at the 300 MHz
+// sample clock, online CPA over a points-of-interest window, and key-rank
+// checkpoints. This is the specialized fast path of the generic
+// sim::SensorRig loop (same component models, flattened per-trace loop); a
+// consistency test asserts both paths produce statistically identical
+// traces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "attack/cpa.h"
+#include "attack/key_rank.h"
+#include "crypto/aes128.h"
+#include "pdn/grid.h"
+#include "sensors/sensor.h"
+#include "sim/sensor_rig.h"
+#include "victim/aes_core.h"
+
+namespace leakydsp::attack {
+
+/// Campaign configuration.
+struct CampaignConfig {
+  std::size_t max_traces = 60000;
+  /// Stride at which full-key recovery is tested (Table I granularity).
+  std::size_t break_check_stride = 1000;
+  /// Stride at which key-rank bounds are estimated (Fig. 5 granularity).
+  std::size_t rank_stride = 5000;
+  /// Consecutive break checks that must agree before declaring the key
+  /// broken (guards against lucky argmax flips).
+  std::size_t stable_breaks = 2;
+  KeyRankParams rank_params{};
+};
+
+/// One checkpoint of the campaign.
+struct Checkpoint {
+  std::size_t traces = 0;
+  KeyRankBounds rank;
+  int correct_bytes = 0;   ///< matching bytes of the round-10 key
+  bool full_key = false;   ///< master key fully recovered
+};
+
+/// Campaign outcome.
+struct CampaignResult {
+  std::vector<Checkpoint> checkpoints;      ///< at rank_stride
+  std::size_t traces_to_break = 0;          ///< 0 when never broken
+  bool broken = false;
+  std::size_t traces_run = 0;
+  double mean_poi_readout = 0.0;            ///< diagnostic
+};
+
+/// Runs a key-extraction campaign against `aes` using `rig`'s sensor.
+/// The POI window covers the last-round state transition: sensor samples
+/// spanning the victim cycle in which round 10 registers, plus one victim
+/// cycle of droop-filter ringing after it.
+class TraceCampaign {
+ public:
+  /// Extra tenants drawing current during the campaign (active fences,
+  /// other victims): called once per sensor sample to append draws.
+  using Interferer = std::function<void(
+      double t_ns, util::Rng& rng, std::vector<pdn::CurrentInjection>& out)>;
+
+  TraceCampaign(sim::SensorRig& rig, victim::AesCoreModel& aes,
+                CampaignConfig config = {});
+
+  /// Registers an interferer whose droop adds to the victim's.
+  void add_interferer(Interferer interferer);
+
+  /// Number of sensor samples per victim clock cycle.
+  std::size_t samples_per_cycle() const { return spc_; }
+  /// POI window size in sensor samples.
+  std::size_t poi_count() const { return poi_count_; }
+
+  /// Runs up to config.max_traces traces (stops early once the key has
+  /// been stably broken AND all rank checkpoints up to that point are
+  /// recorded — pass stop_when_broken=false to always run to max_traces).
+  CampaignResult run(util::Rng& rng, bool stop_when_broken = true);
+
+  /// Generates one trace (all samples of one encryption) without feeding
+  /// the CPA — used by tests and the consistency check.
+  std::vector<double> generate_trace(const crypto::Block& plaintext,
+                                     util::Rng& rng);
+
+ private:
+  double interference_droop(double t_ns, util::Rng& rng,
+                            std::vector<pdn::CurrentInjection>& scratch) const;
+
+  sim::SensorRig* rig_;
+  victim::AesCoreModel* aes_;
+  CampaignConfig config_;
+  std::size_t spc_;
+  std::size_t trace_samples_;
+  std::size_t poi_begin_;
+  std::size_t poi_count_;
+  std::vector<Interferer> interferers_;
+};
+
+}  // namespace leakydsp::attack

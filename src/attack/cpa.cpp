@@ -1,0 +1,98 @@
+#include "attack/cpa.h"
+
+#include <cmath>
+
+#include "attack/power_model.h"
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+CpaAttack::CpaAttack(std::size_t poi_count) : poi_(poi_count) {
+  LD_REQUIRE(poi_ >= 1, "need at least one point of interest");
+  sum_t_.assign(poi_, 0.0);
+  sum_t2_.assign(poi_, 0.0);
+  for (auto& per_byte : sum_ht_) per_byte.assign(256 * poi_, 0.0);
+}
+
+void CpaAttack::add_trace(const crypto::Block& ciphertext,
+                          std::span<const double> poi_samples) {
+  LD_REQUIRE(poi_samples.size() == poi_,
+             "expected " << poi_ << " POI samples, got "
+                         << poi_samples.size());
+  ++traces_;
+  for (std::size_t k = 0; k < poi_; ++k) {
+    sum_t_[k] += poi_samples[k];
+    sum_t2_[k] += poi_samples[k] * poi_samples[k];
+  }
+  for (int b = 0; b < 16; ++b) {
+    const auto row = last_round_hd_row(ciphertext, b);
+    auto& h_sums = sum_h_[static_cast<std::size_t>(b)];
+    auto& h2_sums = sum_h2_[static_cast<std::size_t>(b)];
+    auto& ht = sum_ht_[static_cast<std::size_t>(b)];
+    for (int g = 0; g < 256; ++g) {
+      const double h = row[static_cast<std::size_t>(g)];
+      h_sums[static_cast<std::size_t>(g)] += h;
+      h2_sums[static_cast<std::size_t>(g)] += h * h;
+      double* dst = ht.data() + static_cast<std::size_t>(g) * poi_;
+      // Hot loop: axpy over the POI window (vectorizes).
+      for (std::size_t k = 0; k < poi_; ++k) {
+        dst[k] += h * poi_samples[k];
+      }
+    }
+  }
+}
+
+ByteScores CpaAttack::snapshot_byte(int byte_index) const {
+  LD_REQUIRE(byte_index >= 0 && byte_index < 16, "bad byte index");
+  LD_REQUIRE(traces_ >= 2, "need at least two traces to correlate");
+  const auto b = static_cast<std::size_t>(byte_index);
+  const double n = static_cast<double>(traces_);
+
+  ByteScores result;
+  for (int g = 0; g < 256; ++g) {
+    const auto gi = static_cast<std::size_t>(g);
+    const double var_h = sum_h2_[b][gi] - sum_h_[b][gi] * sum_h_[b][gi] / n;
+    double best = 0.0;
+    if (var_h > 1e-12) {
+      const double* ht = sum_ht_[b].data() + gi * poi_;
+      for (std::size_t k = 0; k < poi_; ++k) {
+        const double var_t = sum_t2_[k] - sum_t_[k] * sum_t_[k] / n;
+        if (var_t <= 1e-12) continue;
+        const double cov = ht[k] - sum_h_[b][gi] * sum_t_[k] / n;
+        const double rho = std::abs(cov) / std::sqrt(var_h * var_t);
+        if (rho > best) best = rho;
+      }
+    }
+    result.score[gi] = best;
+    if (best > result.best_score) {
+      result.runner_up_score = result.best_score;
+      result.best_score = best;
+      result.best_guess = static_cast<std::uint8_t>(g);
+    } else if (best > result.runner_up_score) {
+      result.runner_up_score = best;
+    }
+  }
+  return result;
+}
+
+std::array<ByteScores, 16> CpaAttack::snapshot() const {
+  std::array<ByteScores, 16> all;
+  for (int b = 0; b < 16; ++b) {
+    all[static_cast<std::size_t>(b)] = snapshot_byte(b);
+  }
+  return all;
+}
+
+crypto::RoundKey CpaAttack::recovered_round_key() const {
+  crypto::RoundKey rk{};
+  for (int b = 0; b < 16; ++b) {
+    rk[static_cast<std::size_t>(b)] = snapshot_byte(b).best_guess;
+  }
+  return rk;
+}
+
+crypto::Key CpaAttack::recovered_master_key() const {
+  return crypto::Aes128::invert_key_schedule(recovered_round_key());
+}
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,71 @@
+// Online correlation power analysis.
+//
+// One accumulator set per (key byte, guess): sums of the hypothesis and,
+// per point of interest, the hypothesis-trace cross products. Adding a
+// trace is O(16 * 256 * K); correlations can be snapshotted at any
+// checkpoint without rescanning traces — that is how Table I / Fig. 5
+// evaluate every trace-count checkpoint from a single campaign pass.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/aes128.h"
+
+namespace leakydsp::attack {
+
+/// Per-byte result of a correlation snapshot.
+struct ByteScores {
+  /// max_k |rho| over the POI window, per guess.
+  std::array<double, 256> score{};
+  std::uint8_t best_guess = 0;
+  double best_score = 0.0;
+  double runner_up_score = 0.0;
+};
+
+/// Online last-round CPA over a fixed number of points of interest.
+class CpaAttack {
+ public:
+  explicit CpaAttack(std::size_t poi_count);
+
+  std::size_t poi_count() const { return poi_; }
+  std::size_t trace_count() const { return traces_; }
+
+  /// Accumulates one trace: its ciphertext and the sensor readouts at the
+  /// POI window (size must equal poi_count()).
+  void add_trace(const crypto::Block& ciphertext,
+                 std::span<const double> poi_samples);
+
+  /// Correlation snapshot for one key byte.
+  ByteScores snapshot_byte(int byte_index) const;
+
+  /// Snapshot of all 16 bytes.
+  std::array<ByteScores, 16> snapshot() const;
+
+  /// Round-10 key candidate: best guess per byte.
+  crypto::RoundKey recovered_round_key() const;
+
+  /// Master key obtained by inverting the key schedule of the recovered
+  /// round-10 key.
+  crypto::Key recovered_master_key() const;
+
+ private:
+  std::size_t poi_;
+  std::size_t traces_ = 0;
+
+  // Trace-side sums (shared across guesses).
+  std::vector<double> sum_t_;   // [poi]
+  std::vector<double> sum_t2_;  // [poi]
+
+  // Hypothesis-side sums per (byte, guess).
+  std::array<std::array<double, 256>, 16> sum_h_{};
+  std::array<std::array<double, 256>, 16> sum_h2_{};
+
+  // Cross sums: [byte][guess * poi + k], flattened for locality.
+  std::array<std::vector<double>, 16> sum_ht_;
+};
+
+}  // namespace leakydsp::attack

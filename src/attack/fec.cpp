@@ -1,0 +1,80 @@
+#include "attack/fec.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+namespace {
+
+// Codeword layout [p1 p2 d1 p3 d2 d3 d4] (positions 1..7); parity bits at
+// power-of-two positions cover the standard index sets.
+struct Codeword {
+  bool bits[7];
+};
+
+Codeword encode_nibble(bool d1, bool d2, bool d3, bool d4) {
+  Codeword cw{};
+  cw.bits[2] = d1;
+  cw.bits[4] = d2;
+  cw.bits[5] = d3;
+  cw.bits[6] = d4;
+  cw.bits[0] = d1 ^ d2 ^ d4;  // p1 covers positions 1,3,5,7
+  cw.bits[1] = d1 ^ d3 ^ d4;  // p2 covers positions 2,3,6,7
+  cw.bits[3] = d2 ^ d3 ^ d4;  // p3 covers positions 4,5,6,7
+  return cw;
+}
+
+}  // namespace
+
+std::size_t hamming74_codewords(std::size_t data_bits) {
+  return (data_bits + 3) / 4;
+}
+
+std::vector<bool> hamming74_encode(const std::vector<bool>& data) {
+  std::vector<bool> out;
+  out.reserve(hamming74_codewords(data.size()) * 7);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    auto bit = [&](std::size_t k) {
+      return i + k < data.size() ? data[i + k] : false;
+    };
+    const Codeword cw = encode_nibble(bit(0), bit(1), bit(2), bit(3));
+    for (const bool b : cw.bits) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<bool> hamming74_decode(const std::vector<bool>& code) {
+  LD_REQUIRE(code.size() % 7 == 0,
+             "Hamming(7,4) stream length " << code.size()
+                                           << " not a multiple of 7");
+  std::vector<bool> out;
+  out.reserve(code.size() / 7 * 4);
+  for (std::size_t i = 0; i < code.size(); i += 7) {
+    bool b[7];
+    for (int k = 0; k < 7; ++k) b[k] = code[i + static_cast<std::size_t>(k)];
+    // Syndrome: which parity checks fail (1-based position of the error).
+    const int s1 = (b[0] ^ b[2] ^ b[4] ^ b[6]) ? 1 : 0;
+    const int s2 = (b[1] ^ b[2] ^ b[5] ^ b[6]) ? 2 : 0;
+    const int s3 = (b[3] ^ b[4] ^ b[5] ^ b[6]) ? 4 : 0;
+    const int syndrome = s1 + s2 + s3;
+    if (syndrome != 0) b[syndrome - 1] = !b[syndrome - 1];
+    out.push_back(b[2]);
+    out.push_back(b[4]);
+    out.push_back(b[5]);
+    out.push_back(b[6]);
+  }
+  return out;
+}
+
+std::size_t count_bit_errors(const std::vector<bool>& original,
+                             const std::vector<bool>& decoded) {
+  LD_REQUIRE(decoded.size() >= original.size(),
+             "decoded stream shorter than the original");
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (original[i] != decoded[i]) ++errors;
+  }
+  return errors;
+}
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,129 @@
+#include "attack/fingerprint.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/fft.h"
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+WorkloadClassifier::WorkloadClassifier(FingerprintParams params)
+    : params_(params) {
+  LD_REQUIRE(params_.samples >= params_.segment_length,
+             "observation shorter than one Welch segment");
+  LD_REQUIRE(params_.bands >= 2, "need at least two feature bands");
+}
+
+std::vector<double> WorkloadClassifier::features(
+    std::span<const double> readouts) const {
+  LD_REQUIRE(readouts.size() >= params_.segment_length,
+             "observation too short: " << readouts.size());
+  const auto psd = stats::welch_psd(readouts, params_.segment_length);
+  auto bands = stats::band_energies(psd, params_.bands);
+  // Log-compress and standardize: workload lines sit on a large common
+  // noise floor, so linear energies barely differ between classes while
+  // log ratios do (the cepstral trick).
+  double mean = 0.0;
+  for (auto& b : bands) {
+    b = std::log(b + 1e-12);
+    mean += b;
+  }
+  mean /= static_cast<double>(bands.size());
+  double norm2 = 0.0;
+  for (auto& b : bands) {
+    b -= mean;
+    norm2 += b * b;
+  }
+  if (norm2 > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& b : bands) b *= inv;
+  }
+  // Level feature: workloads also differ in average draw, which shifts the
+  // mean readout. Weighted so one readout bit of level difference competes
+  // with a substantial spectral-shape difference.
+  double level = 0.0;
+  for (const double r : readouts) level += r;
+  level /= static_cast<double>(readouts.size());
+  bands.push_back(params_.level_weight * level);
+  return bands;
+}
+
+void WorkloadClassifier::train(const std::string& label,
+                               std::span<const double> readouts) {
+  const auto f = features(readouts);
+  auto& centroid = centroids_[label];
+  if (centroid.sum.empty()) centroid.sum.assign(f.size(), 0.0);
+  for (std::size_t i = 0; i < f.size(); ++i) centroid.sum[i] += f[i];
+  ++centroid.count;
+}
+
+double WorkloadClassifier::distance_to(
+    const std::string& label, std::span<const double> readouts) const {
+  const auto it = centroids_.find(label);
+  LD_REQUIRE(it != centroids_.end(), "unknown class '" << label << "'");
+  const auto f = features(readouts);
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const double c =
+        it->second.sum[i] / static_cast<double>(it->second.count);
+    d2 += (f[i] - c) * (f[i] - c);
+  }
+  return std::sqrt(d2);
+}
+
+std::string WorkloadClassifier::classify(
+    std::span<const double> readouts) const {
+  LD_REQUIRE(!centroids_.empty(), "classifier has no trained classes");
+  const auto f = features(readouts);
+  std::string best;
+  double best_d2 = std::numeric_limits<double>::max();
+  for (const auto& [label, centroid] : centroids_) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const double c =
+          centroid.sum[i] / static_cast<double>(centroid.count);
+      d2 += (f[i] - c) * (f[i] - c);
+    }
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = label;
+    }
+  }
+  return best;
+}
+
+std::vector<double> record_workload(sim::SensorRig& rig,
+                                    victim::Workload& workload,
+                                    std::size_t victim_node,
+                                    std::size_t samples, util::Rng& rng) {
+  workload.reset();
+  rig.settle();
+  const double gain = rig.coupling().gain_at_node(victim_node);
+  const double dt = rig.params().sample_period_ns;
+  std::vector<double> readouts;
+  readouts.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double t_ns = static_cast<double>(s) * dt;
+    const double droop = gain * workload.current_at(t_ns, rng);
+    const double v = rig.supply_for_droop(droop, rng);
+    readouts.push_back(rig.sensor().sample(v, rng));
+  }
+  return readouts;
+}
+
+double ConfusionMatrix::accuracy() const {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    for (std::size_t j = 0; j < counts[i].size(); ++j) {
+      total += counts[i][j];
+      if (i == j) correct += counts[i][j];
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,81 @@
+// Workload fingerprinting through LeakyDSP readouts — the "classify
+// co-tenant computations" application of FPGA power side channels
+// (reference [14] of the paper), rebuilt on top of the DSP sensor.
+//
+// Pipeline: record a readout stream while the victim workload runs ->
+// Welch power spectral density -> logarithmic band-energy feature vector
+// -> nearest-centroid classification.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/sensor_rig.h"
+#include "util/rng.h"
+#include "victim/workloads.h"
+
+namespace leakydsp::attack {
+
+/// Feature extraction and classifier configuration.
+struct FingerprintParams {
+  std::size_t samples = 16384;        ///< readouts per observation
+  std::size_t segment_length = 2048;  ///< Welch segment
+  std::size_t bands = 16;             ///< spectral feature dimensions
+  /// Weight of the mean-readout (supply level) feature relative to the
+  /// unit-norm spectral vector: workloads differ both in rhythm and in
+  /// average draw.
+  double level_weight = 0.3;
+};
+
+/// Nearest-centroid workload classifier on spectral band energies.
+class WorkloadClassifier {
+ public:
+  explicit WorkloadClassifier(FingerprintParams params = {});
+
+  const FingerprintParams& params() const { return params_; }
+
+  /// Feature vector of one readout stream.
+  std::vector<double> features(std::span<const double> readouts) const;
+
+  /// Adds one labelled training observation.
+  void train(const std::string& label, std::span<const double> readouts);
+
+  std::size_t class_count() const { return centroids_.size(); }
+
+  /// Label of the nearest centroid; requires at least one trained class.
+  std::string classify(std::span<const double> readouts) const;
+
+  /// Euclidean distance between an observation and a trained centroid.
+  double distance_to(const std::string& label,
+                     std::span<const double> readouts) const;
+
+ private:
+  struct Centroid {
+    std::vector<double> sum;
+    std::size_t count = 0;
+  };
+
+  FingerprintParams params_;
+  std::map<std::string, Centroid> centroids_;
+};
+
+/// Records `params.samples` sensor readouts while `workload` runs at the
+/// victim's PDN node (the recording front end shared by training and
+/// attack phases).
+std::vector<double> record_workload(sim::SensorRig& rig,
+                                    victim::Workload& workload,
+                                    std::size_t victim_node,
+                                    std::size_t samples, util::Rng& rng);
+
+/// Result of a train/test evaluation over a workload zoo.
+struct ConfusionMatrix {
+  std::vector<std::string> labels;
+  std::vector<std::vector<std::size_t>> counts;  ///< [true][predicted]
+
+  double accuracy() const;
+};
+
+}  // namespace leakydsp::attack

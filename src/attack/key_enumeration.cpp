@@ -1,0 +1,95 @@
+#include "attack/key_enumeration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+KeyEnumerator::KeyEnumerator(const std::array<ByteScores, 16>& scores,
+                             double epsilon) {
+  LD_REQUIRE(epsilon > 0.0, "epsilon must be positive");
+  for (int b = 0; b < 16; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    std::array<int, 256> order;
+    for (int g = 0; g < 256; ++g) order[static_cast<std::size_t>(g)] = g;
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+      return scores[bi].score[static_cast<std::size_t>(x)] >
+             scores[bi].score[static_cast<std::size_t>(y)];
+    });
+    for (int r = 0; r < 256; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      sorted_guess_[bi][ri] =
+          static_cast<std::uint8_t>(order[ri]);
+      sorted_log_[bi][ri] = std::log2(
+          scores[bi].score[static_cast<std::size_t>(order[ri])] + epsilon);
+    }
+  }
+  std::array<std::uint8_t, 16> root{};
+  push_if_new(root);
+}
+
+double KeyEnumerator::node_score(
+    const std::array<std::uint8_t, 16>& ranks) const {
+  double total = 0.0;
+  for (int b = 0; b < 16; ++b) {
+    total += sorted_log_[static_cast<std::size_t>(b)][ranks[static_cast<std::size_t>(b)]];
+  }
+  return total;
+}
+
+void KeyEnumerator::push_if_new(const std::array<std::uint8_t, 16>& ranks) {
+  const auto it = std::lower_bound(seen_.begin(), seen_.end(), ranks);
+  if (it != seen_.end() && *it == ranks) return;
+  seen_.insert(it, ranks);
+  heap_.push_back(Node{ranks, node_score(ranks)});
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+std::optional<crypto::RoundKey> KeyEnumerator::next() {
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end());
+  const Node best = heap_.back();
+  heap_.pop_back();
+  ++emitted_;
+
+  // Expand: one child per byte, advancing that byte's rank.
+  for (int b = 0; b < 16; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    if (best.ranks[bi] < 255) {
+      auto child = best.ranks;
+      ++child[bi];
+      push_if_new(child);
+    }
+  }
+
+  crypto::RoundKey key;
+  for (int b = 0; b < 16; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    key[bi] = sorted_guess_[bi][best.ranks[bi]];
+  }
+  return key;
+}
+
+EnumerationResult enumerate_and_verify(
+    const std::array<ByteScores, 16>& scores, const crypto::Block& plaintext,
+    const crypto::Block& ciphertext, std::size_t max_candidates) {
+  LD_REQUIRE(max_candidates >= 1, "need a candidate budget");
+  KeyEnumerator enumerator(scores);
+  EnumerationResult result;
+  while (result.candidates_tested < max_candidates) {
+    const auto candidate = enumerator.next();
+    if (!candidate) break;
+    ++result.candidates_tested;
+    const crypto::Key master = crypto::Aes128::invert_key_schedule(*candidate);
+    if (crypto::Aes128(master).encrypt(plaintext) == ciphertext) {
+      result.found = true;
+      result.master_key = master;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,67 @@
+// Optimal-order key enumeration: when CPA leaves the correct key at rank
+// > 1 but within testable range, a real attacker does not collect more
+// traces — they enumerate candidate keys in decreasing joint-score order
+// and verify each against a known plaintext/ciphertext pair. This is the
+// standard best-first search over the per-byte score lists (a 16-dimension
+// generalization of merging sorted lists).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/cpa.h"
+#include "crypto/aes128.h"
+
+namespace leakydsp::attack {
+
+/// Streams round-10-key candidates in non-increasing score order.
+class KeyEnumerator {
+ public:
+  /// `scores[b][g]`: CPA score of guess g for byte b. Scores are
+  /// log-combined (product order), matching the rank estimator.
+  explicit KeyEnumerator(const std::array<ByteScores, 16>& scores,
+                         double epsilon = 1e-9);
+
+  /// Next-best candidate round-10 key, or nullopt when the search frontier
+  /// is exhausted (practically unreachable for 16 bytes).
+  std::optional<crypto::RoundKey> next();
+
+  std::size_t emitted() const { return emitted_; }
+
+ private:
+  struct Node {
+    std::array<std::uint8_t, 16> ranks;  ///< per-byte rank index (0 = best)
+    double score;                        ///< summed log scores
+
+    bool operator<(const Node& other) const { return score < other.score; }
+  };
+
+  double node_score(const std::array<std::uint8_t, 16>& ranks) const;
+  void push_if_new(const std::array<std::uint8_t, 16>& ranks);
+
+  // Per byte: guesses sorted by descending score, plus their log scores.
+  std::array<std::array<std::uint8_t, 256>, 16> sorted_guess_;
+  std::array<std::array<double, 256>, 16> sorted_log_;
+  std::vector<Node> heap_;
+  std::vector<std::array<std::uint8_t, 16>> seen_;  // sorted for lookup
+  std::size_t emitted_ = 0;
+};
+
+/// Outcome of enumeration-assisted key recovery.
+struct EnumerationResult {
+  bool found = false;
+  std::size_t candidates_tested = 0;
+  crypto::Key master_key{};
+};
+
+/// Enumerates up to `max_candidates` round-10 keys in optimal order,
+/// inverting each to a master key and verifying against the known
+/// plaintext/ciphertext pair.
+EnumerationResult enumerate_and_verify(
+    const std::array<ByteScores, 16>& scores, const crypto::Block& plaintext,
+    const crypto::Block& ciphertext, std::size_t max_candidates);
+
+}  // namespace leakydsp::attack

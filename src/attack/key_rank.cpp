@@ -1,0 +1,154 @@
+#include "attack/key_rank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+namespace {
+
+/// Per-byte log2-probabilities from sharpened, normalized scores.
+std::vector<std::array<double, 256>> to_log_likelihoods(
+    const std::vector<std::array<double, 256>>& scores,
+    const KeyRankParams& params, double& ll_min, double& ll_max) {
+  std::vector<std::array<double, 256>> ll(scores.size());
+  ll_min = std::numeric_limits<double>::max();
+  ll_max = std::numeric_limits<double>::lowest();
+  for (std::size_t b = 0; b < scores.size(); ++b) {
+    double norm = 0.0;
+    std::array<double, 256> p{};
+    for (int g = 0; g < 256; ++g) {
+      const double s = scores[b][static_cast<std::size_t>(g)] + params.epsilon;
+      p[static_cast<std::size_t>(g)] = std::pow(s, params.gamma);
+      norm += p[static_cast<std::size_t>(g)];
+    }
+    for (int g = 0; g < 256; ++g) {
+      const double v = std::log2(p[static_cast<std::size_t>(g)] / norm);
+      ll[b][static_cast<std::size_t>(g)] = v;
+      ll_min = std::min(ll_min, v);
+      ll_max = std::max(ll_max, v);
+    }
+  }
+  return ll;
+}
+
+}  // namespace
+
+KeyRankBounds estimate_key_rank_general(
+    const std::vector<std::array<double, 256>>& scores,
+    const std::vector<std::uint8_t>& truth, KeyRankParams params) {
+  LD_REQUIRE(!scores.empty() && scores.size() <= 16,
+             "byte count " << scores.size() << " out of 1..16");
+  LD_REQUIRE(truth.size() == scores.size(), "truth size mismatch");
+  LD_REQUIRE(params.bins >= 64, "too few histogram bins");
+  LD_REQUIRE(params.gamma > 0.0, "gamma must be positive");
+
+  double ll_min = 0.0;
+  double ll_max = 0.0;
+  const auto ll = to_log_likelihoods(scores, params, ll_min, ll_max);
+  const std::size_t n_bytes = scores.size();
+
+  // Shared bin geometry so per-byte histograms convolve exactly.
+  const double width = (ll_max - ll_min) / static_cast<double>(params.bins);
+  LD_ENSURE(width > 0.0, "degenerate score distribution");
+  const double lo = ll_min - 0.5 * width;
+  const double hi = ll_max + 0.5 * width;
+  const std::size_t bins = params.bins + 1;
+
+  std::size_t true_bin_sum = 0;
+  stats::Histogram joint(lo, hi, bins);
+  {
+    stats::Histogram first(lo, hi, bins);
+    for (int g = 0; g < 256; ++g) {
+      first.add(ll[0][static_cast<std::size_t>(g)]);
+    }
+    joint = first;
+    true_bin_sum += first.bin_index(ll[0][truth[0]]);
+  }
+  for (std::size_t b = 1; b < n_bytes; ++b) {
+    stats::Histogram h(lo, hi, bins);
+    for (int g = 0; g < 256; ++g) {
+      h.add(ll[b][static_cast<std::size_t>(g)]);
+    }
+    joint = joint.convolve(h);
+    true_bin_sum += h.bin_index(ll[b][truth[b]]);
+  }
+
+  // Quantization slack: each byte contributes at most one bin of error.
+  const std::size_t slack = n_bytes;
+  const std::size_t upper_from =
+      true_bin_sum > slack ? true_bin_sum - slack : 0;
+  const std::size_t lower_from =
+      std::min(true_bin_sum + slack, joint.bins() - 1);
+
+  const double upper_rank = 1.0 + joint.mass_at_or_above(upper_from);
+  const double lower_rank = 1.0 + joint.mass_above(lower_from);
+
+  const double max_log2 = 8.0 * static_cast<double>(n_bytes);
+  KeyRankBounds bounds;
+  bounds.log2_upper =
+      std::log2(std::min(upper_rank, std::pow(2.0, max_log2)));
+  bounds.log2_lower = std::log2(std::max(lower_rank, 1.0));
+  if (bounds.log2_lower > bounds.log2_upper) {
+    std::swap(bounds.log2_lower, bounds.log2_upper);
+  }
+  return bounds;
+}
+
+KeyRankBounds estimate_key_rank(const std::array<ByteScores, 16>& scores,
+                                const crypto::RoundKey& true_round_key,
+                                KeyRankParams params) {
+  std::vector<std::array<double, 256>> raw(16);
+  std::vector<std::uint8_t> truth(16);
+  for (int b = 0; b < 16; ++b) {
+    raw[static_cast<std::size_t>(b)] = scores[static_cast<std::size_t>(b)].score;
+    truth[static_cast<std::size_t>(b)] =
+        true_round_key[static_cast<std::size_t>(b)];
+  }
+  return estimate_key_rank_general(raw, truth, params);
+}
+
+double exact_key_rank(const std::vector<std::array<double, 256>>& scores,
+                      const std::vector<std::uint8_t>& truth, double gamma,
+                      double epsilon) {
+  LD_REQUIRE(!scores.empty() && scores.size() <= 3,
+             "exact enumeration limited to 3 bytes, got " << scores.size());
+  LD_REQUIRE(truth.size() == scores.size(), "truth size mismatch");
+  // Work in log space with the same sharpening as the estimator.
+  std::vector<std::array<double, 256>> ll(scores.size());
+  for (std::size_t b = 0; b < scores.size(); ++b) {
+    for (int g = 0; g < 256; ++g) {
+      ll[b][static_cast<std::size_t>(g)] =
+          gamma * std::log2(scores[b][static_cast<std::size_t>(g)] + epsilon);
+    }
+  }
+  double true_ll = 0.0;
+  for (std::size_t b = 0; b < scores.size(); ++b) true_ll += ll[b][truth[b]];
+
+  // Count keys strictly better than the truth.
+  double better = 0.0;
+  const std::size_t n = scores.size();
+  const int limit0 = 256;
+  const int limit1 = n >= 2 ? 256 : 1;
+  const int limit2 = n >= 3 ? 256 : 1;
+  for (int g0 = 0; g0 < limit0; ++g0) {
+    const double l0 = ll[0][static_cast<std::size_t>(g0)];
+    for (int g1 = 0; g1 < limit1; ++g1) {
+      const double l01 =
+          l0 + (n >= 2 ? ll[1][static_cast<std::size_t>(g1)] : 0.0);
+      for (int g2 = 0; g2 < limit2; ++g2) {
+        const double total =
+            l01 + (n >= 3 ? ll[2][static_cast<std::size_t>(g2)] : 0.0);
+        if (total > true_ll) better += 1.0;
+      }
+    }
+  }
+  return 1.0 + better;
+}
+
+}  // namespace leakydsp::attack

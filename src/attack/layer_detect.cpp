@@ -1,0 +1,141 @@
+#include "attack/layer_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+namespace {
+
+/// Centered moving average with shrinking windows at the edges.
+std::vector<double> smooth(std::span<const double> xs, std::size_t window) {
+  std::vector<double> out(xs.size());
+  double sum = 0.0;
+  std::size_t left = 0;
+  std::size_t right = 0;  // exclusive
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t want_left = i >= window / 2 ? i - window / 2 : 0;
+    const std::size_t want_right = std::min(i + window / 2 + 1, xs.size());
+    while (right < want_right) sum += xs[right++];
+    while (left < want_left) sum -= xs[left++];
+    out[i] = sum / static_cast<double>(right - left);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LayerSegment> segment_levels(std::span<const double> readouts,
+                                         LayerDetectParams params) {
+  LD_REQUIRE(params.smooth_window >= 1, "smooth window must be positive");
+  LD_REQUIRE(params.min_run >= 1, "min run must be positive");
+  LD_REQUIRE(readouts.size() > params.smooth_window,
+             "stream shorter than the smoothing window");
+  const auto smoothed = smooth(readouts, params.smooth_window);
+
+  std::vector<LayerSegment> segments;
+  std::size_t seg_begin = 0;
+  double seg_sum = smoothed[0];
+  std::size_t seg_count = 1;
+  std::size_t departure_run = 0;
+
+  for (std::size_t i = 1; i < smoothed.size(); ++i) {
+    const double seg_mean = seg_sum / static_cast<double>(seg_count);
+    if (std::abs(smoothed[i] - seg_mean) > params.change_threshold) {
+      ++departure_run;
+      if (departure_run >= params.min_run) {
+        // Commit the segment up to where the departure began.
+        const std::size_t boundary = i + 1 - departure_run;
+        if (boundary > seg_begin) {
+          segments.push_back({seg_begin, boundary,
+                              seg_sum / static_cast<double>(seg_count)});
+        }
+        seg_begin = boundary;
+        seg_sum = 0.0;
+        seg_count = 0;
+        for (std::size_t k = boundary; k <= i; ++k) {
+          seg_sum += smoothed[k];
+          ++seg_count;
+        }
+        departure_run = 0;
+      }
+    } else {
+      departure_run = 0;
+      seg_sum += smoothed[i];
+      ++seg_count;
+    }
+  }
+  segments.push_back({seg_begin, smoothed.size(),
+                      seg_sum / static_cast<double>(seg_count)});
+
+  // Post-process: drop transition artifacts / glitches, then merge
+  // adjacent segments whose levels are indistinguishable.
+  std::vector<LayerSegment> cleaned;
+  for (const auto& s : segments) {
+    if (s.length() >= params.min_segment) cleaned.push_back(s);
+  }
+  if (cleaned.empty()) {
+    // Degenerate input (everything shorter than min_segment): fall back to
+    // one segment over the whole stream.
+    double total = 0.0;
+    for (const double x : smoothed) total += x;
+    return {{0, smoothed.size(), total / static_cast<double>(smoothed.size())}};
+  }
+  std::vector<LayerSegment> merged;
+  for (const auto& s : cleaned) {
+    if (!merged.empty() &&
+        std::abs(merged.back().level - s.level) <= params.change_threshold) {
+      auto& prev = merged.back();
+      const double w_prev = static_cast<double>(prev.length());
+      const double w_cur = static_cast<double>(s.length());
+      prev.level = (prev.level * w_prev + s.level * w_cur) / (w_prev + w_cur);
+      prev.end = s.end;
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+LayerCountEstimate estimate_layers(std::span<const double> readouts,
+                                   LayerDetectParams params) {
+  const auto segments = segment_levels(readouts, params);
+  LayerCountEstimate estimate;
+  LD_REQUIRE(!segments.empty(), "no segments found");
+
+  // The gap (idle) level: highest readout (least current). Allow a margin
+  // of the change threshold when matching gap segments.
+  double idle = segments.front().level;
+  for (const auto& s : segments) idle = std::max(idle, s.level);
+  estimate.idle_level = idle;
+
+  // Walk segments: long idle segments are inference boundaries, short idle
+  // segments are inter-layer transfer dips; count the active segments
+  // between consecutive boundaries.
+  std::size_t layers_in_current = 0;
+  std::vector<std::size_t> per_inference;
+  bool seen_gap = false;
+  for (const auto& s : segments) {
+    const bool is_idle = s.level > idle - params.change_threshold;
+    if (is_idle && s.length() >= params.min_gap_samples) {
+      if (seen_gap && layers_in_current > 0) {
+        per_inference.push_back(layers_in_current);
+      }
+      layers_in_current = 0;
+      seen_gap = true;
+    } else if (!is_idle && seen_gap) {
+      ++layers_in_current;
+    }
+  }
+  estimate.inferences_seen = per_inference.size();
+  if (!per_inference.empty()) {
+    // Majority vote over complete inferences.
+    std::sort(per_inference.begin(), per_inference.end());
+    estimate.layers_per_inference = per_inference[per_inference.size() / 2];
+  }
+  return estimate;
+}
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,58 @@
+// Layer-structure recovery from sensor readouts: the architecture-stealing
+// attack of [42] distilled to its core — segment the readout stream into
+// constant-level phases (each accelerator layer draws a characteristic
+// current), then count the active phases per inference.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace leakydsp::attack {
+
+/// One detected constant-level phase.
+struct LayerSegment {
+  std::size_t begin = 0;  ///< first sample index
+  std::size_t end = 0;    ///< one past the last sample index
+  double level = 0.0;     ///< mean readout of the segment
+
+  std::size_t length() const { return end - begin; }
+};
+
+/// Changepoint segmentation parameters.
+struct LayerDetectParams {
+  std::size_t smooth_window = 64;  ///< moving-average length [samples]
+  /// A new segment starts when the smoothed signal departs from the
+  /// current segment's mean by more than this many readout bits...
+  double change_threshold = 2.0;
+  /// ...for at least this many consecutive samples (debounce).
+  std::size_t min_run = 48;
+  /// Segments shorter than this are treated as transition artifacts or
+  /// glitches and discarded before adjacent same-level segments merge.
+  std::size_t min_segment = 128;
+  /// Idle-level segments at least this long are inference boundaries;
+  /// shorter idle dips are inter-layer transfers (which merely delimit
+  /// layers).
+  std::size_t min_gap_samples = 600;
+};
+
+/// Splits a readout stream into constant-level segments.
+std::vector<LayerSegment> segment_levels(std::span<const double> readouts,
+                                         LayerDetectParams params = {});
+
+/// Inference-structure estimate.
+struct LayerCountEstimate {
+  std::size_t layers_per_inference = 0;
+  std::size_t inferences_seen = 0;
+  double idle_level = 0.0;  ///< detected gap readout level
+};
+
+/// Counts active layers per inference. Idle-level segments (highest
+/// readout — the gap draws the least current) delimit the stream: long
+/// ones are inter-inference gaps, short ones are inter-layer transfers.
+/// Active segments between two consecutive long gaps are one inference's
+/// layers.
+LayerCountEstimate estimate_layers(std::span<const double> readouts,
+                                   LayerDetectParams params = {});
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,35 @@
+#include "attack/metrics.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+std::size_t byte_guess_rank(const ByteScores& scores, std::uint8_t truth) {
+  const double true_score = scores.score[truth];
+  std::size_t rank = 1;
+  for (int g = 0; g < 256; ++g) {
+    if (static_cast<std::uint8_t>(g) == truth) continue;
+    if (scores.score[static_cast<std::size_t>(g)] > true_score) ++rank;
+  }
+  return rank;
+}
+
+SnapshotMetrics evaluate_snapshot(const std::array<ByteScores, 16>& scores,
+                                  const crypto::RoundKey& truth) {
+  SnapshotMetrics metrics;
+  double sum_rank = 0.0;
+  for (int b = 0; b < 16; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    const std::size_t rank = byte_guess_rank(scores[bi], truth[bi]);
+    metrics.byte_ranks[bi] = rank;
+    sum_rank += static_cast<double>(rank);
+    metrics.log2_product += std::log2(static_cast<double>(rank));
+    if (rank == 1) ++metrics.bytes_recovered;
+  }
+  metrics.mean_rank = sum_rank / 16.0;
+  return metrics;
+}
+
+}  // namespace leakydsp::attack

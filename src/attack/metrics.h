@@ -1,0 +1,29 @@
+// Standard side-channel evaluation metrics over CPA score snapshots:
+// per-byte guessing entropy (the rank of the correct sub-key in the score
+// ordering) and o-th order success rate. These complement the full-key
+// rank estimator with the per-byte view evaluation labs report.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "attack/cpa.h"
+#include "crypto/aes128.h"
+
+namespace leakydsp::attack {
+
+/// Rank (1-based) of the true byte value within one byte's score list.
+std::size_t byte_guess_rank(const ByteScores& scores, std::uint8_t truth);
+
+/// Per-byte metrics of one snapshot against the true round key.
+struct SnapshotMetrics {
+  std::array<std::size_t, 16> byte_ranks{};  ///< 1 = recovered
+  double mean_rank = 0.0;      ///< guessing entropy (linear scale)
+  double log2_product = 0.0;   ///< sum of log2(byte ranks): naive key rank
+  int bytes_recovered = 0;     ///< ranks equal to 1
+};
+
+SnapshotMetrics evaluate_snapshot(const std::array<ByteScores, 16>& scores,
+                                  const crypto::RoundKey& truth);
+
+}  // namespace leakydsp::attack

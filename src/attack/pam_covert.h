@@ -1,0 +1,46 @@
+// Multi-level (4-PAM) covert channel extension: instead of on/off, the
+// sender drives four power-virus activity levels (0/3/5/8 groups of its
+// 8x1000 instances), transmitting two Gray-coded bits per slot. Doubles
+// the transmission rate at the same slot time in exchange for halved
+// decision margins — the natural next step beyond the paper's OOK design.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "attack/covert_channel.h"
+#include "sim/sensor_rig.h"
+#include "util/rng.h"
+#include "victim/power_virus.h"
+
+namespace leakydsp::attack {
+
+/// Four-level pulse-amplitude covert channel.
+class PamCovertChannel {
+ public:
+  /// Same environment contract as CovertChannel: the rig's sensor must be
+  /// calibrated. The four level means are measured during construction.
+  PamCovertChannel(sim::SensorRig& rig, victim::PowerVirus& sender,
+                   CovertChannelParams params, util::Rng& rng);
+
+  const CovertChannelParams& params() const { return params_; }
+
+  /// Measured readout level for symbol s (0..3). Symbol 0 = idle sender.
+  double level(int symbol) const;
+
+  /// Transmits `payload` (two bits per slot, Gray mapping 00,01,11,10) and
+  /// returns bit-level statistics. An odd trailing bit is zero-padded.
+  ChannelStats transmit(const std::vector<bool>& payload, util::Rng& rng,
+                        std::vector<bool>* decoded = nullptr);
+
+ private:
+  int decode_symbol(double statistic) const;
+
+  sim::SensorRig* rig_;
+  victim::PowerVirus* sender_;
+  CovertChannelParams params_;
+  std::array<double, 4> levels_{};      // readout mean per symbol
+  std::array<std::size_t, 4> groups_{};  // active virus groups per symbol
+};
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,40 @@
+#include "attack/power_model.h"
+
+#include <bit>
+
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+int hamming_weight_byte(std::uint8_t value) {
+  return std::popcount(static_cast<unsigned>(value));
+}
+
+std::uint8_t last_round_transition(const crypto::Block& ciphertext,
+                                   int byte_index, std::uint8_t guess) {
+  LD_REQUIRE(byte_index >= 0 && byte_index < 16,
+             "byte index " << byte_index << " out of range");
+  const std::uint8_t s9 = crypto::Aes128::inv_sbox(
+      static_cast<std::uint8_t>(ciphertext[byte_index] ^ guess));
+  const std::uint8_t ct_reg =
+      ciphertext[crypto::Aes128::shift_rows_map(byte_index)];
+  return static_cast<std::uint8_t>(s9 ^ ct_reg);
+}
+
+int last_round_hd(const crypto::Block& ciphertext, int byte_index,
+                  std::uint8_t guess) {
+  return hamming_weight_byte(
+      last_round_transition(ciphertext, byte_index, guess));
+}
+
+std::array<std::uint8_t, 256> last_round_hd_row(const crypto::Block& ct,
+                                                int byte_index) {
+  std::array<std::uint8_t, 256> row;
+  for (int g = 0; g < 256; ++g) {
+    row[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(
+        last_round_hd(ct, byte_index, static_cast<std::uint8_t>(g)));
+  }
+  return row;
+}
+
+}  // namespace leakydsp::attack

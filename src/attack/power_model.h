@@ -1,0 +1,34 @@
+// CPA power models. The attack targets the last AES round: the state
+// register transitions from S9 to the ciphertext, and for key-byte guess k
+// at ciphertext position i the hypothetical contribution is
+//   HD( S9[sr(i)], CT[sr(i)] ) = HW( InvSbox(CT[i] ^ k) ^ CT[sr(i)] )
+// where sr is the ShiftRows index map. This is the standard last-round
+// Hamming-distance model for register-based FPGA AES cores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/aes128.h"
+
+namespace leakydsp::attack {
+
+/// Hypothesized last-round transition byte for ciphertext byte
+/// `byte_index` under key guess `guess`: which state-register bits flip.
+std::uint8_t last_round_transition(const crypto::Block& ciphertext,
+                                   int byte_index, std::uint8_t guess);
+
+/// Hypothetical last-round Hamming distance for ciphertext byte `byte_index`
+/// under key guess `guess`.
+int last_round_hd(const crypto::Block& ciphertext, int byte_index,
+                  std::uint8_t guess);
+
+/// All 256 hypotheses for one ciphertext byte, e.g. to fill a CPA row.
+std::array<std::uint8_t, 256> last_round_hd_row(const crypto::Block& ct,
+                                                int byte_index);
+
+/// Hamming weight model of a single byte value (used by tests and as an
+/// alternative, weaker model).
+int hamming_weight_byte(std::uint8_t value);
+
+}  // namespace leakydsp::attack

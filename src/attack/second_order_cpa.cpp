@@ -1,0 +1,32 @@
+#include "attack/second_order_cpa.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+SecondOrderCpa::SecondOrderCpa(std::size_t poi_count)
+    : poi_(poi_count), profile_(poi_count), cpa_(poi_count) {
+  LD_REQUIRE(poi_ >= 1, "need at least one point of interest");
+}
+
+void SecondOrderCpa::add_profile(std::span<const double> poi_samples) {
+  LD_REQUIRE(poi_samples.size() == poi_,
+             "expected " << poi_ << " samples, got " << poi_samples.size());
+  for (std::size_t k = 0; k < poi_; ++k) profile_[k].add(poi_samples[k]);
+}
+
+void SecondOrderCpa::add_trace(const crypto::Block& ciphertext,
+                               std::span<const double> poi_samples) {
+  LD_REQUIRE(poi_samples.size() == poi_,
+             "expected " << poi_ << " samples, got " << poi_samples.size());
+  LD_REQUIRE(profile_.front().count() >= 2,
+             "profile pass must run before the attack pass");
+  std::vector<double> centered_sq(poi_);
+  for (std::size_t k = 0; k < poi_; ++k) {
+    const double d = poi_samples[k] - profile_[k].mean();
+    centered_sq[k] = d * d;
+  }
+  cpa_.add_trace(ciphertext, centered_sq);
+}
+
+}  // namespace leakydsp::attack

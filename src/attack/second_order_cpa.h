@@ -1,0 +1,54 @@
+// Second-order CPA against first-order Boolean masking.
+//
+// With masking, the share registers leak L = HD(x^m) + HD(m) + noise whose
+// *mean* is independent of the secret x — first-order CPA dies. But the
+// *variance* of L over the uniformly random mask m still depends on HD(x):
+// the classic countermeasure-vs-attack escalation. The standard
+// second-order preprocessing — centering each sample and squaring —
+// converts that variance dependence back into a correlatable first moment,
+// at the cost of a quadratic SNR penalty (many more traces).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "attack/cpa.h"
+#include "crypto/aes128.h"
+#include "stats/accumulators.h"
+
+namespace leakydsp::attack {
+
+/// CPA with centered-square preprocessing. Two-pass usage: feed every
+/// trace to add_profile() first (learns per-POI means), then feed the same
+/// traces to add_trace() (correlates (t - mean)^2 with the HD hypothesis).
+class SecondOrderCpa {
+ public:
+  explicit SecondOrderCpa(std::size_t poi_count);
+
+  std::size_t poi_count() const { return poi_; }
+
+  /// Pass 1: accumulate per-POI means.
+  void add_profile(std::span<const double> poi_samples);
+
+  /// Pass 2: centered-square the trace and feed the CPA accumulators.
+  void add_trace(const crypto::Block& ciphertext,
+                 std::span<const double> poi_samples);
+
+  ByteScores snapshot_byte(int byte_index) const {
+    return cpa_.snapshot_byte(byte_index);
+  }
+  crypto::RoundKey recovered_round_key() const {
+    return cpa_.recovered_round_key();
+  }
+  crypto::Key recovered_master_key() const {
+    return cpa_.recovered_master_key();
+  }
+
+ private:
+  std::size_t poi_;
+  std::vector<stats::MeanVar> profile_;
+  CpaAttack cpa_;
+};
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,63 @@
+#include "attack/tvla.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace leakydsp::attack {
+
+TvlaAccumulator::TvlaAccumulator(std::size_t samples_per_trace)
+    : fixed_(samples_per_trace), random_(samples_per_trace) {
+  LD_REQUIRE(samples_per_trace >= 1, "need at least one sample");
+}
+
+std::size_t TvlaAccumulator::fixed_count() const {
+  return fixed_.front().count();
+}
+
+std::size_t TvlaAccumulator::random_count() const {
+  return random_.front().count();
+}
+
+void TvlaAccumulator::add(std::vector<stats::MeanVar>& population,
+                          std::span<const double> trace) {
+  LD_REQUIRE(trace.size() == population.size(),
+             "expected " << population.size() << " samples, got "
+                         << trace.size());
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    population[k].add(trace[k]);
+  }
+}
+
+void TvlaAccumulator::add_fixed(std::span<const double> trace) {
+  add(fixed_, trace);
+}
+
+void TvlaAccumulator::add_random(std::span<const double> trace) {
+  add(random_, trace);
+}
+
+TvlaResult TvlaAccumulator::result() const {
+  LD_REQUIRE(fixed_count() >= 2 && random_count() >= 2,
+             "need at least two traces per population (have "
+                 << fixed_count() << " fixed, " << random_count()
+                 << " random)");
+  TvlaResult out;
+  out.t_values.reserve(fixed_.size());
+  for (std::size_t k = 0; k < fixed_.size(); ++k) {
+    const auto& f = fixed_[k];
+    const auto& r = random_[k];
+    const double sf2 = f.sample_variance() / static_cast<double>(f.count());
+    const double sr2 = r.sample_variance() / static_cast<double>(r.count());
+    const double denom = std::sqrt(sf2 + sr2);
+    const double t = denom > 0.0 ? (f.mean() - r.mean()) / denom : 0.0;
+    out.t_values.push_back(t);
+    if (std::abs(t) > out.max_abs_t) {
+      out.max_abs_t = std::abs(t);
+      out.worst_sample = k;
+    }
+  }
+  return out;
+}
+
+}  // namespace leakydsp::attack

@@ -1,0 +1,51 @@
+// Test Vector Leakage Assessment (TVLA): the standard fixed-vs-random
+// Welch t-test methodology for deciding whether a measurement channel
+// leaks key-dependent information at all, before mounting a full CPA.
+// Evaluators use it exactly like this: record two trace populations — a
+// fixed plaintext and random plaintexts under the same key — and flag any
+// sample whose |t| exceeds 4.5.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/accumulators.h"
+
+namespace leakydsp::attack {
+
+/// The conventional TVLA decision threshold.
+inline constexpr double kTvlaThreshold = 4.5;
+
+/// TVLA verdict over a trace window.
+struct TvlaResult {
+  std::vector<double> t_values;  ///< Welch t per sample index
+  double max_abs_t = 0.0;
+  std::size_t worst_sample = 0;
+  bool leaks() const { return max_abs_t > kTvlaThreshold; }
+};
+
+/// Streaming fixed-vs-random accumulator.
+class TvlaAccumulator {
+ public:
+  explicit TvlaAccumulator(std::size_t samples_per_trace);
+
+  std::size_t samples_per_trace() const { return fixed_.size(); }
+  std::size_t fixed_count() const;
+  std::size_t random_count() const;
+
+  void add_fixed(std::span<const double> trace);
+  void add_random(std::span<const double> trace);
+
+  /// Welch t-statistics; requires at least 2 traces in each population.
+  TvlaResult result() const;
+
+ private:
+  void add(std::vector<stats::MeanVar>& population,
+           std::span<const double> trace);
+
+  std::vector<stats::MeanVar> fixed_;
+  std::vector<stats::MeanVar> random_;
+};
+
+}  // namespace leakydsp::attack

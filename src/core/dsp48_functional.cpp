@@ -1,0 +1,174 @@
+#include "core/dsp48_functional.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::core {
+
+namespace {
+
+/// Sign-extends the low `bits` of `v` (two's complement port semantics).
+std::int64_t sign_extend(std::int64_t v, int bits) {
+  const std::int64_t mask = (1LL << bits) - 1;
+  std::int64_t out = v & mask;
+  if (out & (1LL << (bits - 1))) out -= (1LL << bits);
+  return out;
+}
+
+}  // namespace
+
+Dsp48Functional::Dsp48Functional(const fabric::Dsp48Config& config)
+    : config_(config), widths_(fabric::dsp48_widths(config.arch)) {
+  config_.validate();
+  reset();
+}
+
+std::int64_t Dsp48Functional::pre_adder(std::int64_t a, std::int64_t d) const {
+  const std::int64_t a_low = sign_extend(a, widths_.a_mult_bits);
+  if (!config_.use_preadder) return a_low;
+  return a_low + sign_extend(d, widths_.d_bits);
+}
+
+std::int64_t Dsp48Functional::multiplier(std::int64_t ad,
+                                         std::int64_t b) const {
+  if (!config_.use_multiplier) return ad;
+  return ad * sign_extend(b, widths_.b_bits);
+}
+
+std::int64_t Dsp48Functional::z_value(std::int64_t c,
+                                      std::int64_t pcin) const {
+  switch (config_.z_source) {
+    case fabric::DspZSource::kZero:
+      return 0;
+    case fabric::DspZSource::kC:
+      return c;
+    case fabric::DspZSource::kPcin:
+      return pcin;
+    case fabric::DspZSource::kP:
+      return p_out_;
+  }
+  return 0;
+}
+
+std::int64_t Dsp48Functional::alu(std::int64_t m, std::int64_t z) const {
+  switch (config_.alu_op) {
+    case fabric::DspAluOp::kAdd:
+      return z + m;
+    case fabric::DspAluOp::kSubtract:
+      return z - m;
+    case fabric::DspAluOp::kXor:
+      return z ^ m;
+  }
+  return 0;
+}
+
+std::int64_t Dsp48Functional::mask_p(std::int64_t v) const {
+  return v & ((1LL << widths_.p_bits) - 1);
+}
+
+std::int64_t Dsp48Functional::evaluate_combinational(
+    const Dsp48Inputs& in) const {
+  const std::int64_t b = in.use_dynamic_b ? in.b : config_.static_b;
+  const std::int64_t c = in.use_dynamic_c ? in.c : config_.static_c;
+  const std::int64_t d = in.use_dynamic_d ? in.d : config_.static_d;
+  const std::int64_t ad = pre_adder(in.a, d);
+  const std::int64_t m = multiplier(ad, b);
+  return mask_p(alu(m, z_value(c, in.pcin)));
+}
+
+std::int64_t Dsp48Functional::clock(const Dsp48Inputs& in) {
+  // --- read phase: every register presents the value captured at the
+  // previous edge (register chain of depth d: oldest element).
+  auto reg_out = [](const std::deque<std::int64_t>& pipe, int depth,
+                    std::int64_t direct) {
+    return depth == 0 ? direct : pipe.front();
+  };
+  const std::int64_t b_in = in.use_dynamic_b ? in.b : config_.static_b;
+  const std::int64_t c_in = in.use_dynamic_c ? in.c : config_.static_c;
+  const std::int64_t d_in = in.use_dynamic_d ? in.d : config_.static_d;
+
+  const std::int64_t a_cur = reg_out(a_pipe_, config_.areg, in.a);
+  const std::int64_t b_cur = reg_out(b_pipe_, config_.breg, b_in);
+  const std::int64_t c_cur = reg_out(c_pipe_, config_.creg, c_in);
+  const std::int64_t d_cur = reg_out(d_pipe_, config_.dreg, d_in);
+
+  const std::int64_t ad_comb = pre_adder(a_cur, d_cur);
+  const std::int64_t ad_cur = reg_out(ad_pipe_, config_.adreg, ad_comb);
+  const std::int64_t m_comb = multiplier(ad_cur, b_cur);
+  const std::int64_t m_cur = reg_out(m_pipe_, config_.mreg, m_comb);
+  // ALU sees pre-edge values, including P feedback P(n-1).
+  const std::int64_t p_comb = mask_p(alu(m_cur, z_value(c_cur, in.pcin)));
+
+  // --- commit phase: capture this edge.
+  auto shift_in = [](std::deque<std::int64_t>& pipe, int depth,
+                     std::int64_t value) {
+    if (depth == 0) return;
+    pipe.push_back(value);
+    pipe.pop_front();
+  };
+  shift_in(a_pipe_, config_.areg, in.a);
+  shift_in(b_pipe_, config_.breg, b_in);
+  shift_in(c_pipe_, config_.creg, c_in);
+  shift_in(d_pipe_, config_.dreg, d_in);
+  shift_in(ad_pipe_, config_.adreg, ad_comb);
+  shift_in(m_pipe_, config_.mreg, m_comb);
+
+  if (config_.preg == 0) {
+    // Unregistered output: P follows the ALU combinationally, i.e. from
+    // the *post-edge* stage outputs.
+    const std::int64_t a_now = reg_out(a_pipe_, config_.areg, in.a);
+    const std::int64_t b_now = reg_out(b_pipe_, config_.breg, b_in);
+    const std::int64_t c_now = reg_out(c_pipe_, config_.creg, c_in);
+    const std::int64_t d_now = reg_out(d_pipe_, config_.dreg, d_in);
+    const std::int64_t ad_now =
+        reg_out(ad_pipe_, config_.adreg, pre_adder(a_now, d_now));
+    const std::int64_t m_now =
+        reg_out(m_pipe_, config_.mreg, multiplier(ad_now, b_now));
+    p_out_ = mask_p(alu(m_now, z_value(c_now, in.pcin)));
+  } else if (config_.preg == 1) {
+    p_out_ = p_comb;
+  } else {  // preg == 2: one extra pipeline stage
+    p_pipe_.push_back(p_comb);
+    p_out_ = p_pipe_.front();
+    p_pipe_.pop_front();
+  }
+  return p_out_;
+}
+
+void Dsp48Functional::reset() {
+  auto fill = [](std::deque<std::int64_t>& pipe, int depth) {
+    pipe.assign(static_cast<std::size_t>(depth > 0 ? depth : 0), 0);
+  };
+  fill(a_pipe_, config_.areg);
+  fill(b_pipe_, config_.breg);
+  fill(c_pipe_, config_.creg);
+  fill(d_pipe_, config_.dreg);
+  fill(ad_pipe_, config_.adreg);
+  fill(m_pipe_, config_.mreg);
+  fill(p_pipe_, config_.preg == 2 ? 1 : 0);
+  p_out_ = 0;
+}
+
+Dsp48Cascade::Dsp48Cascade(const std::vector<fabric::Dsp48Config>& configs) {
+  LD_REQUIRE(!configs.empty(), "cascade needs at least one block");
+  blocks_.reserve(configs.size());
+  for (const auto& cfg : configs) blocks_.emplace_back(cfg);
+}
+
+std::int64_t Dsp48Cascade::evaluate(std::int64_t a) const {
+  const auto widths = fabric::dsp48_widths(blocks_.front().config().arch);
+  const std::int64_t a_mask = (1LL << widths.a_mult_bits) - 1;
+  std::int64_t value = a;
+  for (const auto& block : blocks_) {
+    Dsp48Inputs in;
+    in.a = value & a_mask;  // low P bits feed the next block's A port
+    value = block.evaluate_combinational(in);
+  }
+  return value;
+}
+
+Dsp48Functional& Dsp48Cascade::block(std::size_t i) {
+  LD_REQUIRE(i < blocks_.size(), "block " << i << " out of range");
+  return blocks_[i];
+}
+
+}  // namespace leakydsp::core

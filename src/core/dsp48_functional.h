@@ -1,0 +1,97 @@
+// Cycle-accurate functional model of the DSP48 primitive — the substrate
+// LeakyDSP abuses. Beyond the malicious identity configuration, this model
+// executes the block's documented datapath (Fig. 1 of the paper): the
+// pre-adder on D and the low bits of A, the two's-complement multiplier
+// against B, and the ALU combining the multiplier output with the
+// Z-multiplexer source (0 / C / cascade / P feedback), with per-stage
+// pipeline registers honoured cycle by cycle.
+//
+// Used three ways: to verify LeakyDSP's identity configuration against the
+// real datapath semantics, to model *benign* tenant DSP usage (FIR MACC
+// kernels) for the checker control cases, and as the reference for
+// cascading P -> A between chained blocks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "fabric/primitives.h"
+
+namespace leakydsp::core {
+
+/// Input operands of one DSP48 evaluation.
+struct Dsp48Inputs {
+  std::int64_t a = 0;     ///< A port (low a_mult_bits feed the multiplier)
+  std::int64_t b = 0;     ///< B port (ignored when config drives static_b)
+  std::int64_t c = 0;     ///< C port (ignored when config drives static_c)
+  std::int64_t d = 0;     ///< D port (ignored when config drives static_d)
+  std::int64_t pcin = 0;  ///< cascade input from the previous block
+  bool use_dynamic_b = false;  ///< take b from here instead of the config
+  bool use_dynamic_c = false;
+  bool use_dynamic_d = false;
+};
+
+/// Functional simulator of one configured DSP48 block. clock() advances
+/// the pipeline one cycle; combinational stages (register depth 0) pass
+/// values through within the same cycle, exactly like the silicon.
+class Dsp48Functional {
+ public:
+  explicit Dsp48Functional(const fabric::Dsp48Config& config);
+
+  const fabric::Dsp48Config& config() const { return config_; }
+
+  /// Evaluates one clock cycle with the given inputs and returns the P
+  /// output *after* the clock edge (i.e. including PREG if configured).
+  std::int64_t clock(const Dsp48Inputs& inputs);
+
+  /// Current P output without advancing time.
+  std::int64_t p() const { return p_out_; }
+
+  /// Purely combinational evaluation (all registers ignored) — the
+  /// asynchronous value LeakyDSP's timing model digitizes.
+  std::int64_t evaluate_combinational(const Dsp48Inputs& inputs) const;
+
+  /// Resets all pipeline registers to zero.
+  void reset();
+
+ private:
+  /// One stage of the datapath, before any registering.
+  std::int64_t pre_adder(std::int64_t a, std::int64_t d) const;
+  std::int64_t multiplier(std::int64_t ad, std::int64_t b) const;
+  std::int64_t alu(std::int64_t m, std::int64_t z) const;
+  std::int64_t z_value(std::int64_t c, std::int64_t pcin) const;
+  std::int64_t mask_p(std::int64_t v) const;
+
+  fabric::Dsp48Config config_;
+  fabric::Dsp48Widths widths_;
+
+  // Pipeline registers as FIFO delays of the configured depth.
+  std::deque<std::int64_t> a_pipe_;
+  std::deque<std::int64_t> b_pipe_;
+  std::deque<std::int64_t> c_pipe_;
+  std::deque<std::int64_t> d_pipe_;
+  std::deque<std::int64_t> ad_pipe_;
+  std::deque<std::int64_t> m_pipe_;
+  std::deque<std::int64_t> p_pipe_;
+  std::int64_t p_out_ = 0;
+};
+
+/// A cascade of functional DSP48 blocks wired P(low bits) -> A, matching
+/// LeakyDSP's chain topology.
+class Dsp48Cascade {
+ public:
+  explicit Dsp48Cascade(const std::vector<fabric::Dsp48Config>& configs);
+
+  std::size_t size() const { return blocks_.size(); }
+
+  /// Combinational evaluation of the whole chain for input word `a`.
+  std::int64_t evaluate(std::int64_t a) const;
+
+  Dsp48Functional& block(std::size_t i);
+
+ private:
+  std::vector<Dsp48Functional> blocks_;
+};
+
+}  // namespace leakydsp::core

@@ -1,0 +1,67 @@
+// AES-128 (FIPS-197) reference implementation.
+//
+// Three roles in this repository:
+//  1. functional ground truth for the victim hardware core model
+//     (victim::AesCoreModel replays these round states to compute per-cycle
+//     Hamming-distance power),
+//  2. plaintext/ciphertext bookkeeping for trace campaigns (the paper chains
+//     each ciphertext as the next plaintext),
+//  3. key-schedule inversion: CPA recovers the *round-10* key; inverting the
+//     schedule yields the master key the attack reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace leakydsp::crypto {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key = std::array<std::uint8_t, 16>;
+using RoundKey = std::array<std::uint8_t, 16>;
+
+/// All intermediate states of one encryption: states[0] is the initial
+/// AddRoundKey output, states[r] the state after round r (1..10);
+/// states[10] equals the ciphertext.
+struct EncryptionTrace {
+  std::array<Block, 11> states;
+  Block ciphertext;
+};
+
+/// AES-128 cipher with a fixed key.
+class Aes128 {
+ public:
+  explicit Aes128(const Key& key);
+
+  Block encrypt(const Block& plaintext) const;
+  Block decrypt(const Block& ciphertext) const;
+
+  /// Encryption with every round state recorded.
+  EncryptionTrace encrypt_trace(const Block& plaintext) const;
+
+  /// Round keys 0..10.
+  const std::array<RoundKey, 11>& round_keys() const { return round_keys_; }
+
+  /// Forward S-box lookup.
+  static std::uint8_t sbox(std::uint8_t x);
+  /// Inverse S-box lookup.
+  static std::uint8_t inv_sbox(std::uint8_t x);
+
+  /// ShiftRows as a byte permutation: output byte i comes from input byte
+  /// shift_rows_map(i) (column-major state order, as in FIPS-197 examples).
+  static int shift_rows_map(int i);
+  /// Inverse permutation of shift_rows_map.
+  static int inv_shift_rows_map(int i);
+
+  /// Reconstructs the master key from the round-10 key by running the key
+  /// schedule backwards.
+  static Key invert_key_schedule(const RoundKey& round10);
+
+  /// Expands a master key into all 11 round keys (exposed for tests).
+  static std::array<RoundKey, 11> expand_key(const Key& key);
+
+ private:
+  std::array<RoundKey, 11> round_keys_;
+};
+
+}  // namespace leakydsp::crypto

@@ -1,0 +1,289 @@
+#include "fabric/bitstream.h"
+
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/crc32.h"
+
+namespace leakydsp::fabric {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'D', 'B', 'S'};
+constexpr std::uint16_t kVersion = 1;
+
+// ------------------------------------------------------------- writer
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v & 0xff));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) {
+    u32(static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) & 0xffffffffu));
+    u32(static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) >> 32));
+  }
+  void str(const std::string& s) {
+    LD_REQUIRE(s.size() <= 0xffff, "cell name too long");
+    u16(static_cast<std::uint16_t>(s.size()));
+    for (const char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// ------------------------------------------------------------- reader
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    LD_REQUIRE(pos_ < data_.size(), "truncated bitstream");
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    const auto lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32() {
+    const auto lo = u16();
+    return static_cast<std::uint32_t>(lo) |
+           (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() {
+    const auto lo = static_cast<std::uint64_t>(u32());
+    const auto hi = static_cast<std::uint64_t>(u32());
+    return static_cast<std::int64_t>(lo | (hi << 32));
+  }
+  std::string str() {
+    const auto len = u16();
+    std::string out;
+    out.reserve(len);
+    for (std::uint16_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>(u8()));
+    }
+    return out;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------- config payloads
+
+void write_config(Writer& w, const CellConfig& config) {
+  std::visit(
+      [&](const auto& cfg) {
+        using T = std::decay_t<decltype(cfg)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          w.u8(0);
+        } else if constexpr (std::is_same_v<T, LutConfig>) {
+          w.u8(1);
+          w.u8(static_cast<std::uint8_t>(cfg.inputs));
+          w.i64(static_cast<std::int64_t>(cfg.init));
+        } else if constexpr (std::is_same_v<T, FfConfig>) {
+          w.u8(2);
+          w.u8(cfg.is_latch ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, Carry4Config>) {
+          w.u8(3);
+          w.u8(static_cast<std::uint8_t>(cfg.stages_used));
+        } else if constexpr (std::is_same_v<T, Dsp48Config>) {
+          w.u8(4);
+          w.u8(cfg.arch == Architecture::kUltraScalePlus ? 1 : 0);
+          w.u8(cfg.use_preadder ? 1 : 0);
+          w.u8(cfg.use_multiplier ? 1 : 0);
+          w.u8(static_cast<std::uint8_t>(cfg.alu_op));
+          w.u8(static_cast<std::uint8_t>(cfg.z_source));
+          w.i64(cfg.static_d);
+          w.i64(cfg.static_b);
+          w.i64(cfg.static_c);
+          w.u8(static_cast<std::uint8_t>(cfg.areg));
+          w.u8(static_cast<std::uint8_t>(cfg.breg));
+          w.u8(static_cast<std::uint8_t>(cfg.creg));
+          w.u8(static_cast<std::uint8_t>(cfg.dreg));
+          w.u8(static_cast<std::uint8_t>(cfg.adreg));
+          w.u8(static_cast<std::uint8_t>(cfg.mreg));
+          w.u8(static_cast<std::uint8_t>(cfg.preg));
+          w.u8(cfg.cascade_in ? 1 : 0);
+          w.u8(cfg.cascade_out ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, IDelayConfig>) {
+          w.u8(5);
+          w.u8(cfg.arch == Architecture::kUltraScalePlus ? 1 : 0);
+          w.u8(static_cast<std::uint8_t>(cfg.taps));
+        }
+      },
+      config);
+}
+
+CellConfig read_config(Reader& r) {
+  const auto tag = r.u8();
+  switch (tag) {
+    case 0:
+      return std::monostate{};
+    case 1: {
+      LutConfig cfg;
+      cfg.inputs = r.u8();
+      cfg.init = static_cast<std::uint64_t>(r.i64());
+      return cfg;
+    }
+    case 2: {
+      FfConfig cfg;
+      cfg.is_latch = r.u8() != 0;
+      return cfg;
+    }
+    case 3: {
+      Carry4Config cfg;
+      cfg.stages_used = r.u8();
+      return cfg;
+    }
+    case 4: {
+      Dsp48Config cfg;
+      cfg.arch = r.u8() != 0 ? Architecture::kUltraScalePlus
+                             : Architecture::kSeries7;
+      cfg.use_preadder = r.u8() != 0;
+      cfg.use_multiplier = r.u8() != 0;
+      cfg.alu_op = static_cast<DspAluOp>(r.u8());
+      cfg.z_source = static_cast<DspZSource>(r.u8());
+      cfg.static_d = r.i64();
+      cfg.static_b = r.i64();
+      cfg.static_c = r.i64();
+      cfg.areg = r.u8();
+      cfg.breg = r.u8();
+      cfg.creg = r.u8();
+      cfg.dreg = r.u8();
+      cfg.adreg = r.u8();
+      cfg.mreg = r.u8();
+      cfg.preg = r.u8();
+      cfg.cascade_in = r.u8() != 0;
+      cfg.cascade_out = r.u8() != 0;
+      return cfg;
+    }
+    case 5: {
+      IDelayConfig cfg;
+      cfg.arch = r.u8() != 0 ? Architecture::kUltraScalePlus
+                             : Architecture::kSeries7;
+      cfg.taps = r.u8();
+      return cfg;
+    }
+    default:
+      LD_REQUIRE(false, "unknown config tag " << static_cast<int>(tag));
+  }
+  return std::monostate{};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_bitstream(const Netlist& design,
+                                           Architecture arch) {
+  Writer w;
+  for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u16(kVersion);
+  w.u8(arch == Architecture::kUltraScalePlus ? 1 : 0);
+
+  w.u32(static_cast<std::uint32_t>(design.cell_count()));
+  for (const auto& cell : design.cells()) {
+    w.u8(static_cast<std::uint8_t>(cell.type));
+    w.str(cell.name);
+    if (cell.site.has_value()) {
+      w.u8(1);
+      w.i32(cell.site->x);
+      w.i32(cell.site->y);
+    } else {
+      w.u8(0);
+    }
+    write_config(w, cell.config);
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (CellId id = 0; id < design.cell_count(); ++id) {
+    for (const CellId sink : design.fanout(id)) {
+      edges.push_back({static_cast<std::uint32_t>(id),
+                       static_cast<std::uint32_t>(sink)});
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(edges.size()));
+  for (const auto& [driver, sink] : edges) {
+    w.u32(driver);
+    w.u32(sink);
+  }
+
+  const std::uint32_t crc = util::crc32(w.bytes());
+  w.u32(crc);
+  return w.take();
+}
+
+DecodedBitstream decode_bitstream(std::span<const std::uint8_t> blob) {
+  LD_REQUIRE(blob.size() >= 4 + 2 + 1 + 4 + 4 + 4,
+             "bitstream too short (" << blob.size() << " bytes)");
+  // CRC first: everything before the trailing u32 must match it.
+  const auto body = blob.subspan(0, blob.size() - 4);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, blob.data() + blob.size() - 4, 4);
+  LD_REQUIRE(util::crc32(body) == stored, "bitstream CRC mismatch");
+
+  Reader r(body);
+  char magic[4];
+  for (auto& c : magic) c = static_cast<char>(r.u8());
+  LD_REQUIRE(std::memcmp(magic, kMagic, 4) == 0, "not a LeakyDSP bitstream");
+  const auto version = r.u16();
+  LD_REQUIRE(version == kVersion, "unsupported bitstream version "
+                                      << version);
+  DecodedBitstream out;
+  out.arch = r.u8() != 0 ? Architecture::kUltraScalePlus
+                         : Architecture::kSeries7;
+
+  const auto cell_count = r.u32();
+  for (std::uint32_t i = 0; i < cell_count; ++i) {
+    const auto type_tag = r.u8();
+    LD_REQUIRE(type_tag <= static_cast<std::uint8_t>(CellType::kPort),
+               "unknown cell type tag " << static_cast<int>(type_tag));
+    const auto type = static_cast<CellType>(type_tag);
+    auto name = r.str();
+    std::optional<SiteCoord> site;
+    if (r.u8() != 0) {
+      const int x = r.i32();
+      const int y = r.i32();
+      site = SiteCoord{x, y};
+    }
+    auto config = read_config(r);
+    // add_cell re-validates the configuration against the cell type, so an
+    // illegal payload cannot smuggle past the scanner.
+    out.design.add_cell(type, std::move(name), std::move(config), site);
+  }
+
+  const auto edge_count = r.u32();
+  for (std::uint32_t e = 0; e < edge_count; ++e) {
+    const auto driver = r.u32();
+    const auto sink = r.u32();
+    LD_REQUIRE(driver < out.design.cell_count() &&
+                   sink < out.design.cell_count(),
+               "edge " << e << " references unknown cells");
+    out.design.connect(driver, sink);
+  }
+  LD_REQUIRE(r.pos() == body.size(),
+             "trailing garbage after bitstream payload");
+  return out;
+}
+
+CheckReport audit_bitstream_blob(std::span<const std::uint8_t> blob,
+                                 const CheckPolicy& policy) {
+  const auto decoded = decode_bitstream(blob);
+  return audit_bitstream(decoded.design, policy);
+}
+
+}  // namespace leakydsp::fabric

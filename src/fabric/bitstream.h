@@ -1,0 +1,47 @@
+// Bitstream (de)serialization — what actually crosses the trust boundary
+// in the paper's threat model. The tenant hands the provider an opaque
+// byte blob; the provider's scanner must parse it back into a structural
+// netlist before any rule (combinational loops, carry chains, async DSP
+// configurations) can run. This codec defines that blob: a framed,
+// CRC-protected encoding of cells, configurations, placements and
+// connections.
+//
+// Format (little-endian):
+//   magic "LDBS", u16 version, u8 architecture,
+//   u32 cell_count, then per cell:
+//     u8 type tag, u16 name length + bytes, u8 has_site (+2x i32),
+//     type-tagged config payload,
+//   u32 edge_count, then per edge: u32 driver, u32 sink,
+//   u32 CRC-32 over everything before it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabric/bitstream_checker.h"
+#include "fabric/netlist.h"
+
+namespace leakydsp::fabric {
+
+/// Serializes a netlist into a bitstream blob.
+std::vector<std::uint8_t> encode_bitstream(const Netlist& design,
+                                           Architecture arch);
+
+/// Result of parsing a blob.
+struct DecodedBitstream {
+  Architecture arch = Architecture::kSeries7;
+  Netlist design;
+};
+
+/// Parses a bitstream blob; throws util::PreconditionError on bad magic,
+/// version, truncation, CRC mismatch, dangling edges, or illegal
+/// primitive configurations (the same validation add_cell applies).
+DecodedBitstream decode_bitstream(std::span<const std::uint8_t> blob);
+
+/// The provider's entry point: parse an untrusted blob and audit it.
+/// Malformed blobs are rejected (thrown) before any rule runs.
+CheckReport audit_bitstream_blob(std::span<const std::uint8_t> blob,
+                                 const CheckPolicy& policy);
+
+}  // namespace leakydsp::fabric

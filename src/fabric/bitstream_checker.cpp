@@ -1,0 +1,95 @@
+#include "fabric/bitstream_checker.h"
+
+#include <sstream>
+
+namespace leakydsp::fabric {
+
+CheckPolicy CheckPolicy::deployed() { return CheckPolicy{}; }
+
+CheckPolicy CheckPolicy::with_dsp_rule() {
+  CheckPolicy p;
+  p.forbid_async_dsp = true;
+  return p;
+}
+
+bool CheckReport::has_rule(const std::string& rule) const {
+  for (const auto& v : violations) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+CheckReport audit_bitstream(const Netlist& design, const CheckPolicy& policy) {
+  CheckReport report;
+
+  if (policy.forbid_combinational_loops) {
+    const auto loop = design.find_combinational_loop();
+    if (!loop.empty()) {
+      std::ostringstream oss;
+      oss << "combinational loop through " << loop.size() << " cell(s): ";
+      for (std::size_t i = 0; i < loop.size() && i < 4; ++i) {
+        if (i != 0) oss << " -> ";
+        oss << design.cell(loop[i]).name;
+      }
+      report.violations.push_back({"comb-loop", oss.str(), loop});
+    }
+  }
+
+  if (policy.forbid_latches) {
+    std::vector<CellId> latches;
+    for (const auto& c : design.cells()) {
+      if (c.type != CellType::kFf) continue;
+      const auto* cfg = std::get_if<FfConfig>(&c.config);
+      if (cfg != nullptr && cfg->is_latch) latches.push_back(c.id);
+    }
+    if (!latches.empty()) {
+      std::ostringstream oss;
+      oss << latches.size() << " transparent latch(es) instantiated";
+      report.violations.push_back({"latch", oss.str(), latches});
+    }
+  }
+
+  if (policy.max_vertical_carry_chain > 0) {
+    const auto chain = design.longest_vertical_carry_chain();
+    if (chain.size() > policy.max_vertical_carry_chain) {
+      std::ostringstream oss;
+      oss << "vertical CARRY4 chain of " << chain.size() << " cells ("
+          << chain.size() * 4 << " stages) exceeds limit of "
+          << policy.max_vertical_carry_chain;
+      report.violations.push_back({"carry-chain", oss.str(), chain});
+    }
+  }
+
+  if (policy.declared_clock_period_ns > 0.0) {
+    const double worst = design.worst_combinational_path_ns();
+    if (worst > policy.declared_clock_period_ns) {
+      std::ostringstream oss;
+      oss << "worst combinational path " << worst
+          << " ns exceeds declared clock period "
+          << policy.declared_clock_period_ns << " ns";
+      report.violations.push_back({"timing", oss.str(), {}});
+    }
+  }
+
+  if (policy.forbid_async_dsp) {
+    std::vector<CellId> async_dsps;
+    for (const auto& c : design.cells()) {
+      if (c.type != CellType::kDsp48) continue;
+      const auto* cfg = std::get_if<Dsp48Config>(&c.config);
+      if (cfg != nullptr && cfg->fully_combinational()) {
+        async_dsps.push_back(c.id);
+      }
+    }
+    if (!async_dsps.empty()) {
+      std::ostringstream oss;
+      oss << async_dsps.size()
+          << " DSP48 block(s) with every internal pipeline register "
+             "bypassed (asynchronous configuration)";
+      report.violations.push_back({"async-dsp", oss.str(), async_dsps});
+    }
+  }
+
+  return report;
+}
+
+}  // namespace leakydsp::fabric

@@ -1,0 +1,55 @@
+// Cloud-provider bitstream scanning (the countermeasures of Section I/V).
+//
+// Deployed checks (AWS F1 errata, Sugawara et al.): reject combinational
+// loops (ring oscillators), transparent latches, and long vertical carry
+// chains (TDC delay lines); optionally a design-wide static timing rule.
+// The paper's *proposed* mitigation adds a DSP rule: reject DSP blocks whose
+// entire internal pipeline is bypassed (asynchronous configuration) — the
+// structure LeakyDSP depends on. The checker demonstrates all of this:
+// RO and TDC netlists trip the deployed checks, LeakyDSP passes every one
+// of them, and only the proposed DSP rule catches it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/netlist.h"
+
+namespace leakydsp::fabric {
+
+/// Which rules the provider enforces.
+struct CheckPolicy {
+  bool forbid_combinational_loops = true;
+  bool forbid_latches = true;
+  /// Maximum CARRY4 cells in one vertically-continuous chain; 0 disables.
+  std::size_t max_vertical_carry_chain = 8;
+  /// Reject paths slower than this clock period [ns]; <= 0 disables. Note
+  /// the paper observes this rule is bypassable with programmable clocks.
+  double declared_clock_period_ns = 0.0;
+  /// The paper's proposed mitigation: reject fully-asynchronous DSP blocks.
+  bool forbid_async_dsp = false;
+
+  /// Checks deployed by providers today (loops, latches, carry chains).
+  static CheckPolicy deployed();
+  /// deployed() plus the paper's proposed DSP-configuration rule.
+  static CheckPolicy with_dsp_rule();
+};
+
+/// One rule violation found by the audit.
+struct Violation {
+  std::string rule;     ///< short rule identifier, e.g. "comb-loop"
+  std::string detail;   ///< human-readable description
+  std::vector<CellId> cells;  ///< offending cells
+};
+
+/// Result of auditing one netlist.
+struct CheckReport {
+  std::vector<Violation> violations;
+  bool accepted() const { return violations.empty(); }
+  bool has_rule(const std::string& rule) const;
+};
+
+/// Audits `design` against `policy`.
+CheckReport audit_bitstream(const Netlist& design, const CheckPolicy& policy);
+
+}  // namespace leakydsp::fabric

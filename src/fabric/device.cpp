@@ -1,0 +1,123 @@
+#include "fabric/device.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace leakydsp::fabric {
+
+std::string to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::kSeries7:
+      return "7-series";
+    case Architecture::kUltraScalePlus:
+      return "UltraScale+";
+  }
+  return "unknown";
+}
+
+std::string to_string(SiteType type) {
+  switch (type) {
+    case SiteType::kClb:
+      return "CLB";
+    case SiteType::kDsp:
+      return "DSP";
+    case SiteType::kBram:
+      return "BRAM";
+    case SiteType::kIo:
+      return "IO";
+  }
+  return "unknown";
+}
+
+Device::Device(Architecture arch, std::string name, int width, int height,
+               std::vector<int> dsp_columns, std::vector<int> bram_columns,
+               int region_cols, int region_rows)
+    : arch_(arch),
+      name_(std::move(name)),
+      width_(width),
+      height_(height),
+      dsp_columns_(std::move(dsp_columns)),
+      bram_columns_(std::move(bram_columns)) {
+  LD_REQUIRE(width_ > 0 && height_ > 0, "empty die");
+  LD_REQUIRE(width_ % region_cols == 0 && height_ % region_rows == 0,
+             "die does not tile into clock regions");
+  const int rw = width_ / region_cols;
+  const int rh = height_ / region_rows;
+  // Fig. 4(a) numbering: 1-based, left-to-right, bottom-to-top.
+  int index = 1;
+  for (int row = 0; row < region_rows; ++row) {
+    for (int col = 0; col < region_cols; ++col) {
+      regions_.push_back(ClockRegion{
+          index++, Rect{col * rw, row * rh, (col + 1) * rw - 1,
+                        (row + 1) * rh - 1}});
+    }
+  }
+}
+
+Device Device::basys3() {
+  return Device(Architecture::kSeries7, "Basys3 (XC7A35T-like)",
+                /*width=*/60, /*height=*/60,
+                /*dsp_columns=*/{16, 36, 52}, /*bram_columns=*/{8, 28, 44},
+                /*region_cols=*/2, /*region_rows=*/3);
+}
+
+Device Device::axu3egb() {
+  return Device(Architecture::kUltraScalePlus, "AXU3EGB (ZU3EG-like)",
+                /*width=*/84, /*height=*/72,
+                /*dsp_columns=*/{14, 34, 54, 74},
+                /*bram_columns=*/{8, 26, 46, 66},
+                /*region_cols=*/2, /*region_rows=*/3);
+}
+
+Device Device::aws_f1() {
+  return Device(Architecture::kUltraScalePlus, "AWS F1 (VU9P-like)",
+                /*width=*/120, /*height=*/96,
+                /*dsp_columns=*/{14, 34, 54, 74, 94, 114},
+                /*bram_columns=*/{8, 28, 48, 68, 88, 108},
+                /*region_cols=*/2, /*region_rows=*/6);
+}
+
+SiteType Device::site_type(SiteCoord p) const {
+  LD_REQUIRE(contains(p), "site (" << p.x << "," << p.y << ") outside die");
+  if (p.x == 0 || p.x == width_ - 1) return SiteType::kIo;
+  if (std::find(dsp_columns_.begin(), dsp_columns_.end(), p.x) !=
+      dsp_columns_.end()) {
+    return SiteType::kDsp;
+  }
+  if (std::find(bram_columns_.begin(), bram_columns_.end(), p.x) !=
+      bram_columns_.end()) {
+    return SiteType::kBram;
+  }
+  return SiteType::kClb;
+}
+
+const ClockRegion& Device::clock_region(int index) const {
+  LD_REQUIRE(index >= 1 && index <= static_cast<int>(regions_.size()),
+             "clock region " << index << " out of range 1.."
+                             << regions_.size());
+  return regions_[static_cast<std::size_t>(index - 1)];
+}
+
+std::vector<SiteCoord> Device::sites_of_type(SiteType type,
+                                             const Rect& rect) const {
+  LD_REQUIRE(rect.valid(), "invalid rect");
+  std::vector<SiteCoord> out;
+  const int x0 = std::max(rect.x0, 0);
+  const int y0 = std::max(rect.y0, 0);
+  const int x1 = std::min(rect.x1, width_ - 1);
+  const int y1 = std::min(rect.y1, height_ - 1);
+  for (int x = x0; x <= x1; ++x) {
+    for (int y = y0; y <= y1; ++y) {
+      const SiteCoord p{x, y};
+      if (site_type(p) == type) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::size_t Device::total_sites(SiteType type) const {
+  return sites_of_type(type, die()).size();
+}
+
+}  // namespace leakydsp::fabric

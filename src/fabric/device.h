@@ -1,0 +1,101 @@
+// FPGA device floorplan models.
+//
+// The paper evaluates on two boards: a Basys3 (Artix-7 XC7A35T, DSP48E1,
+// IDELAYE2) and an ALINX AXU3EGB (Zynq UltraScale+ ZU3EG, DSP48E2,
+// IDELAYE3). What the attack actually depends on is *geometry*: where DSP
+// columns, IO columns and clock regions sit relative to the victim and the
+// power delivery network. These models capture that geometry with a
+// simplified column-striped tile grid and the 2x3 clock-region arrangement
+// of the real parts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fabric/geometry.h"
+
+namespace leakydsp::fabric {
+
+/// DSP/IO primitive generation. Determines which hardware primitives a
+/// design may instantiate (DSP48E1+IDELAYE2 vs DSP48E2+IDELAYE3).
+enum class Architecture {
+  kSeries7,         ///< Artix-7 / 7-series (Basys3 board)
+  kUltraScalePlus,  ///< Zynq UltraScale+ (ALINX AXU3EGB board)
+};
+
+std::string to_string(Architecture arch);
+
+/// Resource type occupying one site of the grid.
+enum class SiteType {
+  kClb,   ///< Slice with LUTs, CARRY chain and FFs
+  kDsp,   ///< One DSP48 block
+  kBram,  ///< Block RAM column site
+  kIo,    ///< IO bank site (hosts IDELAY primitives)
+};
+
+std::string to_string(SiteType type);
+
+/// A rectangular clock region, indexed the way Fig. 4(a) numbers them
+/// (1-based, left-to-right then bottom-to-top).
+struct ClockRegion {
+  int index = 0;  ///< 1-based region number
+  Rect bounds;
+};
+
+/// Immutable device floorplan: a grid of typed sites partitioned into clock
+/// regions. Construct via the named factories.
+class Device {
+ public:
+  /// Basys3's XC7A35T-like floorplan: 60x60 sites, 6 clock regions (2x3),
+  /// three DSP columns, IO columns at both die edges.
+  static Device basys3();
+
+  /// AXU3EGB's ZU3EG-like floorplan: 84x72 sites, 6 clock regions, four DSP
+  /// columns. Same architecture family as the AWS EC2 F1 parts the paper
+  /// cites for cloud relevance.
+  static Device axu3egb();
+
+  /// A VU9P-like floorplan (the AWS EC2 F1 instance part [3]): a much
+  /// larger UltraScale+ die with 12 clock regions and six DSP columns —
+  /// the cloud-scale deployment target of the paper's threat model.
+  static Device aws_f1();
+
+  Architecture architecture() const { return arch_; }
+  const std::string& name() const { return name_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  Rect die() const { return Rect{0, 0, width_ - 1, height_ - 1}; }
+
+  bool contains(SiteCoord p) const { return die().contains(p); }
+
+  /// Type of the site at `p`. Throws when outside the die.
+  SiteType site_type(SiteCoord p) const;
+
+  /// All clock regions, ordered by index (1..6).
+  const std::vector<ClockRegion>& clock_regions() const { return regions_; }
+
+  /// Clock region by 1-based index; throws on bad index.
+  const ClockRegion& clock_region(int index) const;
+
+  /// Sites of a given type inside `rect` (clipped to the die).
+  std::vector<SiteCoord> sites_of_type(SiteType type, const Rect& rect) const;
+
+  /// Count of sites of a given type on the whole die.
+  std::size_t total_sites(SiteType type) const;
+
+ private:
+  Device(Architecture arch, std::string name, int width, int height,
+         std::vector<int> dsp_columns, std::vector<int> bram_columns,
+         int region_cols, int region_rows);
+
+  Architecture arch_;
+  std::string name_;
+  int width_;
+  int height_;
+  std::vector<int> dsp_columns_;
+  std::vector<int> bram_columns_;
+  std::vector<ClockRegion> regions_;
+};
+
+}  // namespace leakydsp::fabric

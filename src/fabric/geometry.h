@@ -1,0 +1,59 @@
+// Die geometry primitives: site coordinates and rectangular regions.
+// Coordinates follow the Xilinx convention: x grows rightwards, y grows
+// upwards, (0,0) is the bottom-left site.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstddef>
+
+namespace leakydsp::fabric {
+
+/// Coordinate of one site on the fabric grid.
+struct SiteCoord {
+  int x = 0;
+  int y = 0;
+
+  friend auto operator<=>(const SiteCoord&, const SiteCoord&) = default;
+};
+
+/// Euclidean distance between two sites in site units.
+inline double distance(SiteCoord a, SiteCoord b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Half-open-free inclusive rectangle [x0..x1] x [y0..y1] of sites, the
+/// shape of a Vivado Pblock range.
+struct Rect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+
+  bool valid() const { return x0 <= x1 && y0 <= y1; }
+  int width() const { return x1 - x0 + 1; }
+  int height() const { return y1 - y0 + 1; }
+  std::size_t area() const {
+    return static_cast<std::size_t>(width()) *
+           static_cast<std::size_t>(height());
+  }
+
+  bool contains(SiteCoord p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  bool overlaps(const Rect& other) const {
+    return x0 <= other.x1 && other.x0 <= x1 && y0 <= other.y1 &&
+           other.y0 <= y1;
+  }
+
+  SiteCoord center() const {
+    return SiteCoord{(x0 + x1) / 2, (y0 + y1) / 2};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace leakydsp::fabric

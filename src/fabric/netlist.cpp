@@ -1,0 +1,272 @@
+#include "fabric/netlist.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace leakydsp::fabric {
+
+std::string to_string(CellType type) {
+  switch (type) {
+    case CellType::kLut:
+      return "LUT";
+    case CellType::kFf:
+      return "FF";
+    case CellType::kCarry4:
+      return "CARRY4";
+    case CellType::kDsp48:
+      return "DSP48";
+    case CellType::kIDelay:
+      return "IDELAY";
+    case CellType::kBuf:
+      return "BUF";
+    case CellType::kPort:
+      return "PORT";
+  }
+  return "unknown";
+}
+
+namespace {
+void validate_config(CellType type, const CellConfig& config) {
+  std::visit(
+      [&](const auto& cfg) {
+        using T = std::decay_t<decltype(cfg)>;
+        if constexpr (std::is_same_v<T, LutConfig>) {
+          LD_REQUIRE(type == CellType::kLut, "LutConfig on non-LUT cell");
+          cfg.validate();
+        } else if constexpr (std::is_same_v<T, FfConfig>) {
+          LD_REQUIRE(type == CellType::kFf, "FfConfig on non-FF cell");
+        } else if constexpr (std::is_same_v<T, Carry4Config>) {
+          LD_REQUIRE(type == CellType::kCarry4,
+                     "Carry4Config on non-CARRY4 cell");
+          cfg.validate();
+        } else if constexpr (std::is_same_v<T, Dsp48Config>) {
+          LD_REQUIRE(type == CellType::kDsp48, "Dsp48Config on non-DSP cell");
+          cfg.validate();
+        } else if constexpr (std::is_same_v<T, IDelayConfig>) {
+          LD_REQUIRE(type == CellType::kIDelay,
+                     "IDelayConfig on non-IDELAY cell");
+          cfg.validate();
+        }
+      },
+      config);
+}
+}  // namespace
+
+CellId Netlist::add_cell(CellType type, std::string name, CellConfig config,
+                         std::optional<SiteCoord> site) {
+  validate_config(type, config);
+  const CellId id = cells_.size();
+  cells_.push_back(Cell{id, type, std::move(name), std::move(config), site});
+  fanout_.emplace_back();
+  fanin_.emplace_back();
+  return id;
+}
+
+void Netlist::connect(CellId driver, CellId sink) {
+  LD_REQUIRE(driver < cells_.size(), "driver id " << driver << " unknown");
+  LD_REQUIRE(sink < cells_.size(), "sink id " << sink << " unknown");
+  fanout_[driver].push_back(sink);
+  fanin_[sink].push_back(driver);
+}
+
+const Cell& Netlist::cell(CellId id) const {
+  LD_REQUIRE(id < cells_.size(), "cell id " << id << " unknown");
+  return cells_[id];
+}
+
+const std::vector<CellId>& Netlist::fanout(CellId id) const {
+  LD_REQUIRE(id < cells_.size(), "cell id " << id << " unknown");
+  return fanout_[id];
+}
+
+const std::vector<CellId>& Netlist::fanin(CellId id) const {
+  LD_REQUIRE(id < cells_.size(), "cell id " << id << " unknown");
+  return fanin_[id];
+}
+
+std::vector<CellId> Netlist::cells_of_type(CellType type) const {
+  std::vector<CellId> out;
+  for (const auto& c : cells_) {
+    if (c.type == type) out.push_back(c.id);
+  }
+  return out;
+}
+
+bool Netlist::is_combinational_through(CellId id) const {
+  const Cell& c = cell(id);
+  switch (c.type) {
+    case CellType::kLut:
+    case CellType::kCarry4:
+    case CellType::kBuf:
+    case CellType::kIDelay:
+    case CellType::kPort:
+      return true;
+    case CellType::kFf: {
+      // Edge-triggered FFs break combinational paths; transparent latches
+      // do not (while enabled), which is why scanners treat them as loops.
+      const auto* cfg = std::get_if<FfConfig>(&c.config);
+      return cfg != nullptr && cfg->is_latch;
+    }
+    case CellType::kDsp48: {
+      const auto* cfg = std::get_if<Dsp48Config>(&c.config);
+      // Without a config assume worst case (combinational). The output is
+      // only registered when PREG is instantiated.
+      if (cfg == nullptr) return true;
+      return cfg->fully_combinational() && cfg->preg == 0;
+    }
+  }
+  return true;
+}
+
+std::vector<CellId> Netlist::find_combinational_loop() const {
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(cells_.size(), Mark::kWhite);
+  std::vector<CellId> stack;
+
+  // Iterative DFS with an explicit stack; on finding a gray successor,
+  // extract the cycle from the current path.
+  struct Frame {
+    CellId id;
+    std::size_t next_child;
+  };
+
+  for (CellId root = 0; root < cells_.size(); ++root) {
+    if (mark[root] != Mark::kWhite || !is_combinational_through(root)) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    mark[root] = Mark::kGray;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& children = fanout_[f.id];
+      bool descended = false;
+      while (f.next_child < children.size()) {
+        const CellId child = children[f.next_child++];
+        if (!is_combinational_through(child)) continue;
+        if (mark[child] == Mark::kGray) {
+          // Found a cycle: everything on the stack from `child` onward.
+          auto it = std::find(stack.begin(), stack.end(), child);
+          return {it, stack.end()};
+        }
+        if (mark[child] == Mark::kWhite) {
+          mark[child] = Mark::kGray;
+          stack.push_back(child);
+          frames.push_back({child, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && !frames.empty() &&
+          frames.back().next_child >= fanout_[frames.back().id].size()) {
+        mark[frames.back().id] = Mark::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<CellId> Netlist::longest_vertical_carry_chain() const {
+  std::vector<CellId> best;
+  for (const CellId start : cells_of_type(CellType::kCarry4)) {
+    // Only consider chain heads (no CARRY4 driving this one from below).
+    bool is_head = true;
+    for (const CellId up : fanin_[start]) {
+      if (cells_[up].type == CellType::kCarry4) is_head = false;
+    }
+    if (!is_head) continue;
+    std::vector<CellId> chain{start};
+    CellId cur = start;
+    for (;;) {
+      CellId next = cur;
+      bool found = false;
+      for (const CellId cand : fanout_[cur]) {
+        if (cells_[cand].type != CellType::kCarry4) continue;
+        const auto& a = cells_[cur].site;
+        const auto& b = cells_[cand].site;
+        // "Continuous vertical area": same column, same tile row (two
+        // slices share a row) or the next row up.
+        if (a && b && b->x == a->x &&
+            (b->y == a->y || b->y == a->y + 1)) {
+          next = cand;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      chain.push_back(next);
+      cur = next;
+    }
+    if (chain.size() > best.size()) best = chain;
+  }
+  return best;
+}
+
+double cell_unit_delay_ns(const Cell& cell) {
+  switch (cell.type) {
+    case CellType::kLut:
+      return 0.12;
+    case CellType::kCarry4:
+      return 0.06;  // 4 MUXCY stages at ~15 ps each
+    case CellType::kBuf:
+      return 0.05;
+    case CellType::kIDelay: {
+      const auto* cfg = std::get_if<IDelayConfig>(&cell.config);
+      return cfg != nullptr ? cfg->delay_ns() : 0.0;
+    }
+    case CellType::kDsp48: {
+      const auto* cfg = std::get_if<Dsp48Config>(&cell.config);
+      if (cfg == nullptr || cfg->fully_combinational()) {
+        // Full pre-adder -> multiplier -> ALU async path. This is the
+        // input-side delay even when PREG captures the result.
+        return 3.5;
+      }
+      return 0.6;  // internally pipelined block: one stage per cycle
+    }
+    case CellType::kFf:
+    case CellType::kPort:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double Netlist::worst_combinational_path_ns() const {
+  // Longest path over the combinational sub-DAG via memoized DFS. Cells on
+  // a combinational loop have unbounded delay; callers run the loop check
+  // first, so here we simply skip gray revisits to stay terminating.
+  std::vector<double> memo(cells_.size(), -1.0);
+  std::vector<std::uint8_t> on_path(cells_.size(), 0);
+
+  auto longest_from = [&](auto&& self, CellId id) -> double {
+    if (memo[id] >= 0.0) return memo[id];
+    if (on_path[id]) return 0.0;  // loop guard
+    on_path[id] = 1;
+    double best_child = 0.0;
+    for (const CellId child : fanout_[id]) {
+      if (!is_combinational_through(child)) {
+        // Sequential endpoint: its input stage still adds combinational
+        // delay before the capturing register (e.g. the async datapath in
+        // front of a DSP48's PREG).
+        best_child = std::max(best_child, cell_unit_delay_ns(cells_[child]));
+        continue;
+      }
+      best_child = std::max(best_child, self(self, child));
+    }
+    on_path[id] = 0;
+    memo[id] = cell_unit_delay_ns(cells_[id]) + best_child;
+    return memo[id];
+  };
+
+  double worst = 0.0;
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    if (!is_combinational_through(id)) continue;
+    worst = std::max(worst, longest_from(longest_from, id));
+  }
+  return worst;
+}
+
+}  // namespace leakydsp::fabric

@@ -1,0 +1,96 @@
+// Structural netlist: typed cells connected by directed nets, with optional
+// placement. This is the level of abstraction a cloud provider's bitstream
+// scanner works at — enough structure to find combinational loops, latches,
+// long vertical carry chains, and asynchronous DSP configurations.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fabric/geometry.h"
+#include "fabric/primitives.h"
+
+namespace leakydsp::fabric {
+
+enum class CellType {
+  kLut,
+  kFf,
+  kCarry4,
+  kDsp48,
+  kIDelay,
+  kBuf,   ///< clock/signal buffer
+  kPort,  ///< top-level input/output
+};
+
+std::string to_string(CellType type);
+
+/// Per-cell primitive configuration (when the type carries one).
+using CellConfig = std::variant<std::monostate, LutConfig, FfConfig,
+                                Carry4Config, Dsp48Config, IDelayConfig>;
+
+using CellId = std::size_t;
+
+/// One leaf cell of the design.
+struct Cell {
+  CellId id = 0;
+  CellType type = CellType::kLut;
+  std::string name;
+  CellConfig config;
+  std::optional<SiteCoord> site;  ///< set when placement is constrained
+};
+
+/// Directed structural netlist.
+class Netlist {
+ public:
+  /// Adds a cell and returns its id. Validates any embedded config.
+  CellId add_cell(CellType type, std::string name, CellConfig config = {},
+                  std::optional<SiteCoord> site = std::nullopt);
+
+  /// Connects driver -> sink. Self-connections are allowed structurally
+  /// (that is exactly what a 1-LUT ring oscillator is) and are caught by the
+  /// checker, not the builder.
+  void connect(CellId driver, CellId sink);
+
+  std::size_t cell_count() const { return cells_.size(); }
+  const Cell& cell(CellId id) const;
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  const std::vector<CellId>& fanout(CellId id) const;
+  const std::vector<CellId>& fanin(CellId id) const;
+
+  /// Cells of a given type, in id order.
+  std::vector<CellId> cells_of_type(CellType type) const;
+
+  /// True when signal entering this cell can propagate to its outputs
+  /// without waiting for a clock edge: LUTs, carry chains, buffers, IDELAY
+  /// lines, transparent latches and fully-combinational DSP blocks.
+  bool is_combinational_through(CellId id) const;
+
+  /// Finds one combinational cycle if any exists (cells on the cycle, in
+  /// order); empty when the design is loop-free through registers.
+  std::vector<CellId> find_combinational_loop() const;
+
+  /// Longest run of CARRY4 cells connected in fanout order and placed at
+  /// vertically consecutive sites in the same column. Returns the cell ids
+  /// of the longest such chain.
+  std::vector<CellId> longest_vertical_carry_chain() const;
+
+  /// Estimated worst combinational path delay [ns] using per-type unit
+  /// delays; a crude static timing analysis used by the checker's timing
+  /// rule. Returns 0 for an empty design.
+  double worst_combinational_path_ns() const;
+
+ private:
+  std::vector<Cell> cells_;
+  std::vector<std::vector<CellId>> fanout_;
+  std::vector<std::vector<CellId>> fanin_;
+};
+
+/// Unit combinational delay assumed for a cell type by the checker's static
+/// timing estimate [ns].
+double cell_unit_delay_ns(const Cell& cell);
+
+}  // namespace leakydsp::fabric

@@ -1,0 +1,99 @@
+#include "fabric/netlist_builders.h"
+
+#include <string>
+
+#include "util/contracts.h"
+
+namespace leakydsp::fabric {
+
+Netlist build_leakydsp_netlist(Architecture arch, std::size_t n_dsp) {
+  LD_REQUIRE(n_dsp >= 1, "LeakyDSP needs at least one DSP block");
+  Netlist nl;
+
+  const CellId clk_in = nl.add_cell(CellType::kPort, "clk_in");
+  const CellId idelay_a = nl.add_cell(CellType::kIDelay, "idelay_a",
+                                      IDelayConfig{arch, 0});
+  const CellId idelay_clk = nl.add_cell(CellType::kIDelay, "idelay_clk",
+                                        IDelayConfig{arch, 0});
+  nl.connect(clk_in, idelay_a);
+  nl.connect(clk_in, idelay_clk);
+
+  CellId prev = idelay_a;
+  for (std::size_t i = 0; i < n_dsp; ++i) {
+    const bool first = i == 0;
+    const bool last = i + 1 == n_dsp;
+    const CellId dsp = nl.add_cell(
+        CellType::kDsp48, "dsp" + std::to_string(i),
+        Dsp48Config::leaky_identity(arch, first, last));
+    nl.connect(prev, dsp);
+    prev = dsp;
+  }
+
+  // Capture register bank on the final P output (the PREG inside the last
+  // DSP is modeled structurally as an FF sink fed by the delayed clock).
+  const CellId capture = nl.add_cell(CellType::kFf, "p_capture",
+                                     FfConfig{/*is_latch=*/false});
+  nl.connect(prev, capture);
+  nl.connect(idelay_clk, capture);
+
+  const CellId out = nl.add_cell(CellType::kPort, "readout");
+  nl.connect(capture, out);
+  return nl;
+}
+
+Netlist build_tdc_netlist(std::size_t carry4_count, int column,
+                          int first_row) {
+  LD_REQUIRE(carry4_count >= 1, "TDC needs at least one CARRY4");
+  Netlist nl;
+
+  const CellId clk_in = nl.add_cell(CellType::kPort, "clk_in");
+  // Coarse initial delay built from LUTs.
+  CellId prev = clk_in;
+  for (int i = 0; i < 16; ++i) {
+    const CellId lut = nl.add_cell(
+        CellType::kLut, "init_delay" + std::to_string(i),
+        LutConfig{/*inputs=*/1, /*init=*/0x2});  // identity buffer LUT
+    nl.connect(prev, lut);
+    prev = lut;
+  }
+
+  // Vertically continuous carry chain; two slices (CARRY4s) per tile row,
+  // each CARRY4 output sampled by an FF in the same slice.
+  for (std::size_t i = 0; i < carry4_count; ++i) {
+    const int row = first_row + static_cast<int>(i / 2);
+    const CellId carry = nl.add_cell(
+        CellType::kCarry4, "carry" + std::to_string(i), Carry4Config{4},
+        SiteCoord{column, row});
+    nl.connect(prev, carry);
+    const CellId ff = nl.add_cell(
+        CellType::kFf, "sample_ff" + std::to_string(i),
+        FfConfig{/*is_latch=*/false}, SiteCoord{column, row});
+    nl.connect(carry, ff);
+    prev = carry;
+  }
+  return nl;
+}
+
+Netlist build_ro_netlist(std::size_t count) {
+  LD_REQUIRE(count >= 1, "RO design needs at least one instance");
+  Netlist nl;
+  const CellId enable = nl.add_cell(CellType::kPort, "enable");
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string suffix = std::to_string(i);
+    // AND(enable, feedback) -> inverter -> back to AND: the combinational
+    // loop every RO-based design contains.
+    const CellId and_gate = nl.add_cell(
+        CellType::kLut, "and" + suffix, LutConfig{/*inputs=*/2, /*init=*/0x8});
+    const CellId inverter = nl.add_cell(
+        CellType::kLut, "inv" + suffix, LutConfig{/*inputs=*/1, /*init=*/0x1});
+    const CellId counter_ff = nl.add_cell(CellType::kFf, "count_ff" + suffix,
+                                          FfConfig{/*is_latch=*/false});
+    nl.connect(enable, and_gate);
+    nl.connect(and_gate, inverter);
+    nl.connect(inverter, and_gate);  // closes the loop
+    nl.connect(inverter, counter_ff);
+  }
+  return nl;
+}
+
+}  // namespace leakydsp::fabric

@@ -1,0 +1,31 @@
+// Structural netlists of the three sensor families the paper discusses,
+// used to demonstrate which bitstream checks each design trips. The
+// functional/timing behaviour of the sensors lives in src/sensors and
+// src/core; these builders only describe their structure.
+#pragma once
+
+#include <cstddef>
+
+#include "fabric/device.h"
+#include "fabric/netlist.h"
+
+namespace leakydsp::fabric {
+
+/// LeakyDSP sensor structure (Fig. 2): `n_dsp` cascaded DSP48 blocks in the
+/// malicious identity configuration (all internal registers bypassed,
+/// output register only on the last block), two IDELAY lines on the input
+/// signal and capture clock, and a capture FF bank on the final P output.
+Netlist build_leakydsp_netlist(Architecture arch, std::size_t n_dsp);
+
+/// Classic TDC sensor [11]: a LUT-based initial delay line followed by
+/// `carry4_count` CARRY4 cells placed in one vertically continuous column,
+/// each output sampled by an FF in the same slice.
+Netlist build_tdc_netlist(std::size_t carry4_count, int column,
+                          int first_row);
+
+/// Ring-oscillator power virus / RO sensor cell, repeated `count` times:
+/// a single inverter LUT closed on itself through an AND enable gate, with
+/// an FF counting transitions. Contains `count` combinational loops.
+Netlist build_ro_netlist(std::size_t count);
+
+}  // namespace leakydsp::fabric

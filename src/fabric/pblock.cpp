@@ -1,0 +1,29 @@
+#include "fabric/pblock.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::fabric {
+
+void validate_floorplan(const Device& device,
+                        const std::vector<Pblock>& pblocks) {
+  for (const auto& pb : pblocks) {
+    LD_REQUIRE(pb.range.valid(), "Pblock '" << pb.name << "' has an empty range");
+    LD_REQUIRE(device.contains(SiteCoord{pb.range.x0, pb.range.y0}) &&
+                   device.contains(SiteCoord{pb.range.x1, pb.range.y1}),
+               "Pblock '" << pb.name << "' extends outside the die");
+  }
+  for (std::size_t i = 0; i < pblocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < pblocks.size(); ++j) {
+      LD_REQUIRE(!pblocks[i].range.overlaps(pblocks[j].range),
+                 "Pblocks '" << pblocks[i].name << "' and '"
+                             << pblocks[j].name << "' overlap");
+    }
+  }
+}
+
+std::size_t capacity(const Device& device, const Pblock& pblock,
+                     SiteType type) {
+  return device.sites_of_type(type, pblock.range).size();
+}
+
+}  // namespace leakydsp::fabric

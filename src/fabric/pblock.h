@@ -1,0 +1,30 @@
+// Tenant placement constraints (Vivado Pblocks). In the paper's threat
+// model each tenant receives a physically separate region; the provider
+// validates that tenant Pblocks stay inside the die and do not overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/geometry.h"
+
+namespace leakydsp::fabric {
+
+/// A named rectangular placement constraint owned by one tenant.
+struct Pblock {
+  std::string name;
+  Rect range;
+};
+
+/// Validates a tenant floorplan against a device: every Pblock must lie
+/// inside the die and Pblocks of *different* tenants must not overlap.
+/// Throws util::PreconditionError describing the first violation.
+void validate_floorplan(const Device& device,
+                        const std::vector<Pblock>& pblocks);
+
+/// Number of sites of `type` available to a Pblock on `device`.
+std::size_t capacity(const Device& device, const Pblock& pblock,
+                     SiteType type);
+
+}  // namespace leakydsp::fabric

@@ -1,0 +1,108 @@
+#include "fabric/primitives.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::fabric {
+
+Dsp48Widths dsp48_widths(Architecture arch) {
+  Dsp48Widths w;
+  if (arch == Architecture::kUltraScalePlus) {
+    w.a_mult_bits = 27;  // DSP48E2 widens the multiplier operand
+    w.d_bits = 27;
+  }
+  return w;
+}
+
+void Dsp48Config::validate() const {
+  auto check_reg = [](int v, const char* name) {
+    LD_REQUIRE(v >= 0 && v <= 2, "DSP48 " << name << " register depth " << v
+                                          << " outside 0..2");
+  };
+  check_reg(areg, "AREG");
+  check_reg(breg, "BREG");
+  check_reg(creg, "CREG");
+  check_reg(dreg, "DREG");
+  check_reg(adreg, "ADREG");
+  check_reg(mreg, "MREG");
+  check_reg(preg, "PREG");
+  const auto w = dsp48_widths(arch);
+  LD_REQUIRE(static_b >= -(1LL << (w.b_bits - 1)) &&
+                 static_b < (1LL << (w.b_bits - 1)),
+             "static B value " << static_b << " exceeds " << w.b_bits
+                               << "-bit port");
+  LD_REQUIRE(static_d >= -(1LL << (w.d_bits - 1)) &&
+                 static_d < (1LL << (w.d_bits - 1)),
+             "static D value " << static_d << " exceeds " << w.d_bits
+                               << "-bit port");
+  LD_REQUIRE(!(cascade_in && use_preadder && static_d != 0),
+             "cascaded input combined with a non-zero pre-adder constant "
+             "changes the propagated word");
+}
+
+Dsp48Config Dsp48Config::leaky_identity(Architecture arch, bool first_in_chain,
+                                        bool last_in_chain) {
+  Dsp48Config cfg;
+  cfg.arch = arch;
+  cfg.use_preadder = true;
+  cfg.use_multiplier = true;
+  cfg.alu_op = DspAluOp::kAdd;
+  cfg.z_source = DspZSource::kZero;
+  cfg.static_d = 0;  // pre-adder: A + 0
+  cfg.static_b = 1;  // multiplier: (A + 0) * 1
+  cfg.static_c = 0;  // ALU: (A + 0) * 1 + 0
+  cfg.cascade_in = !first_in_chain;
+  cfg.cascade_out = !last_in_chain;
+  cfg.preg = last_in_chain ? 1 : 0;  // capture register only at chain end
+  cfg.validate();
+  return cfg;
+}
+
+Dsp48Config Dsp48Config::pipelined_macc(Architecture arch) {
+  Dsp48Config cfg;
+  cfg.arch = arch;
+  cfg.use_preadder = false;
+  cfg.alu_op = DspAluOp::kAdd;
+  cfg.z_source = DspZSource::kP;  // accumulate
+  cfg.areg = 1;
+  cfg.breg = 1;
+  cfg.mreg = 1;
+  cfg.preg = 1;
+  cfg.validate();
+  return cfg;
+}
+
+IDelayTaps idelay_taps(Architecture arch) {
+  IDelayTaps t;
+  if (arch == Architecture::kUltraScalePlus) {
+    // IDELAYE3 in COUNT mode: finer pitch, ~55 ps/tap equivalent here.
+    t.tap_ps = 55.0;
+  }
+  return t;
+}
+
+void IDelayConfig::validate() const {
+  const auto t = idelay_taps(arch);
+  LD_REQUIRE(taps >= 0 && taps < t.tap_count,
+             "IDELAY tap " << taps << " outside 0.." << t.tap_count - 1);
+}
+
+double IDelayConfig::delay_ns() const {
+  validate();
+  return static_cast<double>(taps) * idelay_taps(arch).tap_ps * 1e-3;
+}
+
+void Carry4Config::validate() const {
+  LD_REQUIRE(stages_used >= 1 && stages_used <= 4,
+             "CARRY4 stages_used " << stages_used << " outside 1..4");
+}
+
+void LutConfig::validate() const {
+  LD_REQUIRE(inputs >= 1 && inputs <= 6, "LUT inputs " << inputs
+                                                       << " outside 1..6");
+  if (inputs < 6) {
+    LD_REQUIRE(init < (1ULL << (1U << inputs)),
+               "LUT INIT wider than 2^" << (1 << inputs) << " truth table");
+  }
+}
+
+}  // namespace leakydsp::fabric

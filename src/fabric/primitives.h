@@ -1,0 +1,147 @@
+// Configuration records for the hardware primitives the paper's designs
+// instantiate: DSP48E1/E2 blocks, IDELAYE2/E3 delay lines, CARRY4 chains,
+// LUTs and flip-flops. These records are what a (simplified) bitstream
+// encodes; the bitstream checker reasons over them, and the sensor models
+// interpret them functionally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fabric/device.h"
+
+namespace leakydsp::fabric {
+
+/// DSP48 datapath widths for an architecture generation.
+struct Dsp48Widths {
+  int a_bits = 30;     ///< Full A input width
+  int a_mult_bits = 25;  ///< Bits of A feeding the pre-adder/multiplier
+  int b_bits = 18;
+  int c_bits = 48;
+  int d_bits = 25;
+  int p_bits = 48;
+};
+
+/// Widths for DSP48E1 (7-series) or DSP48E2 (UltraScale+). The E2 widens
+/// the multiplier operand from 25 to 27 bits.
+Dsp48Widths dsp48_widths(Architecture arch);
+
+/// ALU (third stage) operation selection, a simplification of ALUMODE.
+enum class DspAluOp : std::uint8_t {
+  kAdd,       ///< Z + X + Y (ALUMODE 0000)
+  kSubtract,  ///< Z - (X + Y) (ALUMODE 0011)
+  kXor,       ///< bitwise logic mode
+};
+
+/// Z-multiplexer source for the ALU input (simplified OPMODE Z field).
+enum class DspZSource : std::uint8_t {
+  kZero,  ///< constant 0
+  kC,     ///< C port
+  kPcin,  ///< cascade input from the previous DSP block
+  kP,     ///< previous P output (accumulator feedback)
+};
+
+/// Configuration of one DSP48 block.
+///
+/// The pipeline register fields mirror the primitive's AREG/BREG/.../PREG
+/// attributes: 0 bypasses the register, making that stage combinational.
+/// LeakyDSP's malicious function bypasses *every* internal register so the
+/// pre-adder -> multiplier -> ALU path is one long asynchronous chain, and
+/// only instantiates PREG on the last cascaded block to capture the result.
+struct Dsp48Config {
+  Architecture arch = Architecture::kSeries7;
+
+  bool use_preadder = true;   ///< INMODE selects (D + A) into the multiplier
+  bool use_multiplier = true;
+  DspAluOp alu_op = DspAluOp::kAdd;
+  DspZSource z_source = DspZSource::kZero;
+
+  // Static operand values driven from constants (the paper ties D=0, B=1,
+  // C=0 so the block computes P = (A + 0) * 1 + 0 = A).
+  std::int64_t static_d = 0;
+  std::int64_t static_b = 1;
+  std::int64_t static_c = 0;
+
+  // Pipeline register depths (0 = bypass). Real attribute ranges are 0..2;
+  // validate() enforces that.
+  int areg = 0;
+  int breg = 0;
+  int creg = 0;
+  int dreg = 0;
+  int adreg = 0;  ///< pre-adder output register
+  int mreg = 0;   ///< multiplier output register
+  int preg = 0;   ///< output register
+
+  bool cascade_in = false;   ///< A driven from previous block's P (lower bits)
+  bool cascade_out = false;  ///< P feeds the next block
+
+  /// True when no internal pipeline register is instantiated, i.e. the
+  /// block's output responds asynchronously to its inputs. This is the
+  /// property the paper's proposed DSP-configuration check would flag.
+  bool fully_combinational() const {
+    return areg == 0 && breg == 0 && creg == 0 && dreg == 0 && adreg == 0 &&
+           mreg == 0;
+  }
+
+  /// Throws when a field is outside the primitive's legal attribute range.
+  void validate() const;
+
+  /// The paper's malicious identity function P = A (Section III-B):
+  /// pre-adder adds constant 0, multiplier multiplies by constant 1, ALU
+  /// adds constant 0; all internal registers bypassed. `last_in_chain`
+  /// instantiates PREG so the final block captures the propagating value.
+  static Dsp48Config leaky_identity(Architecture arch, bool first_in_chain,
+                                    bool last_in_chain);
+
+  /// A benign, fully pipelined multiply-accumulate configuration (what an
+  /// honest filter kernel looks like); used as a checker control case.
+  static Dsp48Config pipelined_macc(Architecture arch);
+};
+
+/// IDELAY tap-line parameters for an architecture generation. Both
+/// generations provide 32 taps; the tap pitch differs. The total adjustable
+/// range must cover half the connected clock period for the paper's
+/// calibration sweep (300 MHz -> T/2 = 1.667 ns).
+struct IDelayTaps {
+  int tap_count = 32;
+  double tap_ps = 78.0;
+};
+
+/// IDELAYE2 (7-series, 78 ps/tap) or IDELAYE3 (UltraScale+, finer pitch).
+IDelayTaps idelay_taps(Architecture arch);
+
+/// Runtime configuration of one IDELAY primitive in VAR_LOAD mode.
+struct IDelayConfig {
+  Architecture arch = Architecture::kSeries7;
+  int taps = 0;  ///< current tap setting, 0 .. tap_count-1
+
+  void validate() const;
+  double delay_ns() const;
+};
+
+/// A CARRY4 element: 4 mux-cascade stages per slice, the delay unit of TDC
+/// sensors. `stages_used` is how many of the 4 MUXCY outputs the design
+/// taps.
+struct Carry4Config {
+  int stages_used = 4;
+  void validate() const;
+};
+
+/// LUT configuration: truth table plus input count. `is_inverter()` is what
+/// combinational-loop scanners look for when hunting ring oscillators.
+struct LutConfig {
+  int inputs = 1;
+  std::uint64_t init = 0x1;  ///< truth table bits (INIT attribute)
+
+  void validate() const;
+
+  /// True when the LUT computes NOT of its single used input.
+  bool is_inverter() const { return inputs == 1 && (init & 0x3) == 0x1; }
+};
+
+/// Flip-flop configuration (capture register).
+struct FfConfig {
+  bool is_latch = false;  ///< transparent latch (LDCE) vs edge FF (FDRE)
+};
+
+}  // namespace leakydsp::fabric

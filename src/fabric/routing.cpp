@@ -1,0 +1,74 @@
+#include "fabric/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace leakydsp::fabric {
+
+int manhattan_hops(SiteCoord a, SiteCoord b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+double route_delay_ns(SiteCoord a, SiteCoord b, RoutingParams params) {
+  LD_REQUIRE(params.base_ns >= 0.0 && params.per_hop_ns >= 0.0,
+             "negative routing delay parameters");
+  LD_REQUIRE(params.express_discount > 0.0 && params.express_discount <= 1.0,
+             "express discount out of (0, 1]");
+  LD_REQUIRE(params.local_hops >= 0, "negative local hop count");
+  const int hops = manhattan_hops(a, b);
+  // Monotone concave cost: the first hops use local switch boxes at full
+  // price, the remainder rides express (hex/long) lines at a discount.
+  const int local = std::min(hops, params.local_hops);
+  const int express = hops - local;
+  return params.base_ns +
+         params.per_hop_ns * (static_cast<double>(local) +
+                              params.express_discount *
+                                  static_cast<double>(express));
+}
+
+double worst_path_with_routing_ns(const Netlist& design,
+                                  RoutingParams params) {
+  // Memoized longest-path DFS over the combinational sub-DAG, with edge
+  // weights from placement (same traversal discipline as the cell-only
+  // estimate in Netlist::worst_combinational_path_ns).
+  std::vector<double> memo(design.cell_count(), -1.0);
+  std::vector<std::uint8_t> on_path(design.cell_count(), 0);
+
+  auto edge_delay = [&](CellId from, CellId to) {
+    const auto& a = design.cell(from).site;
+    const auto& b = design.cell(to).site;
+    if (a && b) return route_delay_ns(*a, *b, params);
+    return params.base_ns;
+  };
+
+  auto longest_from = [&](auto&& self, CellId id) -> double {
+    if (memo[id] >= 0.0) return memo[id];
+    if (on_path[id]) return 0.0;  // loop guard
+    on_path[id] = 1;
+    double best_child = 0.0;
+    for (const CellId child : design.fanout(id)) {
+      const double wire = edge_delay(id, child);
+      if (!design.is_combinational_through(child)) {
+        best_child = std::max(
+            best_child, wire + cell_unit_delay_ns(design.cell(child)));
+        continue;
+      }
+      best_child = std::max(best_child, wire + self(self, child));
+    }
+    on_path[id] = 0;
+    memo[id] = cell_unit_delay_ns(design.cell(id)) + best_child;
+    return memo[id];
+  };
+
+  double worst = 0.0;
+  for (CellId id = 0; id < design.cell_count(); ++id) {
+    if (!design.is_combinational_through(id)) continue;
+    worst = std::max(worst, longest_from(longest_from, id));
+  }
+  return worst;
+}
+
+}  // namespace leakydsp::fabric

@@ -1,0 +1,34 @@
+// Routing-delay estimation: interconnect delay between placed sites,
+// modeled as switch-box hops along the Manhattan path. Used by the
+// bitstream checker's placement-aware timing estimate and by the RDS
+// sensor family, whose entire sensing element *is* routing delay.
+#pragma once
+
+#include "fabric/geometry.h"
+#include "fabric/netlist.h"
+
+namespace leakydsp::fabric {
+
+/// Per-hop interconnect timing parameters.
+struct RoutingParams {
+  double base_ns = 0.08;     ///< entry/exit overhead of any routed net
+  double per_hop_ns = 0.055; ///< one local switch-box hop (one site pitch)
+  /// Hops beyond `local_hops` ride express (hex/long) lines at this
+  /// fraction of the local per-hop cost.
+  double express_discount = 0.45;
+  int local_hops = 4;        ///< hops before the router reaches a long line
+};
+
+/// Manhattan hop count between two sites.
+int manhattan_hops(SiteCoord a, SiteCoord b);
+
+/// Estimated routing delay between two placed sites [ns].
+double route_delay_ns(SiteCoord a, SiteCoord b, RoutingParams params = {});
+
+/// Placement-aware worst combinational path [ns]: cell delays (as in
+/// Netlist::worst_combinational_path_ns) plus routing delay between placed
+/// cells. Unplaced endpoints contribute the base routing overhead only.
+double worst_path_with_routing_ns(const Netlist& design,
+                                  RoutingParams params = {});
+
+}  // namespace leakydsp::fabric

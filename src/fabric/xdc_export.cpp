@@ -1,0 +1,72 @@
+#include "fabric/xdc_export.h"
+
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace leakydsp::fabric {
+
+std::string site_name(SiteType type, SiteCoord site) {
+  std::ostringstream oss;
+  switch (type) {
+    case SiteType::kDsp:
+      oss << "DSP48_X" << site.x << "Y" << site.y;
+      break;
+    case SiteType::kClb:
+      oss << "SLICE_X" << site.x << "Y" << site.y;
+      break;
+    case SiteType::kBram:
+      oss << "RAMB36_X" << site.x << "Y" << site.y;
+      break;
+    case SiteType::kIo:
+      oss << "IDELAY_X" << site.x << "Y" << site.y;
+      break;
+  }
+  return oss.str();
+}
+
+std::string xdc_pblock(const Pblock& pblock,
+                       const std::string& cell_pattern) {
+  LD_REQUIRE(!pblock.name.empty(), "pblock needs a name");
+  LD_REQUIRE(pblock.range.valid(), "pblock range invalid");
+  std::ostringstream oss;
+  oss << "create_pblock " << pblock.name << "\n"
+      << "resize_pblock " << pblock.name << " -add {SLICE_X"
+      << pblock.range.x0 << "Y" << pblock.range.y0 << ":SLICE_X"
+      << pblock.range.x1 << "Y" << pblock.range.y1 << "}\n"
+      << "add_cells_to_pblock " << pblock.name << " [get_cells -hierarchical "
+      << cell_pattern << "]\n"
+      << "set_property CONTAIN_ROUTING true [get_pblocks " << pblock.name
+      << "]\n";
+  return oss.str();
+}
+
+std::string xdc_locs(const std::vector<LocConstraint>& constraints) {
+  std::ostringstream oss;
+  for (const auto& c : constraints) {
+    LD_REQUIRE(!c.cell_name.empty(), "LOC constraint needs a cell name");
+    oss << "set_property LOC " << site_name(c.site_type, c.site)
+        << " [get_cells " << c.cell_name << "]\n";
+  }
+  return oss.str();
+}
+
+std::string xdc_file(const Device& device,
+                     const std::vector<Pblock>& pblocks,
+                     const std::vector<std::string>& cell_patterns,
+                     const std::vector<LocConstraint>& locs) {
+  LD_REQUIRE(pblocks.size() == cell_patterns.size(),
+             "one cell pattern per pblock");
+  validate_floorplan(device, pblocks);
+  std::ostringstream oss;
+  oss << "# LeakyDSP tenant constraints for " << device.name() << "\n"
+      << "# " << to_string(device.architecture()) << ", " << device.width()
+      << "x" << device.height() << " sites\n\n";
+  for (std::size_t i = 0; i < pblocks.size(); ++i) {
+    oss << xdc_pblock(pblocks[i], cell_patterns[i]) << "\n";
+  }
+  oss << xdc_locs(locs);
+  return oss.str();
+}
+
+}  // namespace leakydsp::fabric

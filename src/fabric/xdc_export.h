@@ -1,0 +1,40 @@
+// Vivado-style constraint (XDC) emission: turns the simulation's Pblocks
+// and primitive placements into the `create_pblock` / `resize_pblock` /
+// `set_property LOC` lines a tenant would hand to the real toolchain. The
+// artifact-facing edge of the model — the generated text is what the
+// paper's released flow feeds to Vivado 2020.1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/geometry.h"
+#include "fabric/pblock.h"
+
+namespace leakydsp::fabric {
+
+/// One placed primitive to constrain.
+struct LocConstraint {
+  std::string cell_name;   ///< hierarchical cell name
+  SiteType site_type;      ///< DSP48 / SLICE site prefix
+  SiteCoord site;          ///< grid location
+};
+
+/// Vivado site-name prefix for a resource type ("DSP48_X#Y#", "SLICE_X#Y#").
+std::string site_name(SiteType type, SiteCoord site);
+
+/// Emits a pblock block: create_pblock, resize_pblock with a SLICE range,
+/// and add_cells_to_pblock for `cell_pattern`.
+std::string xdc_pblock(const Pblock& pblock, const std::string& cell_pattern);
+
+/// Emits `set_property LOC <site> [get_cells <name>]` lines.
+std::string xdc_locs(const std::vector<LocConstraint>& constraints);
+
+/// Complete constraint file for a tenant: header comment, pblocks, LOCs.
+std::string xdc_file(const Device& device,
+                     const std::vector<Pblock>& pblocks,
+                     const std::vector<std::string>& cell_patterns,
+                     const std::vector<LocConstraint>& locs);
+
+}  // namespace leakydsp::fabric

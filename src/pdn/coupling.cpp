@@ -1,0 +1,33 @@
+#include "pdn/coupling.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::pdn {
+
+SensorCoupling::SensorCoupling(const PdnGrid& grid,
+                               fabric::SiteCoord sensor_site)
+    : grid_(grid),
+      sensor_site_(sensor_site),
+      sensor_node_(grid.node_of_site(sensor_site)),
+      gains_(grid.transfer_gains(sensor_node_)) {}
+
+double SensorCoupling::gain_at(fabric::SiteCoord site) const {
+  return gains_[grid_.node_of_site(site)];
+}
+
+double SensorCoupling::gain_at_node(std::size_t node) const {
+  LD_REQUIRE(node < gains_.size(), "node " << node << " out of range");
+  return gains_[node];
+}
+
+double SensorCoupling::droop_for(
+    std::span<const CurrentInjection> draws) const {
+  double droop = 0.0;
+  for (const auto& d : draws) {
+    LD_REQUIRE(d.node < gains_.size(), "draw at unknown node " << d.node);
+    droop += gains_[d.node] * d.current;
+  }
+  return droop;
+}
+
+}  // namespace leakydsp::pdn

@@ -1,0 +1,60 @@
+#include "pdn/droop_filter.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/contracts.h"
+
+namespace leakydsp::pdn {
+
+DroopFilter::DroopFilter(DroopDynamics dynamics, double sample_period_ns)
+    : dt_ns_(sample_period_ns) {
+  LD_REQUIRE(sample_period_ns > 0.0, "sample period must be positive");
+  LD_REQUIRE(dynamics.resonance_mhz > 0.0, "resonance must be positive");
+  LD_REQUIRE(dynamics.damping > 0.0 && dynamics.damping < 2.0,
+             "damping ratio " << dynamics.damping << " out of range");
+
+  // Bilinear transform of H(s) = w0^2 / (s^2 + 2 zeta w0 s + w0^2).
+  const double w0 =
+      2.0 * std::numbers::pi * dynamics.resonance_mhz * 1e6;  // rad/s
+  const double dt_s = sample_period_ns * 1e-9;
+  const double k = 2.0 / dt_s;  // pre-warp-free bilinear constant
+  const double zeta = dynamics.damping;
+
+  const double a0 = k * k + 2.0 * zeta * w0 * k + w0 * w0;
+  b0_ = w0 * w0 / a0;
+  b1_ = 2.0 * b0_;
+  b2_ = b0_;
+  a1_ = (2.0 * w0 * w0 - 2.0 * k * k) / a0;
+  a2_ = (k * k - 2.0 * zeta * w0 * k + w0 * w0) / a0;
+}
+
+double DroopFilter::step(double input) {
+  // Direct-form II transposed.
+  const double out = b0_ * input + s1_;
+  s1_ = b1_ * input - a1_ * out + s2_;
+  s2_ = b2_ * input - a2_ * out;
+  return out;
+}
+
+void DroopFilter::reset() {
+  s1_ = 0.0;
+  s2_ = 0.0;
+}
+
+AmbientNoise::AmbientNoise(double sigma_v, double correlation_ns,
+                           double sample_period_ns)
+    : sigma_(sigma_v) {
+  LD_REQUIRE(sigma_v >= 0.0, "negative noise sigma");
+  LD_REQUIRE(correlation_ns > 0.0, "correlation time must be positive");
+  LD_REQUIRE(sample_period_ns > 0.0, "sample period must be positive");
+  rho_ = std::exp(-sample_period_ns / correlation_ns);
+  innovation_sigma_ = sigma_ * std::sqrt(1.0 - rho_ * rho_);
+}
+
+double AmbientNoise::step(util::Rng& rng) {
+  state_ = rho_ * state_ + rng.gaussian(0.0, innovation_sigma_);
+  return state_;
+}
+
+}  // namespace leakydsp::pdn

@@ -1,0 +1,68 @@
+// Temporal shaping of supply droop.
+//
+// The package + die PDN behaves like an underdamped 2nd-order system: a
+// current step excites the well-known "first droop" resonance in the tens
+// of MHz. We model it as a unit-DC-gain 2nd-order lowpass (bilinear
+// transform biquad) applied to the spatially-resolved static droop — the
+// standard factorization of an LTI network into a spatial gain and a
+// temporal response.
+//
+// Ambient supply noise (regulator ripple, other tenants) rides on top as a
+// first-order autoregressive process.
+#pragma once
+
+#include "util/rng.h"
+
+namespace leakydsp::pdn {
+
+/// Parameters of the 2nd-order droop response.
+struct DroopDynamics {
+  double resonance_mhz = 20.0;  ///< first-droop resonance frequency
+  double damping = 0.35;        ///< damping ratio zeta (underdamped < 1)
+};
+
+/// Discrete-time 2nd-order lowpass with unit DC gain, bilinear-transform
+/// discretization at a fixed sample period.
+class DroopFilter {
+ public:
+  DroopFilter(DroopDynamics dynamics, double sample_period_ns);
+
+  /// Processes one input sample (static droop) and returns the dynamic
+  /// droop seen at the sensor.
+  double step(double input);
+
+  /// Clears internal state (e.g. between traces when idling long enough).
+  void reset();
+
+  /// Steady-state output for a constant input (== input: unit DC gain).
+  double dc_gain() const { return 1.0; }
+
+  double sample_period_ns() const { return dt_ns_; }
+
+ private:
+  double dt_ns_;
+  // Direct-form II transposed coefficients.
+  double b0_, b1_, b2_, a1_, a2_;
+  double s1_ = 0.0, s2_ = 0.0;
+};
+
+/// First-order autoregressive ambient noise: v[n] = rho v[n-1] + w[n],
+/// scaled so the stationary standard deviation equals sigma_v.
+class AmbientNoise {
+ public:
+  AmbientNoise(double sigma_v, double correlation_ns, double sample_period_ns);
+
+  double step(util::Rng& rng);
+  void reset() { state_ = 0.0; }
+
+  double sigma() const { return sigma_; }
+  double rho() const { return rho_; }
+
+ private:
+  double sigma_;
+  double rho_;
+  double innovation_sigma_;
+  double state_ = 0.0;
+};
+
+}  // namespace leakydsp::pdn

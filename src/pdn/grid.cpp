@@ -1,0 +1,121 @@
+#include "pdn/grid.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::pdn {
+
+namespace {
+int node_dim(int sites, int pitch) { return (sites + pitch - 1) / pitch; }
+}  // namespace
+
+PdnGrid::PdnGrid(const fabric::Device& device, PdnParams params)
+    : params_(params),
+      nx_(node_dim(device.width(), params.node_pitch)),
+      ny_(node_dim(device.height(), params.node_pitch)),
+      g_(static_cast<std::size_t>(node_dim(device.width(), params.node_pitch)) *
+         node_dim(device.height(), params.node_pitch)) {
+  LD_REQUIRE(params_.node_pitch >= 1, "node pitch must be >= 1");
+  LD_REQUIRE(params_.neighbor_conductance > 0.0 &&
+                 params_.pad_conductance > 0.0,
+             "conductances must be positive");
+  LD_REQUIRE(params_.bottom_pad_stride >= 1 && params_.top_pad_stride >= 1,
+             "pad strides must be >= 1");
+
+  // Pad layout: bottom row (dense), top row (sparse), one left column.
+  pad_.assign(node_count(), false);
+  for (int ix = 0; ix < nx_; ix += params_.bottom_pad_stride) {
+    pad_[node_index(ix, 0)] = true;
+  }
+  for (int ix = 0; ix < nx_; ix += params_.top_pad_stride) {
+    pad_[node_index(ix, ny_ - 1)] = true;
+  }
+  if (params_.left_pad_node_column >= 0 &&
+      params_.left_pad_node_column < nx_) {
+    for (int iy = 0; iy < ny_; iy += 2) {
+      pad_[node_index(params_.left_pad_node_column, iy)] = true;
+    }
+  }
+
+  // Assemble the conductance matrix: mesh links between 4-neighbors plus
+  // pad terms on the diagonal. G is symmetric, diagonally dominant, SPD.
+  const double gn = params_.neighbor_conductance;
+  for (int ix = 0; ix < nx_; ++ix) {
+    for (int iy = 0; iy < ny_; ++iy) {
+      const std::size_t n = node_index(ix, iy);
+      if (ix + 1 < nx_) {
+        const std::size_t e = node_index(ix + 1, iy);
+        g_.add(n, n, gn);
+        g_.add(e, e, gn);
+        g_.add(n, e, -gn);
+        g_.add(e, n, -gn);
+      }
+      if (iy + 1 < ny_) {
+        const std::size_t t = node_index(ix, iy + 1);
+        g_.add(n, n, gn);
+        g_.add(t, t, gn);
+        g_.add(n, t, -gn);
+        g_.add(t, n, -gn);
+      }
+      if (pad_[n]) {
+        const bool bottom = iy == 0;
+        g_.add(n, n, params_.pad_conductance *
+                         (bottom ? params_.bottom_pad_boost : 1.0));
+      }
+    }
+  }
+  g_.freeze();
+}
+
+std::size_t PdnGrid::node_index(int ix, int iy) const {
+  LD_REQUIRE(ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_,
+             "node (" << ix << "," << iy << ") outside mesh " << nx_ << "x"
+                      << ny_);
+  return static_cast<std::size_t>(iy) * nx_ + ix;
+}
+
+std::size_t PdnGrid::node_of_site(fabric::SiteCoord site) const {
+  LD_REQUIRE(site.x >= 0 && site.y >= 0, "negative site coordinate");
+  const int ix = site.x / params_.node_pitch;
+  const int iy = site.y / params_.node_pitch;
+  return node_index(ix < nx_ ? ix : nx_ - 1, iy < ny_ ? iy : ny_ - 1);
+}
+
+bool PdnGrid::is_pad(std::size_t node) const {
+  LD_REQUIRE(node < node_count(), "node " << node << " out of range");
+  return pad_[node];
+}
+
+std::size_t PdnGrid::pad_count() const {
+  std::size_t count = 0;
+  for (const bool p : pad_) {
+    if (p) ++count;
+  }
+  return count;
+}
+
+std::vector<double> PdnGrid::dc_droop(
+    std::span<const CurrentInjection> draws) const {
+  std::vector<double> rhs(node_count(), 0.0);
+  for (const auto& d : draws) {
+    LD_REQUIRE(d.node < node_count(), "draw at unknown node " << d.node);
+    rhs[d.node] += d.current;
+  }
+  std::vector<double> droop(node_count(), 0.0);
+  const auto result = conjugate_gradient(g_, rhs, droop, 1e-12);
+  LD_ENSURE(result.converged, "PDN DC solve did not converge (residual "
+                                  << result.residual_norm << ")");
+  return droop;
+}
+
+std::vector<double> PdnGrid::transfer_gains(std::size_t sensor_node) const {
+  LD_REQUIRE(sensor_node < node_count(),
+             "sensor node " << sensor_node << " out of range");
+  std::vector<double> rhs(node_count(), 0.0);
+  rhs[sensor_node] = 1.0;
+  std::vector<double> gains(node_count(), 0.0);
+  const auto result = conjugate_gradient(g_, rhs, gains, 1e-12);
+  LD_ENSURE(result.converged, "PDN transfer solve did not converge");
+  return gains;
+}
+
+}  // namespace leakydsp::pdn

@@ -1,0 +1,92 @@
+// Power delivery network model: a resistive mesh over the die with
+// package/regulator pads at fixed locations. Solving the conductance system
+// gives the static IR-drop map; network reciprocity turns one solve per
+// sensor location into the full spatial transfer-gain vector (droop at the
+// sensor per unit current anywhere on the die).
+//
+// The pad layout is deliberately non-uniform (denser on the bottom and left
+// edges), reproducing the paper's observation that sensitivity depends on
+// placement "due to the non-uniformity of the PDN across the FPGA board",
+// including the counter-intuitive effect that the best attack placement is
+// not always the nearest one (Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/geometry.h"
+#include "pdn/sparse.h"
+
+namespace leakydsp::pdn {
+
+/// Electrical and layout parameters of the PDN mesh.
+struct PdnParams {
+  int node_pitch = 4;  ///< die sites per mesh node (each axis)
+  double vnom = 1.0;   ///< nominal supply [V]
+
+  double neighbor_conductance = 400.0;  ///< mesh link conductance [S]
+  double pad_conductance = 40.0;        ///< pad-to-regulator conductance [S]
+  /// Bottom-edge pads are stronger by this factor (board regulator sits
+  /// below the die): the stiff zone that depresses nearby sensor gains —
+  /// chosen so the placement closest to the victim is *not* the best one
+  /// (the Fig. 5 observation).
+  double bottom_pad_boost = 2.5;
+
+  // Pad placement: pads sit on the top and bottom node rows with the given
+  // column strides, plus one full column of pads near the left edge. The
+  // bottom edge is denser than the top — the asymmetry that makes placement
+  // matter.
+  int bottom_pad_stride = 2;
+  int top_pad_stride = 5;
+  int left_pad_node_column = 1;
+};
+
+/// A current draw at one mesh node [normalized current units].
+struct CurrentInjection {
+  std::size_t node = 0;
+  double current = 0.0;
+};
+
+/// The assembled PDN mesh for one device.
+class PdnGrid {
+ public:
+  PdnGrid(const fabric::Device& device, PdnParams params = {});
+
+  const PdnParams& params() const { return params_; }
+  std::size_t node_count() const { return static_cast<std::size_t>(nx_) * ny_; }
+  int nodes_x() const { return nx_; }
+  int nodes_y() const { return ny_; }
+
+  /// Mesh node covering a die site.
+  std::size_t node_of_site(fabric::SiteCoord site) const;
+
+  /// Node index from mesh coordinates.
+  std::size_t node_index(int ix, int iy) const;
+
+  /// Whether a pad (regulator connection) sits at this node.
+  bool is_pad(std::size_t node) const;
+  std::size_t pad_count() const;
+
+  /// Static IR-drop at every node for the given current draws: solves
+  /// G d = I. Positive droop means the local supply sags below vnom.
+  std::vector<double> dc_droop(std::span<const CurrentInjection> draws) const;
+
+  /// Transfer gains for a sensor at `sensor_node`: entry j is the droop at
+  /// the sensor per unit current drawn at node j [V per unit current]. One
+  /// CG solve via reciprocity (G is symmetric, so column = row).
+  std::vector<double> transfer_gains(std::size_t sensor_node) const;
+
+  /// Read-only access to the conductance matrix (frozen).
+  const SparseMatrix& conductance() const { return g_; }
+
+ private:
+  PdnParams params_;
+  int nx_;
+  int ny_;
+  std::vector<bool> pad_;
+  SparseMatrix g_;
+};
+
+}  // namespace leakydsp::pdn

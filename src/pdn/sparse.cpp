@@ -1,0 +1,139 @@
+#include "pdn/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace leakydsp::pdn {
+
+SparseMatrix::SparseMatrix(std::size_t n) : n_(n) {
+  LD_REQUIRE(n > 0, "empty matrix");
+}
+
+void SparseMatrix::add(std::size_t row, std::size_t col, double value) {
+  LD_REQUIRE(!frozen_, "matrix already frozen");
+  LD_REQUIRE(row < n_ && col < n_,
+             "entry (" << row << "," << col << ") outside " << n_ << "x" << n_);
+  triplets_.push_back({row, col, value});
+}
+
+void SparseMatrix::freeze() {
+  LD_REQUIRE(!frozen_, "matrix already frozen");
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_start_.assign(n_ + 1, 0);
+  for (std::size_t i = 0; i < triplets_.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < triplets_.size() && triplets_[j].row == triplets_[i].row &&
+           triplets_[j].col == triplets_[i].col) {
+      sum += triplets_[j].value;
+      ++j;
+    }
+    cols_.push_back(triplets_[i].col);
+    values_.push_back(sum);
+    ++row_start_[triplets_[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_start_[r + 1] += row_start_[r];
+  triplets_.clear();
+  triplets_.shrink_to_fit();
+  frozen_ = true;
+}
+
+void SparseMatrix::multiply(std::span<const double> x,
+                            std::span<double> y) const {
+  LD_REQUIRE(frozen_, "freeze() before multiply()");
+  LD_REQUIRE(x.size() == n_ && y.size() == n_, "dimension mismatch");
+  for (std::size_t r = 0; r < n_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      sum += values_[k] * x[cols_[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  LD_REQUIRE(frozen_, "freeze() before at()");
+  LD_REQUIRE(row < n_ && col < n_, "entry outside matrix");
+  for (std::size_t k = row_start_[row]; k < row_start_[row + 1]; ++k) {
+    if (cols_[k] == col) return values_[k];
+  }
+  return 0.0;
+}
+
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
+                            std::span<double> x, double tolerance,
+                            std::size_t max_iterations) {
+  const std::size_t n = a.size();
+  LD_REQUIRE(b.size() == n && x.size() == n, "dimension mismatch");
+  LD_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+
+  // Jacobi preconditioner from the diagonal.
+  std::vector<double> inv_diag(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a.at(i, i);
+    LD_REQUIRE(d > 0.0, "non-positive diagonal at " << i
+                                                    << " — matrix not SPD");
+    inv_diag[i] = 1.0 / d;
+  }
+
+  std::vector<double> r(n);
+  std::vector<double> z(n);
+  std::vector<double> p(n);
+  std::vector<double> ap(n);
+
+  a.multiply(x, ap);
+  double b_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ap[i];
+    b_norm += b[i] * b[i];
+  }
+  b_norm = std::sqrt(b_norm);
+  const double stop = tolerance * std::max(b_norm, 1e-300);
+
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = inv_diag[i] * r[i];
+    p[i] = z[i];
+    rz += r[i] * z[i];
+  }
+
+  CgResult result;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    double r_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) r_norm += r[i] * r[i];
+    r_norm = std::sqrt(r_norm);
+    result.residual_norm = r_norm;
+    result.iterations = it;
+    if (r_norm <= stop) {
+      result.converged = true;
+      return result;
+    }
+    a.multiply(p, ap);
+    double p_ap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
+    LD_ENSURE(p_ap > 0.0, "direction with non-positive curvature — matrix "
+                          "not SPD");
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    double rz_next = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = inv_diag[i] * r[i];
+      rz_next += r[i] * z[i];
+    }
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+}  // namespace leakydsp::pdn

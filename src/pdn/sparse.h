@@ -1,0 +1,63 @@
+// Compressed-sparse-row matrix and conjugate-gradient solver for the PDN
+// conductance system. The grid Laplacian plus pad terms is symmetric
+// positive definite, which is exactly CG's home turf.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace leakydsp::pdn {
+
+/// Triplet-assembled, CSR-stored sparse matrix. Assemble with add(), then
+/// freeze(); duplicate entries are summed.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  bool frozen() const { return frozen_; }
+
+  /// Accumulates `value` at (row, col). Only valid before freeze().
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// Builds the CSR arrays; further add() calls throw.
+  void freeze();
+
+  /// y = A x. Only valid after freeze().
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Entry lookup (post-freeze); zero when absent. O(row nnz).
+  double at(std::size_t row, std::size_t col) const;
+
+  std::size_t nonzeros() const { return values_.size(); }
+
+ private:
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+
+  std::size_t n_;
+  bool frozen_ = false;
+  std::vector<Triplet> triplets_;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::size_t> cols_;
+  std::vector<double> values_;
+};
+
+/// Outcome of a conjugate-gradient solve.
+struct CgResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// Solves A x = b for SPD A with Jacobi-preconditioned CG. `x` holds the
+/// initial guess on entry and the solution on exit.
+CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
+                            std::span<double> x, double tolerance = 1e-10,
+                            std::size_t max_iterations = 10000);
+
+}  // namespace leakydsp::pdn

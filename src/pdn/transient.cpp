@@ -1,0 +1,57 @@
+#include "pdn/transient.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace leakydsp::pdn {
+
+TransientSolver::TransientSolver(const PdnGrid& grid, double node_capacitance,
+                                 double step_ns)
+    : grid_(grid),
+      cap_(node_capacitance),
+      dt_ns_(step_ns),
+      v_(grid.node_count(), 0.0),
+      gv_(grid.node_count(), 0.0),
+      rhs_(grid.node_count(), 0.0) {
+  LD_REQUIRE(cap_ > 0.0, "capacitance must be positive");
+  LD_REQUIRE(dt_ns_ > 0.0, "step must be positive");
+  // Explicit Euler stability: dt < 2 C / lambda_max(G); bound lambda_max by
+  // twice the largest diagonal (Gershgorin).
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < grid.node_count(); ++i) {
+    max_diag = std::max(max_diag, grid.conductance().at(i, i));
+  }
+  const double dt_s = dt_ns_ * 1e-9;
+  LD_REQUIRE(dt_s < cap_ / max_diag,
+             "step " << dt_ns_ << " ns unstable for C=" << cap_
+                     << ", max diag " << max_diag);
+}
+
+void TransientSolver::step(std::span<const CurrentInjection> draws) {
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  for (const auto& d : draws) {
+    LD_REQUIRE(d.node < rhs_.size(), "draw at unknown node " << d.node);
+    rhs_[d.node] += d.current;
+  }
+  grid_.conductance().multiply(v_, gv_);
+  const double dt_s = dt_ns_ * 1e-9;
+  const double scale = dt_s / cap_;
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] += scale * (rhs_[i] - gv_[i]);
+  }
+}
+
+void TransientSolver::run(std::span<const CurrentInjection> draws,
+                          std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s) step(draws);
+}
+
+double TransientSolver::droop(std::size_t node) const {
+  LD_REQUIRE(node < v_.size(), "node " << node << " out of range");
+  return v_[node];
+}
+
+void TransientSolver::reset() { std::fill(v_.begin(), v_.end(), 0.0); }
+
+}  // namespace leakydsp::pdn

@@ -1,0 +1,47 @@
+// Full transient PDN solve: C dv/dt = I(t) - G v on the mesh. Too slow for
+// 60 k-trace attack campaigns (those use the factorized transfer model),
+// but it is the ground truth the factorization is validated against in the
+// integration tests, and it powers small characterization runs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pdn/grid.h"
+
+namespace leakydsp::pdn {
+
+/// Explicit-Euler transient integrator over a PdnGrid.
+class TransientSolver {
+ public:
+  /// `node_capacitance` is the lumped per-node decoupling capacitance [F in
+  /// model units]; together with the grid conductances it sets the droop
+  /// time constant (~20 ns with the defaults).
+  TransientSolver(const PdnGrid& grid, double node_capacitance = 3.2e-5,
+                  double step_ns = 1.0);
+
+  double step_ns() const { return dt_ns_; }
+
+  /// Advances one time step with the given current draws applied over the
+  /// step. Returns nothing; read droops via droop().
+  void step(std::span<const CurrentInjection> draws);
+
+  /// Advances `steps` steps under constant draws.
+  void run(std::span<const CurrentInjection> draws, std::size_t steps);
+
+  /// Current droop at a node [V].
+  double droop(std::size_t node) const;
+  const std::vector<double>& droops() const { return v_; }
+
+  void reset();
+
+ private:
+  const PdnGrid& grid_;
+  double cap_;
+  double dt_ns_;
+  std::vector<double> v_;   // droop per node
+  std::vector<double> gv_;  // scratch: G v
+  std::vector<double> rhs_;  // scratch: injections
+};
+
+}  // namespace leakydsp::pdn

@@ -1,0 +1,45 @@
+#include "sensors/decimator.h"
+
+namespace leakydsp::sensors {
+
+bool SampleDecimator::push(double readout) {
+  if (count_ == 0) first_ = readout;
+  acc_ += readout;
+  ++count_;
+  if (count_ < ratio_) return false;
+  switch (mode_) {
+    case Mode::kAverage:
+      output_ = acc_ / static_cast<double>(ratio_);
+      break;
+    case Mode::kSum:
+      output_ = acc_;
+      break;
+    case Mode::kSubsample:
+      output_ = first_;
+      break;
+  }
+  has_output_ = true;
+  acc_ = 0.0;
+  count_ = 0;
+  return true;
+}
+
+std::vector<double> SampleDecimator::process(
+    const std::vector<double>& readouts) {
+  std::vector<double> out;
+  out.reserve(readouts.size() / ratio_);
+  for (const double r : readouts) {
+    if (push(r)) out.push_back(output());
+  }
+  return out;
+}
+
+void SampleDecimator::reset() {
+  acc_ = 0.0;
+  first_ = 0.0;
+  count_ = 0;
+  has_output_ = false;
+  output_ = 0.0;
+}
+
+}  // namespace leakydsp::sensors

@@ -1,0 +1,61 @@
+// Readout decimation front-end. The sensor produces one readout per
+// 300 MHz clock — far beyond what the paper's UART trace collection (or
+// any covert receiver) can stream off-chip. Real designs accumulate
+// readouts in BRAM and emit block sums/averages; this component models
+// that decimation so downstream consumers can reason about effective
+// sample rates and noise averaging.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace leakydsp::sensors {
+
+/// Block decimator: emits one output per `ratio` inputs.
+class SampleDecimator {
+ public:
+  enum class Mode {
+    kAverage,  ///< block mean (fractional readout)
+    kSum,      ///< block sum (what a BRAM accumulator stores)
+    kSubsample ///< keep the first sample of each block
+  };
+
+  SampleDecimator(std::size_t ratio, Mode mode = Mode::kAverage)
+      : ratio_(ratio), mode_(mode) {
+    LD_REQUIRE(ratio_ >= 1, "decimation ratio must be >= 1");
+  }
+
+  std::size_t ratio() const { return ratio_; }
+  Mode mode() const { return mode_; }
+
+  /// Pushes one readout; returns true when an output became available via
+  /// output().
+  bool push(double readout);
+
+  /// The most recent completed block's output.
+  double output() const {
+    LD_REQUIRE(has_output_, "no completed block yet");
+    return output_;
+  }
+
+  /// Pending (incomplete) block size.
+  std::size_t pending() const { return count_; }
+
+  /// Convenience: decimates a whole vector, dropping any partial tail.
+  std::vector<double> process(const std::vector<double>& readouts);
+
+  void reset();
+
+ private:
+  std::size_t ratio_;
+  Mode mode_;
+  double acc_ = 0.0;
+  double first_ = 0.0;
+  std::size_t count_ = 0;
+  double output_ = 0.0;
+  bool has_output_ = false;
+};
+
+}  // namespace leakydsp::sensors

@@ -1,0 +1,64 @@
+// PPWM — power-to-pulse-width-modulation sensor (Udugama et al., CHES'22),
+// the third traditional-logic family the paper's related work lists. Two
+// delay paths race: a reference path and a voltage-sensitive path; the
+// phase difference between their outputs is a pulse whose width tracks
+// supply droop. A fast counter digitizes the pulse width, so the readout
+// is a duration rather than a thermometer code — wide dynamic range with
+// moderate quantization.
+#pragma once
+
+#include "fabric/device.h"
+#include "fabric/netlist.h"
+#include "sensors/sensor.h"
+#include "timing/delay_model.h"
+
+namespace leakydsp::sensors {
+
+/// Physical/timing parameters of a PPWM instance.
+struct PpwmParams {
+  double sensitive_path_ns = 9.5;  ///< droop-sensitive delay path at vnom
+  double reference_path_ns = 8.0;  ///< matched reference path (compensated)
+  /// Fraction of the reference path that still tracks voltage (matching is
+  /// imperfect; 0 = ideal compensation).
+  double reference_tracking = 0.15;
+  double counter_mhz = 600.0;      ///< pulse-width counter clock
+  /// Pulse-stretching time amplifier gain: the raw pulse is stretched by
+  /// this factor before the counter digitizes it (the design's trick for
+  /// resolving ps-scale width changes with a modest counter clock).
+  double stretch_gain = 100.0;
+  double jitter_sigma_ns = 0.015;  ///< pulse-edge jitter (rms)
+  timing::AlphaPowerLaw law{};
+};
+
+/// Functional + timing model of one deployed PPWM sensor.
+class PpwmSensor : public VoltageSensor {
+ public:
+  PpwmSensor(const fabric::Device& device, fabric::SiteCoord site,
+             PpwmParams params = {});
+
+  std::string name() const override { return "PPWM"; }
+  fabric::SiteCoord site() const override { return site_; }
+  std::size_t readout_bits() const override { return 16; }  // counter width
+
+  const PpwmParams& params() const { return params_; }
+
+  /// Pulse width at the given supply [ns], before quantization.
+  double pulse_width_ns(double supply_v) const;
+
+  /// One readout: pulse width in counter ticks.
+  double sample(double supply_v, util::Rng& rng) override;
+
+  /// No tap line: calibration only records the idle readout (the racing
+  /// paths are fixed at synthesis).
+  sensors::CalibrationResult calibrate(
+      double idle_v, util::Rng& rng,
+      std::size_t samples_per_setting = 64) override;
+
+  fabric::Netlist netlist() const;
+
+ private:
+  fabric::SiteCoord site_;
+  PpwmParams params_;
+};
+
+}  // namespace leakydsp::sensors

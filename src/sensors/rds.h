@@ -1,0 +1,72 @@
+// RDS — routing delay sensor (Spielmann et al., CHES'23), one of the
+// traditional-logic sensor families the paper positions LeakyDSP against.
+// A registered signal fans out through general routing wires of graded
+// lengths to a bank of capture FFs; supply droop slows the routing
+// switches, so fewer FFs latch the new value each clock. Unlike the TDC it
+// needs no carry chain and no particular placement shape, which is how it
+// evades today's structure checks — but it still builds entirely from
+// LUT/FF/routing resources.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/netlist.h"
+#include "sensors/sensor.h"
+#include "timing/delay_model.h"
+
+namespace leakydsp::sensors {
+
+/// Physical/timing parameters of an RDS instance.
+struct RdsParams {
+  std::size_t taps = 32;          ///< capture FFs / routed branches
+  double base_route_ns = 19.0;    ///< shortest branch routing delay at vnom (long detoured routes amplify droop)
+  double route_step_ns = 0.055;   ///< per-branch added routing delay
+  double jitter_sigma_ns = 0.012; ///< per-FF capture jitter (rms)
+  double clock_mhz = 300.0;
+  timing::AlphaPowerLaw law{};
+};
+
+/// Functional + timing model of one deployed RDS sensor.
+class RdsSensor : public VoltageSensor {
+ public:
+  RdsSensor(const fabric::Device& device, fabric::SiteCoord site,
+            RdsParams params = {});
+
+  std::string name() const override { return "RDS"; }
+  fabric::SiteCoord site() const override { return site_; }
+  std::size_t readout_bits() const override { return params_.taps; }
+
+  const RdsParams& params() const { return params_; }
+  double clock_period_ns() const { return 1e3 / params_.clock_mhz; }
+
+  int offset_taps() const { return offset_taps_; }
+  void set_offset_taps(int taps);
+
+  double sampling_time_ns() const;
+
+  /// Arrival time of branch `i` at nominal supply [ns].
+  double branch_arrival_ns(std::size_t i) const;
+
+  /// One readout: number of branches that latched the new value.
+  double sample(double supply_v, util::Rng& rng) override;
+
+  sensors::CalibrationResult calibrate(
+      double idle_v, util::Rng& rng,
+      std::size_t samples_per_setting = 64) override;
+
+  /// Structural netlist: FFs and routing only — passes every deployed
+  /// structure check (no loops, no latches, no carry chain).
+  fabric::Netlist netlist() const;
+
+ private:
+  fabric::Architecture arch_;
+  fabric::SiteCoord site_;
+  RdsParams params_;
+  std::vector<double> arrivals_;
+  int offset_taps_ = 0;
+  int capture_cycles_ = 0;
+};
+
+}  // namespace leakydsp::sensors

@@ -1,0 +1,52 @@
+// Ring-oscillator sensor: a combinational-loop oscillator whose frequency
+// tracks supply voltage, read out by counting edges in a fixed window.
+// Included as the third sensor family the paper's related work discusses —
+// coarser time resolution than TDC/LeakyDSP (it integrates over its window)
+// and structurally detectable (the loop trips deployed bitstream checks).
+#pragma once
+
+#include "fabric/device.h"
+#include "fabric/netlist.h"
+#include "sensors/sensor.h"
+#include "timing/delay_model.h"
+
+namespace leakydsp::sensors {
+
+struct RoParams {
+  double f0_mhz = 350.0;      ///< oscillation frequency at vnom
+  double window_ns = 3333.0;  ///< counting window (1000 sensor clocks)
+  double count_jitter = 0.7;  ///< rms counter noise (phase/truncation)
+  timing::AlphaPowerLaw law{};
+};
+
+/// Counter-based RO sensor model.
+class RoSensor : public VoltageSensor {
+ public:
+  RoSensor(const fabric::Device& device, fabric::SiteCoord site,
+           RoParams params = {});
+
+  std::string name() const override { return "RO"; }
+  fabric::SiteCoord site() const override { return site_; }
+  std::size_t readout_bits() const override { return 16; }  // counter width
+
+  const RoParams& params() const { return params_; }
+
+  /// Oscillation frequency at the given supply [MHz].
+  double frequency_mhz(double supply_v) const;
+
+  /// One readout: edge count in the window.
+  double sample(double supply_v, util::Rng& rng) override;
+
+  /// ROs have no tap line; calibration just records the idle count.
+  sensors::CalibrationResult calibrate(
+      double idle_v, util::Rng& rng,
+      std::size_t samples_per_setting = 64) override;
+
+  fabric::Netlist netlist() const;
+
+ private:
+  fabric::SiteCoord site_;
+  RoParams params_;
+};
+
+}  // namespace leakydsp::sensors

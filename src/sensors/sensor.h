@@ -1,0 +1,49 @@
+// Common interface of on-chip voltage sensors. A sensor turns the local
+// supply voltage at its die location into a digital readout once per sample
+// clock; everything downstream (traces, CPA, covert channels) only sees
+// readouts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fabric/geometry.h"
+#include "util/rng.h"
+
+namespace leakydsp::sensors {
+
+/// Result of a calibration sweep.
+struct CalibrationResult {
+  bool success = false;
+  int chosen_setting = 0;     ///< tap/offset index selected
+  double steepness = 0.0;     ///< |d readout / d setting| at the choice
+  double idle_readout = 0.0;  ///< mean readout after calibration
+};
+
+/// Abstract voltage-fluctuation sensor.
+class VoltageSensor {
+ public:
+  virtual ~VoltageSensor() = default;
+
+  /// Short identifier used in tables ("LeakyDSP", "TDC", "RO").
+  virtual std::string name() const = 0;
+
+  /// Die placement of the sensing element.
+  virtual fabric::SiteCoord site() const = 0;
+
+  /// Width of the raw output word (48 for LeakyDSP/DSP48, 128 for the TDC
+  /// configuration the paper compares against).
+  virtual std::size_t readout_bits() const = 0;
+
+  /// One sample: digitizes the instantaneous supply `supply_v` [V] into a
+  /// readout (number of unflipped bits / traversed stages).
+  virtual double sample(double supply_v, util::Rng& rng) = 0;
+
+  /// Post-deployment calibration at the given idle supply voltage, following
+  /// the paper's procedure: sweep the adjustable delay and keep the setting
+  /// with maximum readout variation between consecutive settings.
+  virtual CalibrationResult calibrate(double idle_v, util::Rng& rng,
+                                      std::size_t samples_per_setting = 64) = 0;
+};
+
+}  // namespace leakydsp::sensors

@@ -1,0 +1,114 @@
+#include "sensors/tdc.h"
+
+#include <cmath>
+
+#include "fabric/netlist_builders.h"
+#include "util/contracts.h"
+
+namespace leakydsp::sensors {
+
+namespace {
+std::vector<double> stage_delays(const TdcParams& p) {
+  return std::vector<double>(p.stages, p.stage_ps * 1e-3);
+}
+}  // namespace
+
+TdcSensor::TdcSensor(const fabric::Device& device, fabric::SiteCoord site,
+                     TdcParams params)
+    : arch_(device.architecture()),
+      site_(site),
+      params_(params),
+      chain_(stage_delays(params), params.law) {
+  LD_REQUIRE(params_.stages >= 4, "TDC needs a useful number of stages");
+  LD_REQUIRE(params_.clock_mhz > 0.0, "clock must be positive");
+  LD_REQUIRE(device.site_type(site) == fabric::SiteType::kClb,
+             "TDC must anchor on a CLB site (carry chain), got "
+                 << fabric::to_string(device.site_type(site)));
+  // The vertically continuous carry chain must fit on the die; each tile
+  // row hosts two slices, i.e. 8 MUXCY stages.
+  const int top = site.y + static_cast<int>(params_.stages / 8);
+  LD_REQUIRE(top < device.height(),
+             "carry chain of " << params_.stages
+                               << " stages does not fit above row " << site.y);
+
+  const double total =
+      params_.init_delay_ns + chain_.nominal_total();
+  capture_cycles_ = static_cast<int>(std::lround(total / clock_period_ns()));
+  if (capture_cycles_ < 1) capture_cycles_ = 1;
+}
+
+void TdcSensor::set_offset_taps(int taps) {
+  // Positive taps delay the launched edge (earlier effective capture);
+  // negative taps delay the capture clock line instead (later capture).
+  fabric::IDelayConfig cfg{arch_, taps >= 0 ? taps : -taps};
+  cfg.validate();
+  offset_taps_ = taps;
+}
+
+double TdcSensor::sampling_time_ns() const {
+  const double tap_ns = fabric::idelay_taps(arch_).tap_ps * 1e-3;
+  // Delaying the launched edge moves the capture point earlier relative to
+  // the edge, same convention as LeakyDSP's signal-line IDELAY.
+  return capture_cycles_ * clock_period_ns() - offset_taps_ * tap_ns;
+}
+
+double TdcSensor::sample(double supply_v, util::Rng& rng) {
+  const double scale = params_.law.scale(supply_v);
+  const double jitter = params_.jitter_sigma_ns > 0.0
+                            ? rng.gaussian(0.0, params_.jitter_sigma_ns)
+                            : 0.0;
+  const double budget =
+      sampling_time_ns() - params_.init_delay_ns * scale + jitter;
+  return static_cast<double>(chain_.stages_within(budget, supply_v));
+}
+
+sensors::CalibrationResult TdcSensor::calibrate(
+    double idle_v, util::Rng& rng, std::size_t samples_per_setting) {
+  LD_REQUIRE(samples_per_setting >= 1, "need at least one sample per tap");
+  const int tap_count = fabric::idelay_taps(arch_).tap_count;
+  // Sweep from -31 (latest capture) to +31 (earliest), the same monotone
+  // earlier-capture direction as LeakyDSP's calibration.
+  const int settings = 2 * tap_count - 1;
+  auto apply = [&](int k) { set_offset_taps(k - (tap_count - 1)); };
+
+  std::vector<double> mean(static_cast<std::size_t>(settings), 0.0);
+  for (int k = 0; k < settings; ++k) {
+    apply(k);
+    double sum = 0.0;
+    for (std::size_t s = 0; s < samples_per_setting; ++s) {
+      sum += sample(idle_v, rng);
+    }
+    mean[static_cast<std::size_t>(k)] =
+        sum / static_cast<double>(samples_per_setting);
+  }
+  // Same iterative rule as LeakyDSP: stop at the first substantial
+  // consecutive difference, keeping the idle readout near the top of the
+  // range so droops (which only shorten the traversal) stay on-scale.
+  double global_max = 0.0;
+  for (int k = 1; k < settings; ++k) {
+    global_max = std::max(global_max,
+                          std::abs(mean[static_cast<std::size_t>(k)] -
+                                   mean[static_cast<std::size_t>(k - 1)]));
+  }
+  sensors::CalibrationResult result;
+  const double threshold = 0.9 * global_max;
+  for (int k = 1; k < settings; ++k) {
+    const double variation = std::abs(mean[static_cast<std::size_t>(k)] -
+                                      mean[static_cast<std::size_t>(k - 1)]);
+    if (variation >= threshold) {
+      result.chosen_setting = k;
+      result.steepness = variation;
+      break;
+    }
+  }
+  result.success = result.steepness > 0.0;
+  apply(result.chosen_setting);
+  result.idle_readout = mean[static_cast<std::size_t>(result.chosen_setting)];
+  return result;
+}
+
+fabric::Netlist TdcSensor::netlist() const {
+  return fabric::build_tdc_netlist(params_.stages / 4, site_.x, site_.y);
+}
+
+}  // namespace leakydsp::sensors

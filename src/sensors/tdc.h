@@ -1,0 +1,70 @@
+// Time-to-digital converter sensor — the most-studied on-chip voltage
+// sensor [11] and the paper's baseline. A LUT-based initial delay line
+// launches the sample clock edge into a chain of CARRY4 elements; FFs in
+// the same slices capture how far the edge travelled before the next clock
+// edge. Supply droop slows both the initial line and the carry stages, so
+// fewer stages are traversed. The paper implements it with 128 FFs
+// (32 CARRY4 blocks, 128 MUXCY stages).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/netlist.h"
+#include "sensors/sensor.h"
+#include "timing/delay_model.h"
+
+namespace leakydsp::sensors {
+
+/// Physical/timing parameters of a TDC instance.
+struct TdcParams {
+  std::size_t stages = 128;        ///< MUXCY stages / capture FFs
+  double stage_ps = 15.0;          ///< per-stage carry delay at vnom
+  double init_delay_ns = 5.9;      ///< LUT initial delay line at vnom
+  double jitter_sigma_ns = 0.005;  ///< capture-edge jitter (rms)
+  double clock_mhz = 300.0;
+  timing::AlphaPowerLaw law{};
+};
+
+/// Functional + timing model of one deployed TDC sensor.
+class TdcSensor : public VoltageSensor {
+ public:
+  /// `site` is the base CLB site; the carry chain occupies a vertically
+  /// continuous run of CLB sites above it.
+  TdcSensor(const fabric::Device& device, fabric::SiteCoord site,
+            TdcParams params = {});
+
+  std::string name() const override { return "TDC"; }
+  fabric::SiteCoord site() const override { return site_; }
+  std::size_t readout_bits() const override { return params_.stages; }
+
+  const TdcParams& params() const { return params_; }
+  double clock_period_ns() const { return 1e3 / params_.clock_mhz; }
+
+  int offset_taps() const { return offset_taps_; }
+  void set_offset_taps(int taps);
+
+  /// Capture instant relative to edge launch [ns].
+  double sampling_time_ns() const;
+
+  /// One readout: number of carry stages the edge traversed.
+  double sample(double supply_v, util::Rng& rng) override;
+
+  sensors::CalibrationResult calibrate(
+      double idle_v, util::Rng& rng,
+      std::size_t samples_per_setting = 64) override;
+
+  /// Structural netlist (trips the carry-chain bitstream rule).
+  fabric::Netlist netlist() const;
+
+ private:
+  fabric::Architecture arch_;
+  fabric::SiteCoord site_;
+  TdcParams params_;
+  timing::DelayChain chain_;
+  int offset_taps_ = 0;
+  int capture_cycles_ = 0;
+};
+
+}  // namespace leakydsp::sensors

@@ -1,0 +1,75 @@
+// VITI — a tiny self-calibrating sensor (Udugama et al., CHES'22), cited
+// by the paper as a compact LUT/FF alternative to TDCs. A short chain of
+// LUT delay elements feeds a handful of capture FFs; a feedback controller
+// continuously re-centers the operating point by nudging its own delay
+// setting whenever the readout drifts toward a rail. Tiny footprint and
+// self-calibration are its selling points; the price is a coarse readout
+// (a few delay elements instead of 48/128 bits).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/netlist.h"
+#include "sensors/sensor.h"
+#include "timing/delay_model.h"
+
+namespace leakydsp::sensors {
+
+/// Physical/timing parameters of a VITI instance.
+struct VitiParams {
+  std::size_t elements = 6;        ///< LUT delay elements / capture FFs
+  double element_delay_ns = 0.12;  ///< per-LUT delay at vnom
+  double base_delay_ns = 25.0;     ///< long routed feed into the chain at vnom
+  double jitter_sigma_ns = 0.010;
+  double clock_mhz = 300.0;
+  /// Self-calibration: when the mean readout over a window drifts outside
+  /// [low_rail, high_rail] (in elements), the controller shifts its own
+  /// fine offset by one step.
+  std::size_t control_window = 256;
+  double low_rail = 0.5;
+  double high_rail = 5.5;
+  timing::AlphaPowerLaw law{};
+};
+
+/// Functional + timing model of one deployed VITI sensor, including its
+/// run-time self-calibration loop.
+class VitiSensor : public VoltageSensor {
+ public:
+  VitiSensor(const fabric::Device& device, fabric::SiteCoord site,
+             VitiParams params = {});
+
+  std::string name() const override { return "VITI"; }
+  fabric::SiteCoord site() const override { return site_; }
+  std::size_t readout_bits() const override { return params_.elements; }
+
+  const VitiParams& params() const { return params_; }
+  double clock_period_ns() const { return 1e3 / params_.clock_mhz; }
+
+  /// Current fine offset of the self-calibration controller [ns].
+  double control_offset_ns() const { return control_offset_ns_; }
+
+  /// One readout; also advances the self-calibration controller.
+  double sample(double supply_v, util::Rng& rng) override;
+
+  /// VITI self-calibrates; the explicit call just runs the controller for
+  /// a few windows at the idle supply.
+  sensors::CalibrationResult calibrate(
+      double idle_v, util::Rng& rng,
+      std::size_t samples_per_setting = 64) override;
+
+  fabric::Netlist netlist() const;
+
+ private:
+  double sample_once(double supply_v, util::Rng& rng);
+
+  fabric::SiteCoord site_;
+  VitiParams params_;
+  int capture_cycles_ = 0;
+  double control_offset_ns_ = 0.0;
+  double window_sum_ = 0.0;
+  std::size_t window_count_ = 0;
+};
+
+}  // namespace leakydsp::sensors

@@ -1,0 +1,93 @@
+// Canonical experiment floorplans.
+//
+// Basys3Scenario encodes the placements every Basys3 experiment shares:
+// the victim tenant's Pblock with the AES core, the Fig. 4 power-virus
+// regions (clock regions 1 and 2), per-clock-region sensor probe sites, and
+// the eight attacker placements P1..P8 of Table I / Fig. 5. P6 is the
+// best-coupled placement and P2 the geometrically closest one — distinct,
+// reproducing the paper's observation that proximity alone does not decide
+// attack quality (the PDN's stiff bottom edge depresses P2).
+#pragma once
+
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/geometry.h"
+#include "fabric/pblock.h"
+#include "pdn/grid.h"
+
+namespace leakydsp::sim {
+
+/// The Basys3 (Artix-7) multi-tenant floorplan used by Fig. 3/4/5/6 and
+/// Table I.
+class Basys3Scenario {
+ public:
+  Basys3Scenario();
+
+  const fabric::Device& device() const { return device_; }
+  const pdn::PdnGrid& grid() const { return grid_; }
+
+  /// The victim tenant's Pblock (contains the AES core and excludes the
+  /// nearest DSP sites from the attacker).
+  const fabric::Pblock& victim_pblock() const { return victim_pblock_; }
+
+  /// Placement of the AES core inside the victim Pblock.
+  fabric::SiteCoord aes_site() const { return {10, 8}; }
+
+  /// Power-virus regions for Fig. 3/4: clock regions 1 and 2.
+  std::vector<fabric::Rect> virus_regions() const;
+
+  /// Fig. 3's fixed sensor placements: a DSP site (LeakyDSP) and a nearby
+  /// CLB site (TDC) at the center of clock region 2.
+  fabric::SiteCoord fig3_dsp_site() const { return {36, 10}; }
+  fabric::SiteCoord fig3_clb_site() const { return {34, 10}; }
+
+  /// Fig. 4 probe sites: the DSP (or CLB) site nearest each clock region's
+  /// center.
+  fabric::SiteCoord region_dsp_site(int region) const;
+  fabric::SiteCoord region_clb_site(int region) const;
+
+  /// Table I / Fig. 5 attacker placements P1..P8 (DSP sites). Index 0 is
+  /// P1. P6 (index 5) is the best-coupled placement; P2 (index 1) is the
+  /// closest to the victim.
+  const std::vector<fabric::SiteCoord>& attack_placements() const {
+    return placements_;
+  }
+
+  static constexpr int kBestPlacementIndex = 5;     ///< P6
+  static constexpr int kClosestPlacementIndex = 1;  ///< P2
+
+  /// A CLB site adjacent to a placement, for TDC baselines "as close as the
+  /// fabric allows" (the paper notes the two sensor types cannot share a
+  /// site).
+  fabric::SiteCoord adjacent_clb_site(fabric::SiteCoord dsp_site) const;
+
+  /// Validates that victim and attacker Pblocks do not overlap.
+  void validate() const;
+
+ private:
+  fabric::Device device_;
+  pdn::PdnGrid grid_;
+  fabric::Pblock victim_pblock_;
+  std::vector<fabric::SiteCoord> placements_;
+};
+
+/// The AXU3EGB (UltraScale+) floorplan used by the covert channel (Fig. 7):
+/// sender power virus in the bottom clock regions, LeakyDSP receiver in a
+/// middle region.
+class Axu3egbScenario {
+ public:
+  Axu3egbScenario();
+
+  const fabric::Device& device() const { return device_; }
+  const pdn::PdnGrid& grid() const { return grid_; }
+
+  std::vector<fabric::Rect> sender_regions() const;
+  fabric::SiteCoord receiver_site() const { return {34, 30}; }
+
+ private:
+  fabric::Device device_;
+  pdn::PdnGrid grid_;
+};
+
+}  // namespace leakydsp::sim

@@ -1,0 +1,72 @@
+// SensorRig: one deployed sensor wired to the PDN — spatial coupling
+// (transfer gains), temporal droop dynamics, ambient supply noise, and the
+// sensor's own sampling front-end. Every experiment in the paper is "some
+// victim draws current; the rig samples readouts".
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fabric/device.h"
+#include "pdn/coupling.h"
+#include "pdn/droop_filter.h"
+#include "pdn/grid.h"
+#include "sensors/sensor.h"
+#include "util/rng.h"
+
+namespace leakydsp::sim {
+
+/// Environmental parameters of a rig.
+struct RigParams {
+  double vnom = 1.0;
+  pdn::DroopDynamics dynamics{};
+  double ambient_sigma_v = 0.4e-3;     ///< rms ambient supply noise [V]
+  double ambient_correlation_ns = 50.0;
+  double sample_period_ns = 1e3 / 300.0;  ///< sensor clock (300 MHz)
+};
+
+/// A sensor attached to the PDN at its die location.
+class SensorRig {
+ public:
+  SensorRig(const pdn::PdnGrid& grid, sensors::VoltageSensor& sensor,
+            RigParams params = {});
+
+  const RigParams& params() const { return params_; }
+  const pdn::SensorCoupling& coupling() const { return coupling_; }
+  sensors::VoltageSensor& sensor() { return *sensor_; }
+
+  /// Supply voltage the sensor would see for the given static droop input,
+  /// advancing the filter and noise state by one sample.
+  double supply_for_droop(double static_droop_v, util::Rng& rng);
+
+  /// One readout under the given current draws.
+  double sample(std::span<const pdn::CurrentInjection> draws, util::Rng& rng);
+
+  /// `n` readouts under per-sample draws supplied by `draw_fn` (called once
+  /// per sample; may mutate its output buffer argument in place).
+  std::vector<double> collect(
+      std::size_t n, util::Rng& rng,
+      const std::function<void(std::vector<pdn::CurrentInjection>&)>& draw_fn);
+
+  /// `n` readouts under constant draws.
+  std::vector<double> collect_constant(
+      std::size_t n, std::span<const pdn::CurrentInjection> draws,
+      util::Rng& rng);
+
+  /// Calibrates the sensor at the idle nominal supply and clears dynamics.
+  sensors::CalibrationResult calibrate(util::Rng& rng);
+
+  /// Clears filter and noise state (idle settling between experiments).
+  void settle();
+
+ private:
+  const pdn::PdnGrid& grid_;
+  sensors::VoltageSensor* sensor_;
+  RigParams params_;
+  pdn::SensorCoupling coupling_;
+  pdn::DroopFilter filter_;
+  pdn::AmbientNoise ambient_;
+};
+
+}  // namespace leakydsp::sim

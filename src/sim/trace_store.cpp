@@ -1,0 +1,90 @@
+#include "sim/trace_store.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/contracts.h"
+
+namespace leakydsp::sim {
+
+namespace {
+constexpr char kMagic[4] = {'L', 'D', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  LD_REQUIRE(is.good(), "truncated trace file");
+  return value;
+}
+}  // namespace
+
+TraceStore::TraceStore(std::size_t samples_per_trace)
+    : samples_per_trace_(samples_per_trace) {
+  LD_REQUIRE(samples_per_trace_ >= 1, "traces need at least one sample");
+}
+
+const StoredTrace& TraceStore::trace(std::size_t i) const {
+  LD_REQUIRE(i < traces_.size(), "trace " << i << " out of range");
+  return traces_[i];
+}
+
+void TraceStore::add(const crypto::Block& ciphertext,
+                     std::vector<double> samples) {
+  LD_REQUIRE(samples.size() == samples_per_trace_,
+             "expected " << samples_per_trace_ << " samples, got "
+                         << samples.size());
+  traces_.push_back(StoredTrace{ciphertext, std::move(samples)});
+}
+
+void TraceStore::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  LD_ENSURE(os.is_open(), "cannot open '" << path << "' for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(samples_per_trace_));
+  write_pod(os, static_cast<std::uint64_t>(traces_.size()));
+  for (const auto& t : traces_) {
+    os.write(reinterpret_cast<const char*>(t.ciphertext.data()),
+             static_cast<std::streamsize>(t.ciphertext.size()));
+    os.write(reinterpret_cast<const char*>(t.samples.data()),
+             static_cast<std::streamsize>(t.samples.size() * sizeof(double)));
+  }
+  LD_ENSURE(os.good(), "write failure on '" << path << "'");
+}
+
+TraceStore TraceStore::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  LD_REQUIRE(is.is_open(), "cannot open '" << path << "'");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  LD_REQUIRE(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+             "'" << path << "' is not a LeakyDSP trace file");
+  const auto version = read_pod<std::uint32_t>(is);
+  LD_REQUIRE(version == kVersion, "unsupported trace file version "
+                                      << version);
+  const auto samples_per_trace = read_pod<std::uint32_t>(is);
+  LD_REQUIRE(samples_per_trace >= 1, "corrupt header: zero samples");
+  const auto count = read_pod<std::uint64_t>(is);
+
+  TraceStore store(samples_per_trace);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    StoredTrace t;
+    is.read(reinterpret_cast<char*>(t.ciphertext.data()),
+            static_cast<std::streamsize>(t.ciphertext.size()));
+    t.samples.resize(samples_per_trace);
+    is.read(reinterpret_cast<char*>(t.samples.data()),
+            static_cast<std::streamsize>(samples_per_trace * sizeof(double)));
+    LD_REQUIRE(is.good(), "truncated trace file at record " << i);
+    store.traces_.push_back(std::move(t));
+  }
+  return store;
+}
+
+}  // namespace leakydsp::sim

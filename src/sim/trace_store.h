@@ -1,0 +1,50 @@
+// Binary trace persistence. The paper's workflow records traces on the
+// board over UART and analyzes them offline on a GPU box; this store is
+// the equivalent split in the simulation: a campaign writes (ciphertext,
+// samples) records to disk, and an offline CPA pass replays them.
+//
+// Format (little-endian):
+//   magic "LDTR", u32 version, u32 samples_per_trace, u64 trace_count,
+//   then per trace: 16 ciphertext bytes + samples_per_trace f64 samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/aes128.h"
+
+namespace leakydsp::sim {
+
+/// One recorded trace.
+struct StoredTrace {
+  crypto::Block ciphertext{};
+  std::vector<double> samples;
+};
+
+/// An in-memory trace set with binary (de)serialization.
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t samples_per_trace);
+
+  std::size_t samples_per_trace() const { return samples_per_trace_; }
+  std::size_t size() const { return traces_.size(); }
+  const StoredTrace& trace(std::size_t i) const;
+
+  /// Appends a trace; the sample count must match.
+  void add(const crypto::Block& ciphertext, std::vector<double> samples);
+
+  /// Serializes all traces to `path`; throws util::InvariantError on I/O
+  /// failure.
+  void save(const std::string& path) const;
+
+  /// Loads a store written by save(); validates magic, version and record
+  /// sizes, throwing util::PreconditionError on malformed input.
+  static TraceStore load(const std::string& path);
+
+ private:
+  std::size_t samples_per_trace_;
+  std::vector<StoredTrace> traces_;
+};
+
+}  // namespace leakydsp::sim

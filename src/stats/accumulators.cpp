@@ -1,0 +1,71 @@
+#include "stats/accumulators.h"
+
+#include <cmath>
+
+namespace leakydsp::stats {
+
+void MeanVar::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double MeanVar::variance() const {
+  return n_ >= 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double MeanVar::sample_variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double MeanVar::stddev() const { return std::sqrt(variance()); }
+
+void MeanVar::merge(const MeanVar& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+}
+
+void MeanVar::reset() { *this = MeanVar{}; }
+
+void Correlation::add(double x, double y) {
+  ++n_;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  const double dx = x - mean_x_;
+  const double dy = y - mean_y_;
+  mean_x_ += dx * inv_n;
+  mean_y_ += dy * inv_n;
+  m2_x_ += dx * (x - mean_x_);
+  m2_y_ += dy * (y - mean_y_);
+  co_ += dx * (y - mean_y_);
+}
+
+double Correlation::covariance() const {
+  return n_ >= 1 ? co_ / static_cast<double>(n_) : 0.0;
+}
+
+double Correlation::pearson() const {
+  if (n_ < 2) return 0.0;
+  const double denom = std::sqrt(m2_x_ * m2_y_);
+  return denom > 0.0 ? co_ / denom : 0.0;
+}
+
+double Correlation::slope() const {
+  return m2_x_ > 0.0 ? co_ / m2_x_ : 0.0;
+}
+
+double Correlation::intercept() const { return mean_y_ - slope() * mean_x_; }
+
+void Correlation::reset() { *this = Correlation{}; }
+
+}  // namespace leakydsp::stats

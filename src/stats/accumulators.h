@@ -1,0 +1,60 @@
+// Numerically stable online accumulators (Welford / co-moment updates).
+// These are the workhorses of trace statistics: the CPA engine keeps one
+// covariance accumulator per (key byte, guess, sample point).
+#pragma once
+
+#include <cstddef>
+
+namespace leakydsp::stats {
+
+/// Online mean/variance with Welford's update.
+class MeanVar {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 when fewer than 1 sample.
+  double variance() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const MeanVar& other);
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Online covariance/correlation of paired observations (x, y).
+class Correlation {
+ public:
+  void add(double x, double y);
+
+  std::size_t count() const { return n_; }
+  double mean_x() const { return mean_x_; }
+  double mean_y() const { return mean_y_; }
+  double covariance() const;
+  /// Pearson correlation coefficient; 0 when either variance vanishes.
+  double pearson() const;
+  /// Least-squares slope of y on x; 0 when x has no variance.
+  double slope() const;
+  double intercept() const;
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double m2_x_ = 0.0;
+  double m2_y_ = 0.0;
+  double co_ = 0.0;
+};
+
+}  // namespace leakydsp::stats

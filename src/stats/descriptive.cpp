@@ -1,0 +1,94 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/accumulators.h"
+#include "util/contracts.h"
+
+namespace leakydsp::stats {
+
+double mean(std::span<const double> xs) {
+  LD_REQUIRE(!xs.empty(), "mean of empty span");
+  MeanVar acc;
+  for (const double x : xs) acc.add(x);
+  return acc.mean();
+}
+
+double variance(std::span<const double> xs) {
+  LD_REQUIRE(!xs.empty(), "variance of empty span");
+  MeanVar acc;
+  for (const double x : xs) acc.add(x);
+  return acc.variance();
+}
+
+double sample_variance(std::span<const double> xs) {
+  LD_REQUIRE(xs.size() >= 2, "sample variance needs >= 2 points");
+  MeanVar acc;
+  for (const double x : xs) acc.add(x);
+  return acc.sample_variance();
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  LD_REQUIRE(xs.size() == ys.size(), "pearson size mismatch");
+  LD_REQUIRE(xs.size() >= 2, "pearson needs >= 2 points");
+  Correlation acc;
+  for (std::size_t i = 0; i < xs.size(); ++i) acc.add(xs[i], ys[i]);
+  return acc.pearson();
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  LD_REQUIRE(xs.size() == ys.size(), "linear_fit size mismatch");
+  LD_REQUIRE(xs.size() >= 2, "linear_fit needs >= 2 points");
+  Correlation acc;
+  for (std::size_t i = 0; i < xs.size(); ++i) acc.add(xs[i], ys[i]);
+  LinearFit fit;
+  fit.slope = acc.slope();
+  fit.intercept = acc.intercept();
+  fit.r = acc.pearson();
+  fit.r2 = fit.r * fit.r;
+  return fit;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  LD_REQUIRE(!xs.empty(), "quantile of empty span");
+  LD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of range: " << q);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double min_value(std::span<const double> xs) {
+  LD_REQUIRE(!xs.empty(), "min of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  LD_REQUIRE(!xs.empty(), "max of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  LD_REQUIRE(lag < xs.size(), "lag " << lag << " >= sample count");
+  LD_REQUIRE(xs.size() >= 2, "need >= 2 samples");
+  const double mu = mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - mu;
+    den += d * d;
+    if (i + lag < xs.size()) num += d * (xs[i + lag] - mu);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace leakydsp::stats

@@ -1,0 +1,44 @@
+// Batch descriptive statistics over spans: mean, variance, Pearson,
+// least-squares fit, quantiles. Used by characterization benches (Fig. 3/4)
+// where all readouts for a setting are collected before analysis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace leakydsp::stats {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);        // population
+double sample_variance(std::span<const double> xs);  // n-1 denominator
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation of paired samples; sizes must match and be >= 2.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Result of an ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;   ///< Pearson correlation of the fit inputs.
+  double r2 = 0.0;  ///< Coefficient of determination.
+};
+
+/// Least-squares fit; sizes must match and be >= 2.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// q-quantile (0 <= q <= 1) with linear interpolation; copies and sorts.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Min/max over a non-empty span.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Sample autocorrelation at the given lag (mean-removed, normalized by
+/// the lag-0 variance); lag must be < xs.size().
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+}  // namespace leakydsp::stats

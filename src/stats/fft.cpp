@@ -1,0 +1,120 @@
+#include "stats/fft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/contracts.h"
+
+namespace leakydsp::stats {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+double hann(std::size_t i, std::size_t n) {
+  LD_REQUIRE(n >= 2, "window too short");
+  return 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                               static_cast<double>(i) /
+                               static_cast<double>(n - 1)));
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  LD_REQUIRE(n > 0 && (n & (n - 1)) == 0, "FFT size " << n
+                                                      << " not a power of 2");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = data[i + k];
+        const auto v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> periodogram(std::span<const double> signal) {
+  LD_REQUIRE(signal.size() >= 4, "signal too short for a periodogram");
+  const std::size_t n = signal.size();
+  double mean = 0.0;
+  for (const double x : signal) mean += x;
+  mean /= static_cast<double>(n);
+
+  const std::size_t padded = next_pow2(n);
+  std::vector<std::complex<double>> buf(padded, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = (signal[i] - mean) * hann(i, n);
+  }
+  fft(buf);
+  std::vector<double> psd(padded / 2 + 1);
+  for (std::size_t k = 0; k < psd.size(); ++k) {
+    psd[k] = std::norm(buf[k]) / static_cast<double>(n);
+  }
+  return psd;
+}
+
+std::vector<double> welch_psd(std::span<const double> signal,
+                              std::size_t segment_length) {
+  LD_REQUIRE(segment_length >= 8, "segment too short");
+  LD_REQUIRE(signal.size() >= segment_length,
+             "signal shorter than one segment");
+  const std::size_t hop = segment_length / 2;
+  std::vector<double> accum;
+  std::size_t segments = 0;
+  for (std::size_t start = 0; start + segment_length <= signal.size();
+       start += hop) {
+    const auto psd = periodogram(signal.subspan(start, segment_length));
+    if (accum.empty()) accum.assign(psd.size(), 0.0);
+    for (std::size_t k = 0; k < psd.size(); ++k) accum[k] += psd[k];
+    ++segments;
+  }
+  for (auto& v : accum) v /= static_cast<double>(segments);
+  return accum;
+}
+
+std::vector<double> band_energies(std::span<const double> psd,
+                                  std::size_t bands) {
+  LD_REQUIRE(bands >= 1, "need at least one band");
+  LD_REQUIRE(psd.size() >= bands + 1, "PSD too short for the band count");
+  // Logarithmic band edges over bins [1, psd.size()).
+  std::vector<double> features(bands, 0.0);
+  const double lo = 1.0;
+  const double hi = static_cast<double>(psd.size());
+  for (std::size_t b = 0; b < bands; ++b) {
+    const auto begin = static_cast<std::size_t>(
+        lo * std::pow(hi / lo, static_cast<double>(b) /
+                                   static_cast<double>(bands)));
+    auto end = static_cast<std::size_t>(
+        lo * std::pow(hi / lo, static_cast<double>(b + 1) /
+                                   static_cast<double>(bands)));
+    end = std::max(end, begin + 1);
+    for (std::size_t k = begin; k < end && k < psd.size(); ++k) {
+      features[b] += psd[k];
+    }
+  }
+  double total = 0.0;
+  for (const double f : features) total += f;
+  if (total > 0.0) {
+    for (auto& f : features) f /= total;
+  }
+  return features;
+}
+
+}  // namespace leakydsp::stats

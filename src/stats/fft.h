@@ -1,0 +1,42 @@
+// Radix-2 FFT and spectral estimation. The workload-fingerprinting attack
+// classifies co-tenant computations by the spectral shape of the sensor's
+// readout stream (different accelerators toggle with different rhythms),
+// which needs a periodogram over tens of thousands of readouts.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace leakydsp::stats {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. Size must be a power of
+/// two. `inverse` applies the conjugate transform *without* 1/N scaling
+/// (callers scale; fft then ifft of x returns N*x).
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// Hann window coefficient for index i of an n-point window.
+double hann(std::size_t i, std::size_t n);
+
+/// One-sided power spectral density estimate of a real signal: mean
+/// removal, Hann window, zero-padding to a power of two, |X|^2. Returns
+/// bins 0..N/2 (inclusive).
+std::vector<double> periodogram(std::span<const double> signal);
+
+/// Welch-style averaged periodogram: `segments` half-overlapping Hann
+/// segments. Lower variance than a single periodogram; this is the
+/// fingerprinting feature extractor's front end.
+std::vector<double> welch_psd(std::span<const double> signal,
+                              std::size_t segment_length);
+
+/// Aggregates a PSD into `bands` logarithmically spaced band energies
+/// (skipping the DC bin), normalized to sum to 1 — the classifier's
+/// feature vector.
+std::vector<double> band_energies(std::span<const double> psd,
+                                  std::size_t bands);
+
+}  // namespace leakydsp::stats

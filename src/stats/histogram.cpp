@@ -1,0 +1,73 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace leakydsp::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  LD_REQUIRE(hi > lo, "histogram range empty: [" << lo << ", " << hi << "]");
+  LD_REQUIRE(bins > 0, "histogram needs at least one bin");
+  counts_.assign(bins, 0.0);
+}
+
+std::size_t Histogram::bin_index(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  const auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double value, double weight) {
+  LD_REQUIRE(weight >= 0.0, "negative histogram weight " << weight);
+  counts_[bin_index(value)] += weight;
+  total_ += weight;
+}
+
+double Histogram::count(std::size_t bin) const {
+  LD_REQUIRE(bin < counts_.size(), "bin " << bin << " out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  LD_REQUIRE(i < counts_.size(), "bin " << i << " out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::mass_above(std::size_t bin) const {
+  LD_REQUIRE(bin < counts_.size(), "bin " << bin << " out of range");
+  double sum = 0.0;
+  for (std::size_t i = bin + 1; i < counts_.size(); ++i) sum += counts_[i];
+  return sum;
+}
+
+double Histogram::mass_at_or_above(std::size_t bin) const {
+  LD_REQUIRE(bin < counts_.size(), "bin " << bin << " out of range");
+  double sum = 0.0;
+  for (std::size_t i = bin; i < counts_.size(); ++i) sum += counts_[i];
+  return sum;
+}
+
+Histogram Histogram::convolve(const Histogram& other) const {
+  LD_REQUIRE(std::abs(width_ - other.width_) <= 1e-12 * std::abs(width_),
+             "convolution requires equal bin widths");
+  const std::size_t n = counts_.size();
+  const std::size_t m = other.counts_.size();
+  Histogram out(lo_ + other.lo_,
+                lo_ + other.lo_ + width_ * static_cast<double>(n + m - 1),
+                n + m - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ci = counts_[i];
+    if (ci == 0.0) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      out.counts_[i + j] += ci * other.counts_[j];
+    }
+  }
+  for (const double c : out.counts_) out.total_ += c;
+  return out;
+}
+
+}  // namespace leakydsp::stats

@@ -1,0 +1,57 @@
+#include "timing/delay_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace leakydsp::timing {
+
+double AlphaPowerLaw::scale(double v) const {
+  LD_REQUIRE(v > vth, "supply " << v << " V at or below threshold " << vth
+                                << " V — outside model validity");
+  // Sakurai–Newton: delay ∝ V / (V - Vth)^alpha, normalized at vnom.
+  const double num = (v / vnom);
+  const double den = std::pow((v - vth) / (vnom - vth), alpha);
+  return num / den;
+}
+
+double AlphaPowerLaw::sensitivity_at_nominal() const {
+  // d/dV [ V/vnom * ((vnom-vth)/(V-vth))^alpha ] at V = vnom:
+  //   = 1/vnom - alpha/(vnom - vth)
+  return 1.0 / vnom - alpha / (vnom - vth);
+}
+
+DelayChain::DelayChain(std::vector<double> stage_delays_ns, AlphaPowerLaw law)
+    : stage_delays_(std::move(stage_delays_ns)), law_(law) {
+  LD_REQUIRE(!stage_delays_.empty(), "delay chain needs at least one stage");
+  cumulative_.reserve(stage_delays_.size());
+  double sum = 0.0;
+  for (const double d : stage_delays_) {
+    LD_REQUIRE(d > 0.0, "non-positive stage delay " << d << " ns");
+    sum += d;
+    cumulative_.push_back(sum);
+  }
+  nominal_total_ = sum;
+}
+
+double DelayChain::total_delay(double v) const {
+  return nominal_total_ * law_.scale(v);
+}
+
+double DelayChain::arrival(std::size_t i, double v) const {
+  LD_REQUIRE(i < cumulative_.size(), "stage " << i << " out of range");
+  return cumulative_[i] * law_.scale(v);
+}
+
+std::size_t DelayChain::stages_within(double budget_ns, double v) const {
+  const double scale = law_.scale(v);
+  if (budget_ns <= 0.0) return 0;
+  const double normalized = budget_ns / scale;
+  // First cumulative value strictly greater than the budget marks the end.
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), normalized);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+}  // namespace leakydsp::timing

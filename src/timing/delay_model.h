@@ -1,0 +1,73 @@
+// Voltage→delay physics shared by every sensor model.
+//
+// CMOS gate delay grows as supply voltage drops; the standard compact model
+// is the Sakurai–Newton alpha-power law: delay ∝ V / (V - Vth)^alpha. We
+// expose it as a dimensionless *scale factor* relative to nominal supply, so
+// a chain with nominal delay D has delay D * scale(V) at supply V. Voltage
+// droops of a few mV produce delay stretches of tens of ps on a ~10 ns
+// amplified path — exactly the signal LeakyDSP and TDC sensors digitize.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace leakydsp::timing {
+
+/// Sakurai–Newton alpha-power voltage→delay law, normalized so that
+/// scale(vnom) == 1.
+struct AlphaPowerLaw {
+  double vnom = 1.0;   ///< Nominal supply voltage [V].
+  double vth = 0.30;   ///< Effective threshold voltage [V].
+  double alpha = 1.3;  ///< Velocity-saturation exponent.
+
+  /// Delay scale factor at supply `v` (relative to nominal). Throws when `v`
+  /// does not exceed the threshold voltage — a supply collapse outside the
+  /// model's validity range.
+  double scale(double v) const;
+
+  /// d(scale)/dV evaluated at nominal supply [1/V]; negative (higher supply
+  /// is faster). Useful for first-order sensitivity analysis in tests.
+  double sensitivity_at_nominal() const;
+};
+
+/// A chain of combinational delay stages (e.g. 128 CARRY4 mux stages, or the
+/// sub-component path of a DSP48). All stage delays stretch by the same
+/// voltage scale factor because they share the supply rail.
+class DelayChain {
+ public:
+  DelayChain(std::vector<double> stage_delays_ns, AlphaPowerLaw law);
+
+  std::size_t stages() const { return stage_delays_.size(); }
+  const AlphaPowerLaw& law() const { return law_; }
+
+  /// Total propagation delay at supply `v` [ns].
+  double total_delay(double v) const;
+
+  /// Cumulative delay up to and including stage `i` at supply `v` [ns].
+  double arrival(std::size_t i, double v) const;
+
+  /// Number of stages whose cumulative arrival time is <= `budget_ns` at
+  /// supply `v` — the thermometer-code observable of a TDC.
+  std::size_t stages_within(double budget_ns, double v) const;
+
+  double nominal_total() const { return nominal_total_; }
+
+ private:
+  std::vector<double> stage_delays_;
+  std::vector<double> cumulative_;  // prefix sums of nominal stage delays
+  AlphaPowerLaw law_;
+  double nominal_total_ = 0.0;
+};
+
+/// Gaussian sampling jitter on a capture clock edge [ns rms].
+struct JitterModel {
+  double sigma_ns = 0.0;
+
+  double sample(util::Rng& rng) const {
+    return sigma_ns > 0.0 ? rng.gaussian(0.0, sigma_ns) : 0.0;
+  }
+};
+
+}  // namespace leakydsp::timing

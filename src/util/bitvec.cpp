@@ -1,0 +1,155 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+#include "util/contracts.h"
+
+namespace leakydsp::util {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t word_count(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+int popcount64(std::uint64_t x) { return std::popcount(x); }
+
+BitVec::BitVec(std::size_t size, bool value)
+    : size_(size), words_(word_count(size), value ? ~0ULL : 0ULL) {
+  clear_padding();
+}
+
+BitVec BitVec::from_word(std::uint64_t word, std::size_t size) {
+  LD_REQUIRE(size <= kWordBits, "from_word size " << size << " > 64");
+  BitVec v(size);
+  if (size > 0) {
+    v.words_[0] = size == kWordBits ? word : (word & ((1ULL << size) - 1));
+  }
+  return v;
+}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    LD_REQUIRE(c == '0' || c == '1', "invalid bit character '" << c << "'");
+    // MSB first: bits[0] is the highest index.
+    v.set(bits.size() - 1 - i, c == '1');
+  }
+  return v;
+}
+
+void BitVec::check_index(std::size_t i) const {
+  LD_REQUIRE(i < size_, "bit index " << i << " out of range (size " << size_
+                                     << ")");
+}
+
+void BitVec::check_same_size(const BitVec& other) const {
+  LD_REQUIRE(size_ == other.size_, "size mismatch: " << size_ << " vs "
+                                                     << other.size_);
+}
+
+void BitVec::clear_padding() {
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+bool BitVec::test(std::size_t i) const {
+  check_index(i);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  check_index(i);
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::flip(std::size_t i) {
+  check_index(i);
+  words_[i / kWordBits] ^= 1ULL << (i % kWordBits);
+}
+
+void BitVec::fill(bool value) {
+  for (auto& w : words_) w = value ? ~0ULL : 0ULL;
+  clear_padding();
+}
+
+std::size_t BitVec::hamming_weight() const {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(popcount64(w));
+  return total;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(popcount64(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+std::uint64_t BitVec::to_word(std::size_t n) const {
+  LD_REQUIRE(n <= kWordBits && n <= size_,
+             "to_word width " << n << " out of range");
+  if (n == 0) return 0;
+  const std::uint64_t mask = n == kWordBits ? ~0ULL : ((1ULL << n) - 1);
+  return words_.empty() ? 0 : (words_[0] & mask);
+}
+
+std::string BitVec::to_string() const {
+  std::string out(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (test(i)) out[size_ - 1 - i] = '1';
+  }
+  return out;
+}
+
+BitVec BitVec::operator^(const BitVec& other) const {
+  check_same_size(other);
+  BitVec out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] ^ other.words_[i];
+  }
+  return out;
+}
+
+BitVec BitVec::operator&(const BitVec& other) const {
+  check_same_size(other);
+  BitVec out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  return out;
+}
+
+BitVec BitVec::operator|(const BitVec& other) const {
+  check_same_size(other);
+  BitVec out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] | other.words_[i];
+  }
+  return out;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.clear_padding();
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+}  // namespace leakydsp::util

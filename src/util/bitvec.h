@@ -1,0 +1,68 @@
+// Dynamic bit vector used for sensor output words, AES state diffing and
+// netlist bookkeeping. Word-packed with popcount acceleration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leakydsp::util {
+
+/// Fixed-size-after-construction vector of bits with set/test/flip, bitwise
+/// ops and Hamming weight/distance. Out-of-range access throws.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates `size` bits, all initialized to `value`.
+  explicit BitVec(std::size_t size, bool value = false);
+
+  /// Builds from the low `size` bits of `word` (bit 0 = LSB).
+  static BitVec from_word(std::uint64_t word, std::size_t size);
+
+  /// Builds from a string of '0'/'1' characters, MSB first.
+  static BitVec from_string(const std::string& bits);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  void flip(std::size_t i);
+
+  /// Sets all bits to `value`.
+  void fill(bool value);
+
+  /// Number of set bits.
+  std::size_t hamming_weight() const;
+
+  /// Number of differing bits; sizes must match.
+  std::size_t hamming_distance(const BitVec& other) const;
+
+  /// Lowest `n` bits as a word; requires n <= 64.
+  std::uint64_t to_word(std::size_t n) const;
+
+  /// MSB-first '0'/'1' string.
+  std::string to_string() const;
+
+  BitVec operator^(const BitVec& other) const;
+  BitVec operator&(const BitVec& other) const;
+  BitVec operator|(const BitVec& other) const;
+  BitVec operator~() const;
+
+  bool operator==(const BitVec& other) const;
+
+ private:
+  void check_index(std::size_t i) const;
+  void check_same_size(const BitVec& other) const;
+  void clear_padding();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hamming weight of a 64-bit word.
+int popcount64(std::uint64_t x);
+
+}  // namespace leakydsp::util

@@ -1,0 +1,41 @@
+// Minimal command-line parsing for benches and examples: `--key value`
+// options, `--flag` booleans, with typed getters and defaults. Unknown
+// options throw, so typos in an experiment sweep fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace leakydsp::util {
+
+/// Parsed command line. Construct once from argc/argv, then query.
+class Cli {
+ public:
+  /// `spec` lists accepted option names (without the leading "--"); a name
+  /// ending in '!' marks a boolean flag that takes no value.
+  Cli(int argc, const char* const* argv, const std::vector<std::string>& spec);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::uint64_t get_seed(const std::string& name,
+                         std::uint64_t fallback) const;
+  bool get_flag(const std::string& name) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+};
+
+}  // namespace leakydsp::util

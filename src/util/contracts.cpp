@@ -1,0 +1,25 @@
+#include "util/contracts.h"
+
+namespace leakydsp::util::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << kind << " violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  return oss.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+void throw_invariant(const char* expr, const char* file, int line,
+                     const std::string& msg) {
+  throw InvariantError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace leakydsp::util::detail

@@ -1,0 +1,53 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines (I.6,
+// E.12): preconditions and invariants throw, so callers can rely on the
+// strong guarantee instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace leakydsp::util {
+
+/// Thrown when a precondition (LD_REQUIRE) is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant (LD_ENSURE) is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace leakydsp::util
+
+/// Precondition check: throws PreconditionError with context when false.
+#define LD_REQUIRE(expr, msg)                                             \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream ld_oss_;                                         \
+      ld_oss_ << msg; /* NOLINT */                                        \
+      ::leakydsp::util::detail::throw_precondition(#expr, __FILE__,       \
+                                                   __LINE__, ld_oss_.str()); \
+    }                                                                     \
+  } while (false)
+
+/// Invariant/postcondition check: throws InvariantError when false.
+#define LD_ENSURE(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream ld_oss_;                                         \
+      ld_oss_ << msg; /* NOLINT */                                        \
+      ::leakydsp::util::detail::throw_invariant(#expr, __FILE__, __LINE__, \
+                                                ld_oss_.str());           \
+    }                                                                     \
+  } while (false)

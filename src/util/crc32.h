@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for bitstream integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace leakydsp::util {
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final xor 0xFFFFFFFF — the zlib/PNG
+/// convention).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace leakydsp::util

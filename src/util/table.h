@@ -1,0 +1,50 @@
+// Aligned text tables and CSV emission for the benchmark harnesses. Every
+// figure/table regenerator prints one of these so its output is directly
+// comparable with the paper's rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace leakydsp::util {
+
+/// Column-aligned table with an optional title. Cells are strings; numeric
+/// convenience overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 3);
+  Table& add(long long value);
+  Table& add(unsigned long long value);
+  Table& add(int value);
+  Table& add(std::size_t value);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with padded columns, a header underline, and `indent` spaces of
+  /// left margin.
+  void print(std::ostream& os, int indent = 0) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of embedded commas needed for
+  /// our numeric content, but quotes are applied when a cell contains one).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string format_double(double value, int precision);
+
+/// Formats a count with thousands separators, e.g. 25000 -> "25,000".
+std::string format_count(unsigned long long value);
+
+}  // namespace leakydsp::util

@@ -1,0 +1,35 @@
+// Physical unit conventions used across the simulation substrate.
+//
+// All times are in nanoseconds, all voltages in volts, all currents in
+// normalized "activity units" (one toggling power-virus instance = 1.0)
+// unless a name says otherwise. These helpers make literals self-describing
+// at call sites, e.g. `period = mhz_to_period_ns(300.0)`.
+#pragma once
+
+namespace leakydsp::util {
+
+constexpr double kNsPerPs = 1e-3;
+constexpr double kPsPerNs = 1e3;
+constexpr double kNsPerUs = 1e3;
+constexpr double kNsPerMs = 1e6;
+constexpr double kNsPerS = 1e9;
+
+/// Picoseconds -> nanoseconds.
+constexpr double ps(double value_ps) { return value_ps * kNsPerPs; }
+
+/// Microseconds -> nanoseconds.
+constexpr double us(double value_us) { return value_us * kNsPerUs; }
+
+/// Milliseconds -> nanoseconds.
+constexpr double ms(double value_ms) { return value_ms * kNsPerMs; }
+
+/// Millivolts -> volts.
+constexpr double mv(double value_mv) { return value_mv * 1e-3; }
+
+/// Clock frequency in MHz -> period in nanoseconds.
+constexpr double mhz_to_period_ns(double mhz) { return 1e3 / mhz; }
+
+/// Period in nanoseconds -> frequency in MHz.
+constexpr double period_ns_to_mhz(double period_ns) { return 1e3 / period_ns; }
+
+}  // namespace leakydsp::util

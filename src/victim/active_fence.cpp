@@ -1,0 +1,53 @@
+#include "victim/active_fence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/contracts.h"
+
+namespace leakydsp::victim {
+
+ActiveFence::ActiveFence(const fabric::Device& device,
+                         const pdn::PdnGrid& grid,
+                         const fabric::Rect& guard_region,
+                         ActiveFenceParams params)
+    : params_(params) {
+  LD_REQUIRE(params_.instance_count >= 1, "fence needs instances");
+  LD_REQUIRE(params_.toggle_probability > 0.0 &&
+                 params_.toggle_probability <= 0.5,
+             "toggle probability out of (0, 0.5] — the shared activity "
+             "pattern spans [0, 2p]");
+  const auto sites =
+      device.sites_of_type(fabric::SiteType::kClb, guard_region);
+  LD_REQUIRE(!sites.empty(), "guard region has no CLB sites");
+  std::map<std::size_t, std::size_t> per_node;
+  for (std::size_t i = 0; i < params_.instance_count; ++i) {
+    per_node[grid.node_of_site(sites[i % sites.size()])] += 1;
+  }
+  node_counts_.assign(per_node.begin(), per_node.end());
+}
+
+double ActiveFence::mean_current() const {
+  return static_cast<double>(params_.instance_count) *
+         params_.toggle_probability * params_.instance_current;
+}
+
+std::vector<pdn::CurrentInjection> ActiveFence::draws(util::Rng& rng) const {
+  std::vector<pdn::CurrentInjection> out;
+  if (!enabled_) return out;
+  out.reserve(node_counts_.size());
+  // Fence cells are driven by a *shared* PRNG enable pattern (independent
+  // per-cell toggling would average out to nearly DC — useless as a
+  // countermeasure). Per sample the whole fence runs at a random activity
+  // in [0, 2p], giving broadband noise with the configured mean.
+  const double activity =
+      rng.uniform(0.0, 2.0 * params_.toggle_probability);
+  for (const auto& [node, count] : node_counts_) {
+    out.push_back({node, static_cast<double>(count) * activity *
+                             params_.instance_current});
+  }
+  return out;
+}
+
+}  // namespace leakydsp::victim

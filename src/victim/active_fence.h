@@ -1,0 +1,54 @@
+// Active fence — the noise-injection countermeasure the paper's discussion
+// cites (Krautter et al., ICCAD'19; Glamocanin et al., DDECS'23). The
+// defender surrounds the protected core with fence cells that toggle
+// pseudo-randomly, swamping the victim's data-dependent droop with
+// broadband noise at the cost of power.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/geometry.h"
+#include "pdn/grid.h"
+#include "util/rng.h"
+
+namespace leakydsp::victim {
+
+/// Fence configuration.
+struct ActiveFenceParams {
+  std::size_t instance_count = 2000;
+  /// Mean activity factor of the shared PRNG enable pattern.
+  double toggle_probability = 0.5;
+  /// Current of one toggling fence instance [A] (same scale as the power
+  /// virus instances).
+  double instance_current = 2.5e-3;
+};
+
+/// A deployed fence: instances spread over a guard region around the
+/// protected core; each sample interval a random subset toggles.
+class ActiveFence {
+ public:
+  ActiveFence(const fabric::Device& device, const pdn::PdnGrid& grid,
+              const fabric::Rect& guard_region,
+              ActiveFenceParams params = {});
+
+  const ActiveFenceParams& params() const { return params_; }
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Mean total fence current when enabled [A].
+  double mean_current() const;
+
+  /// Instantaneous draws for one sample interval: per-node binomial
+  /// toggling (normal approximation above 16 instances per node).
+  std::vector<pdn::CurrentInjection> draws(util::Rng& rng) const;
+
+ private:
+  ActiveFenceParams params_;
+  bool enabled_ = true;
+  std::vector<std::pair<std::size_t, std::size_t>> node_counts_;
+};
+
+}  // namespace leakydsp::victim

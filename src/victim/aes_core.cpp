@@ -1,0 +1,59 @@
+#include "victim/aes_core.h"
+
+#include <bit>
+
+#include "util/contracts.h"
+
+namespace leakydsp::victim {
+
+std::size_t block_hd(const crypto::Block& a, const crypto::Block& b) {
+  std::size_t hd = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    hd += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(a[i] ^ b[i])));
+  }
+  return hd;
+}
+
+AesCoreModel::AesCoreModel(const crypto::Key& key,
+                           fabric::SiteCoord placement,
+                           const pdn::PdnGrid& grid, AesCoreParams params)
+    : aes_(key),
+      placement_(placement),
+      pdn_node_(grid.node_of_site(placement)),
+      params_(params) {
+  LD_REQUIRE(params_.clock_mhz > 0.0, "clock must be positive");
+  LD_REQUIRE(params_.current_per_hd_bit >= 0.0, "negative leak current");
+  LD_REQUIRE(params_.load_cycles >= 1, "need at least one load cycle");
+}
+
+void AesCoreModel::start_encryption(const crypto::Block& plaintext) {
+  plaintext_ = plaintext;
+  trace_ = aes_.encrypt_trace(plaintext);
+  running_ = true;
+}
+
+std::size_t AesCoreModel::round_transition_hd(std::size_t r) const {
+  LD_REQUIRE(running_, "no encryption started");
+  LD_REQUIRE(r >= 1 && r <= 10, "round " << r << " out of 1..10");
+  return block_hd(trace_.states[r - 1], trace_.states[r]);
+}
+
+double AesCoreModel::current_at_cycle(std::size_t c) const {
+  LD_REQUIRE(running_, "no encryption started");
+  if (c < params_.load_cycles) {
+    // Loading plaintext xor key into a previously-cleared state register.
+    const std::size_t hd = block_hd(crypto::Block{}, trace_.states[0]);
+    return params_.static_active_current +
+           params_.current_per_hd_bit * static_cast<double>(hd);
+  }
+  const std::size_t round = c - params_.load_cycles + 1;
+  if (round <= 10) {
+    return params_.static_active_current +
+           params_.current_per_hd_bit *
+               static_cast<double>(round_transition_hd(round));
+  }
+  return params_.idle_current;
+}
+
+}  // namespace leakydsp::victim

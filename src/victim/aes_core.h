@@ -1,0 +1,77 @@
+// Cycle-level model of the iterative AES-128 hardware core [1] the paper
+// attacks: one round per clock cycle, a 128-bit state register, on-the-fly
+// key schedule. Per-cycle supply current follows the standard FPGA leakage
+// abstraction — proportional to the Hamming distance of the state-register
+// transition plus switching in the SubBytes logic — which is exactly the
+// dependency CPA exploits.
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/aes128.h"
+#include "fabric/geometry.h"
+#include "pdn/grid.h"
+
+namespace leakydsp::victim {
+
+/// Leakage/power parameters of the AES core [A].
+struct AesCoreParams {
+  double clock_mhz = 20.0;  ///< victim clock (paper default)
+  /// Current per flipped state-register bit during a round transition
+  /// [A, normalized]. Calibrated so the best placement (P6) breaks the full
+  /// key at ~25 k traces, matching Table I.
+  double current_per_hd_bit = 0.0094;
+  /// Data-independent switching per active cycle (control, key schedule).
+  double static_active_current = 0.3;
+  /// Idle leakage between encryptions.
+  double idle_current = 0.01;
+  /// Cycles between asserting start and the first round (load/latch).
+  std::size_t load_cycles = 1;
+};
+
+/// One encryption as a sequence of per-cycle current draws.
+class AesCoreModel {
+ public:
+  AesCoreModel(const crypto::Key& key, fabric::SiteCoord placement,
+               const pdn::PdnGrid& grid, AesCoreParams params = {});
+
+  const AesCoreParams& params() const { return params_; }
+  fabric::SiteCoord placement() const { return placement_; }
+  std::size_t pdn_node() const { return pdn_node_; }
+  double clock_period_ns() const { return 1e3 / params_.clock_mhz; }
+
+  /// Cycles from start assert to ciphertext-ready: load + 10 rounds.
+  std::size_t cycles_per_encryption() const { return params_.load_cycles + 10; }
+
+  /// Begins a new encryption; per-cycle currents are then queried with
+  /// current_at_cycle().
+  void start_encryption(const crypto::Block& plaintext);
+
+  /// Supply current during cycle `c` of the running encryption [A].
+  /// Cycle 0..load_cycles-1: state-register load; then one round per cycle.
+  /// Cycles past the encryption return the idle current.
+  double current_at_cycle(std::size_t c) const;
+
+  /// Ciphertext of the encryption started last.
+  const crypto::Block& ciphertext() const { return trace_.ciphertext; }
+
+  /// Hamming distance of the state-register transition entering round `r`
+  /// (1..10) — the quantity the CPA power model hypothesizes on.
+  std::size_t round_transition_hd(std::size_t r) const;
+
+  const crypto::Aes128& cipher() const { return aes_; }
+
+ private:
+  crypto::Aes128 aes_;
+  fabric::SiteCoord placement_;
+  std::size_t pdn_node_;
+  AesCoreParams params_;
+  crypto::Block plaintext_{};
+  crypto::EncryptionTrace trace_{};
+  bool running_ = false;
+};
+
+/// Hamming distance between two 16-byte blocks.
+std::size_t block_hd(const crypto::Block& a, const crypto::Block& b);
+
+}  // namespace leakydsp::victim

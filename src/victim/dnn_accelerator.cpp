@@ -1,0 +1,84 @@
+#include "victim/dnn_accelerator.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::victim {
+
+DnnWorkload::DnnWorkload(std::vector<DnnLayer> layers, double gap_us,
+                         double gap_current, double transfer_us,
+                         double jitter_rel)
+    : layers_(std::move(layers)),
+      gap_us_(gap_us),
+      gap_current_(gap_current),
+      transfer_us_(transfer_us),
+      jitter_rel_(jitter_rel) {
+  LD_REQUIRE(transfer_us >= 0.0, "negative transfer time");
+  LD_REQUIRE(!layers_.empty(), "network needs at least one layer");
+  for (const auto& l : layers_) {
+    LD_REQUIRE(l.duration_us > 0.0, "layer '" << l.kind
+                                              << "' has no duration");
+    LD_REQUIRE(l.current >= 0.0, "negative layer current");
+  }
+  LD_REQUIRE(gap_us_ >= 0.0, "negative gap");
+  LD_REQUIRE(jitter_rel_ >= 0.0 && jitter_rel_ < 1.0, "jitter out of range");
+  reset();
+}
+
+double DnnWorkload::inference_period_ns() const {
+  double total = gap_us_ +
+                 transfer_us_ * static_cast<double>(layers_.size() - 1);
+  for (const auto& l : layers_) total += l.duration_us;
+  return total * 1e3;
+}
+
+void DnnWorkload::reset() {
+  phase_ = 0;
+  phase_end_ns_ = 0.0;
+}
+
+double DnnWorkload::current_at(double t_ns, util::Rng& rng) {
+  LD_REQUIRE(t_ns >= 0.0, "negative time");
+  // Phase sequence per inference: L0, T, L1, T, ..., L(n-1), GAP — where T
+  // is the inter-layer feature-map transfer at the gap current.
+  const std::size_t phases = 2 * layers_.size();  // n layers + (n-1) T + gap
+  auto phase_nominal_us = [&](std::size_t phase) {
+    if (phase % 2 == 0) return layers_[phase / 2].duration_us;
+    return phase == phases - 1 ? gap_us_ : transfer_us_;
+  };
+  while (t_ns >= phase_end_ns_) {
+    const std::size_t next = phase_ % phases;
+    const double jitter =
+        jitter_rel_ > 0.0 ? rng.uniform(-jitter_rel_, jitter_rel_) : 0.0;
+    phase_end_ns_ += phase_nominal_us(next) * 1e3 * (1.0 + jitter);
+    ++phase_;
+  }
+  const std::size_t current_phase = (phase_ - 1) % phases;
+  return current_phase % 2 == 0 ? layers_[current_phase / 2].current
+                                : gap_current_;
+}
+
+DnnWorkload DnnWorkload::lenet_like() {
+  return DnnWorkload({{"conv", 8.0, 3.6},
+                      {"pool", 1.5, 1.6},
+                      {"conv", 6.0, 3.0},
+                      {"pool", 1.5, 1.6},
+                      {"fc", 3.0, 1.8}});
+}
+
+DnnWorkload DnnWorkload::vgg_like() {
+  return DnnWorkload({{"conv", 7.0, 3.8},
+                      {"conv", 7.0, 3.6},
+                      {"pool", 1.5, 1.6},
+                      {"conv", 5.0, 3.2},
+                      {"conv", 5.0, 3.0},
+                      {"pool", 1.5, 1.6},
+                      {"conv", 4.0, 2.6},
+                      {"fc", 3.0, 2.0},
+                      {"fc", 2.0, 1.6}});
+}
+
+DnnWorkload DnnWorkload::mlp_like() {
+  return DnnWorkload({{"fc", 4.0, 2.4}, {"fc", 2.5, 1.8}});
+}
+
+}  // namespace leakydsp::victim

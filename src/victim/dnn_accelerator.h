@@ -1,0 +1,61 @@
+// DNN accelerator workload: a layer-sequential inference engine whose
+// supply current steps between per-layer levels (conv layers run wide MAC
+// arrays, pooling nearly idles, dense layers sit in between). Remote power
+// side channels have been shown to recover exactly this structure —
+// stealing network architectures (Zhang et al., TIFS'21, reference [42])
+// and inputs [25]; the layer-detection attack in attack/layer_detect.h
+// consumes this model's readout streams.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "victim/workloads.h"
+
+namespace leakydsp::victim {
+
+/// One layer's execution profile.
+struct DnnLayer {
+  std::string kind;     ///< "conv", "pool", "fc", ...
+  double duration_us;   ///< execution time per inference
+  double current;       ///< supply draw while executing [A]
+};
+
+/// A layer-sequential inference accelerator running inferences
+/// back-to-back with an inter-inference gap.
+class DnnWorkload : public Workload {
+ public:
+  /// Between consecutive layers the accelerator stalls briefly on feature-
+  /// map transfers (current drops to the gap level) — the boundaries the
+  /// layer-detection attack exploits to separate same-current layers.
+  DnnWorkload(std::vector<DnnLayer> layers, double gap_us = 3.0,
+              double gap_current = 0.2, double transfer_us = 0.8,
+              double jitter_rel = 0.05);
+
+  std::string name() const override { return "dnn"; }
+  double current_at(double t_ns, util::Rng& rng) override;
+  void reset() override;
+
+  const std::vector<DnnLayer>& layers() const { return layers_; }
+  /// Nominal duration of one inference including the gap [ns].
+  double inference_period_ns() const;
+
+  /// A small LeNet-style network (5 layers).
+  static DnnWorkload lenet_like();
+  /// A deeper VGG-style network (9 layers).
+  static DnnWorkload vgg_like();
+  /// A two-layer MLP.
+  static DnnWorkload mlp_like();
+
+ private:
+  std::vector<DnnLayer> layers_;
+  double gap_us_;
+  double gap_current_;
+  double transfer_us_;
+  double jitter_rel_;
+  // Schedule bookkeeping: phase index cycles through layers + gap.
+  std::size_t phase_ = 0;
+  double phase_end_ns_ = 0.0;
+};
+
+}  // namespace leakydsp::victim

@@ -1,0 +1,63 @@
+#include "victim/masked_aes_core.h"
+
+#include "util/contracts.h"
+
+namespace leakydsp::victim {
+
+MaskedAesCoreModel::MaskedAesCoreModel(const crypto::Key& key,
+                                       fabric::SiteCoord placement,
+                                       const pdn::PdnGrid& grid,
+                                       AesCoreParams params,
+                                       std::uint64_t mask_seed)
+    : aes_(key),
+      pdn_node_(grid.node_of_site(placement)),
+      params_(params),
+      mask_rng_(mask_seed) {
+  LD_REQUIRE(params_.clock_mhz > 0.0, "clock must be positive");
+  LD_REQUIRE(params_.load_cycles >= 1, "need at least one load cycle");
+}
+
+void MaskedAesCoreModel::start_encryption(const crypto::Block& plaintext) {
+  trace_ = aes_.encrypt_trace(plaintext);
+  running_ = true;
+
+  // Fresh mask per round; the two share registers transition as
+  //   shareA: (state[r-1] ^ mask[r-1]) -> (state[r] ^ mask[r])
+  //   shareB:  mask[r-1]               ->  mask[r]
+  // and the total register HD is the sum over both shares.
+  std::array<crypto::Block, 11> masks;
+  for (auto& m : masks) {
+    for (auto& b : m) b = static_cast<std::uint8_t>(mask_rng_() & 0xff);
+  }
+  auto masked = [&](std::size_t r) {
+    crypto::Block out;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint8_t>(trace_.states[r][i] ^ masks[r][i]);
+    }
+    return out;
+  };
+  // Cycle 0: load (cleared registers -> masked initial state + mask).
+  cycle_hd_[0] = block_hd(crypto::Block{}, masked(0)) +
+                 block_hd(crypto::Block{}, masks[0]);
+  for (std::size_t r = 1; r <= 10; ++r) {
+    cycle_hd_[r] = block_hd(masked(r - 1), masked(r)) +
+                   block_hd(masks[r - 1], masks[r]);
+  }
+}
+
+double MaskedAesCoreModel::current_at_cycle(std::size_t c) const {
+  LD_REQUIRE(running_, "no encryption started");
+  if (c < params_.load_cycles) {
+    return params_.static_active_current +
+           params_.current_per_hd_bit * static_cast<double>(cycle_hd_[0]);
+  }
+  const std::size_t round = c - params_.load_cycles + 1;
+  if (round <= 10) {
+    return params_.static_active_current +
+           params_.current_per_hd_bit *
+               static_cast<double>(cycle_hd_[round]);
+  }
+  return params_.idle_current;
+}
+
+}  // namespace leakydsp::victim

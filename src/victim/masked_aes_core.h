@@ -1,0 +1,58 @@
+// First-order Boolean-masked AES core — the "developers can modify their
+// circuits as constant-power implementation" mitigation from the paper's
+// discussion. The state register holds two shares (state ^ mask, mask)
+// with a fresh random mask every round; each share's Hamming-distance
+// power is statistically independent of the true state transition, so a
+// first-order CPA on the last round finds no correlation.
+//
+// Functional behaviour (ciphertexts) is unchanged — only the power model
+// differs from victim::AesCoreModel.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "crypto/aes128.h"
+#include "fabric/geometry.h"
+#include "pdn/grid.h"
+#include "util/rng.h"
+#include "victim/aes_core.h"
+
+namespace leakydsp::victim {
+
+/// Power model of a first-order masked iterative AES-128 core.
+class MaskedAesCoreModel {
+ public:
+  /// `mask_seed` seeds the core's internal mask generator (a TRNG on the
+  /// real device).
+  MaskedAesCoreModel(const crypto::Key& key, fabric::SiteCoord placement,
+                     const pdn::PdnGrid& grid, AesCoreParams params = {},
+                     std::uint64_t mask_seed = 0x6d61736b);
+
+  const AesCoreParams& params() const { return params_; }
+  std::size_t pdn_node() const { return pdn_node_; }
+  double clock_period_ns() const { return 1e3 / params_.clock_mhz; }
+  std::size_t cycles_per_encryption() const {
+    return params_.load_cycles + 10;
+  }
+
+  void start_encryption(const crypto::Block& plaintext);
+
+  /// Supply current during cycle `c` [A]: share-register HD power.
+  double current_at_cycle(std::size_t c) const;
+
+  const crypto::Block& ciphertext() const { return trace_.ciphertext; }
+  const crypto::Aes128& cipher() const { return aes_; }
+
+ private:
+  crypto::Aes128 aes_;
+  std::size_t pdn_node_;
+  AesCoreParams params_;
+  util::Rng mask_rng_;
+  crypto::EncryptionTrace trace_{};
+  /// Precomputed per-cycle Hamming distances of both share registers.
+  std::array<std::size_t, 11> cycle_hd_{};
+  bool running_ = false;
+};
+
+}  // namespace leakydsp::victim

@@ -1,0 +1,93 @@
+#include "victim/power_virus.h"
+
+#include <map>
+
+#include "util/contracts.h"
+
+namespace leakydsp::victim {
+
+PowerVirus::PowerVirus(const fabric::Device& device, const pdn::PdnGrid& grid,
+                       std::vector<fabric::Rect> regions,
+                       PowerVirusParams params)
+    : params_(params) {
+  LD_REQUIRE(!regions.empty(), "power virus needs at least one region");
+  LD_REQUIRE(params_.group_count >= 1, "need at least one group");
+  LD_REQUIRE(params_.instance_count % params_.group_count == 0,
+             "instances (" << params_.instance_count
+                           << ") must split evenly into "
+                           << params_.group_count << " groups");
+  LD_REQUIRE(params_.activity_dither >= 0.0 && params_.activity_dither < 1.0,
+             "activity dither out of range");
+
+  // Collect CLB sites across all regions (ROs occupy LUT+FF pairs), then
+  // deal instances round-robin so every group is evenly distributed in
+  // space — the paper's "evenly-distributed instances".
+  std::vector<fabric::SiteCoord> sites;
+  for (const auto& r : regions) {
+    const auto in_region = device.sites_of_type(fabric::SiteType::kClb, r);
+    sites.insert(sites.end(), in_region.begin(), in_region.end());
+  }
+  LD_REQUIRE(!sites.empty(), "no CLB sites in the virus regions");
+
+  std::vector<std::map<std::size_t, std::size_t>> per_group(
+      params_.group_count);
+  for (std::size_t i = 0; i < params_.instance_count; ++i) {
+    const auto& site = sites[i % sites.size()];
+    const std::size_t node = grid.node_of_site(site);
+    per_group[i % params_.group_count][node] += 1;
+  }
+  group_nodes_.reserve(params_.group_count);
+  for (auto& m : per_group) {
+    group_nodes_.emplace_back(m.begin(), m.end());
+  }
+}
+
+void PowerVirus::set_active_groups(std::size_t n) {
+  LD_REQUIRE(n <= params_.group_count,
+             "cannot activate " << n << " of " << params_.group_count
+                                << " groups");
+  active_groups_ = n;
+}
+
+void PowerVirus::set_enabled(bool on) {
+  active_groups_ = on ? params_.group_count : 0;
+}
+
+std::vector<pdn::CurrentInjection> PowerVirus::draws(util::Rng& rng) const {
+  // One shared dither factor models the correlated component of RO activity
+  // (supply-coupled frequency wander), the dominant aggregate fluctuation.
+  const double dither =
+      1.0 + (params_.activity_dither > 0.0
+                 ? rng.gaussian(0.0, params_.activity_dither)
+                 : 0.0);
+  std::vector<pdn::CurrentInjection> out;
+  for (std::size_t g = 0; g < active_groups_; ++g) {
+    for (const auto& [node, count] : group_nodes_[g]) {
+      out.push_back({node, static_cast<double>(count) * kInstanceCurrent *
+                               dither});
+    }
+  }
+  return out;
+}
+
+std::vector<pdn::CurrentInjection> PowerVirus::mean_draws() const {
+  std::vector<pdn::CurrentInjection> out;
+  for (std::size_t g = 0; g < active_groups_; ++g) {
+    for (const auto& [node, count] : group_nodes_[g]) {
+      out.push_back({node, static_cast<double>(count) * kInstanceCurrent});
+    }
+  }
+  return out;
+}
+
+double PowerVirus::active_current() const {
+  double total = 0.0;
+  for (std::size_t g = 0; g < active_groups_; ++g) {
+    for (const auto& [node, count] : group_nodes_[g]) {
+      total += static_cast<double>(count) * kInstanceCurrent;
+    }
+  }
+  return total;
+}
+
+}  // namespace leakydsp::victim

@@ -1,0 +1,74 @@
+// Ring-oscillator power virus (Section IV-A): thousands of RO instances
+// spread over victim Pblocks, partitioned into groups with independent
+// enable signals. Each active instance toggles at full speed and draws a
+// fixed average current with small activity dither; the sensor observes the
+// aggregate draw through the PDN.
+//
+// Current units: amperes. One instance draws kInstanceCurrent on average —
+// all other current scales in the repo (AES leakage, fences) are expressed
+// against the same unit so PDN gains convert consistently to volts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fabric/device.h"
+#include "fabric/geometry.h"
+#include "pdn/grid.h"
+#include "util/rng.h"
+
+namespace leakydsp::victim {
+
+/// Average supply current of one toggling RO instance [A, normalized model
+/// units]. Chosen so one 1000-instance group droops the best-coupled sensor
+/// by ~2.6 mV — the paper's Fig. 3 operating range (slope -3.45 readout
+/// bits per group at ~1.35 bits/mV sensor sensitivity).
+inline constexpr double kInstanceCurrent = 2.5e-3;
+
+/// Tuning knobs of the virus model.
+struct PowerVirusParams {
+  std::size_t instance_count = 8000;
+  std::size_t group_count = 8;
+  /// Relative rms dither of the aggregate activity (RO phase wander).
+  double activity_dither = 0.015;
+};
+
+/// A deployed power virus: instances placed evenly over the given regions,
+/// split into `group_count` groups of equal size (the paper's 8 x 1000).
+class PowerVirus {
+ public:
+  PowerVirus(const fabric::Device& device, const pdn::PdnGrid& grid,
+             std::vector<fabric::Rect> regions, PowerVirusParams params = {});
+
+  const PowerVirusParams& params() const { return params_; }
+  std::size_t group_count() const { return params_.group_count; }
+  std::size_t instances_per_group() const {
+    return params_.instance_count / params_.group_count;
+  }
+
+  /// Activates the first `n` groups (0 disables all, group_count() enables
+  /// every instance).
+  void set_active_groups(std::size_t n);
+  std::size_t active_groups() const { return active_groups_; }
+
+  /// Convenience all-on/all-off switch (the covert-channel sender).
+  void set_enabled(bool on);
+
+  /// Instantaneous PDN draws for the current enable state, with activity
+  /// dither applied. Aggregated per mesh node.
+  std::vector<pdn::CurrentInjection> draws(util::Rng& rng) const;
+
+  /// Deterministic mean draw (no dither), e.g. for DC analyses.
+  std::vector<pdn::CurrentInjection> mean_draws() const;
+
+  /// Total mean current of the currently active groups [A].
+  double active_current() const;
+
+ private:
+  PowerVirusParams params_;
+  std::size_t active_groups_ = 0;
+  /// Per group: mesh node -> instance count, flattened as (node, count).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> group_nodes_;
+};
+
+}  // namespace leakydsp::victim

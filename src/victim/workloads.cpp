@@ -1,0 +1,109 @@
+#include "victim/workloads.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "victim/aes_core.h"
+
+namespace leakydsp::victim {
+
+AesStreamWorkload::AesStreamWorkload(const crypto::Key& key, double clock_mhz,
+                                     double current_per_hd_bit,
+                                     double static_current)
+    : aes_(key),
+      period_ns_(1e3 / clock_mhz),
+      current_per_hd_bit_(current_per_hd_bit),
+      static_current_(static_current) {
+  LD_REQUIRE(clock_mhz > 0.0, "clock must be positive");
+}
+
+void AesStreamWorkload::reset() {
+  current_encryption_ = -1;
+  plaintext_ = crypto::Block{};
+}
+
+double AesStreamWorkload::current_at(double t_ns, util::Rng&) {
+  LD_REQUIRE(t_ns >= 0.0, "negative time");
+  // 11 cycles per encryption (1 load + 10 rounds), back to back.
+  const auto cycle = static_cast<long>(t_ns / period_ns_);
+  const long encryption = cycle / 11;
+  const long phase = cycle % 11;
+  if (encryption != current_encryption_) {
+    // Catch up the ciphertext chain (sequential access pattern expected).
+    while (current_encryption_ < encryption) {
+      trace_ = aes_.encrypt_trace(plaintext_);
+      plaintext_ = trace_.ciphertext;
+      ++current_encryption_;
+    }
+  }
+  std::size_t hd;
+  if (phase == 0) {
+    hd = block_hd(crypto::Block{}, trace_.states[0]);
+  } else {
+    hd = block_hd(trace_.states[static_cast<std::size_t>(phase - 1)],
+                  trace_.states[static_cast<std::size_t>(phase)]);
+  }
+  return static_current_ + current_per_hd_bit_ * static_cast<double>(hd);
+}
+
+FirFilterWorkload::FirFilterWorkload(double sample_rate_mhz, std::size_t taps,
+                                     double mac_current, double idle_current,
+                                     double mac_cycle_ns)
+    : period_ns_(1e3 / sample_rate_mhz),
+      burst_ns_(static_cast<double>(taps) * mac_cycle_ns),
+      mac_current_(mac_current),
+      idle_current_(idle_current) {
+  LD_REQUIRE(sample_rate_mhz > 0.0, "sample rate must be positive");
+  LD_REQUIRE(burst_ns_ < period_ns_,
+             "FIR burst (" << burst_ns_ << " ns) exceeds sample period ("
+                           << period_ns_ << " ns)");
+}
+
+double FirFilterWorkload::current_at(double t_ns, util::Rng&) {
+  LD_REQUIRE(t_ns >= 0.0, "negative time");
+  const double in_period = std::fmod(t_ns, period_ns_);
+  return in_period < burst_ns_ ? mac_current_ : idle_current_;
+}
+
+MatMulWorkload::MatMulWorkload(double compute_us, double stall_us,
+                               double compute_current, double stall_current,
+                               double jitter_rel)
+    : compute_ns_(compute_us * 1e3),
+      stall_ns_(stall_us * 1e3),
+      compute_current_(compute_current),
+      stall_current_(stall_current),
+      jitter_rel_(jitter_rel) {
+  LD_REQUIRE(compute_ns_ > 0.0 && stall_ns_ > 0.0, "phases must be positive");
+  LD_REQUIRE(jitter_rel_ >= 0.0 && jitter_rel_ < 1.0, "jitter out of range");
+}
+
+void MatMulWorkload::reset() {
+  phase_end_ns_ = 0.0;
+  computing_ = false;
+}
+
+double MatMulWorkload::current_at(double t_ns, util::Rng& rng) {
+  LD_REQUIRE(t_ns >= 0.0, "negative time");
+  while (t_ns >= phase_end_ns_) {
+    computing_ = !computing_;
+    const double nominal = computing_ ? compute_ns_ : stall_ns_;
+    const double jitter =
+        jitter_rel_ > 0.0 ? rng.uniform(-jitter_rel_, jitter_rel_) : 0.0;
+    phase_end_ns_ += nominal * (1.0 + jitter);
+  }
+  return computing_ ? compute_current_ : stall_current_;
+}
+
+std::vector<std::unique_ptr<Workload>> make_workload_zoo(
+    const crypto::Key& key) {
+  std::vector<std::unique_ptr<Workload>> zoo;
+  zoo.push_back(std::make_unique<IdleWorkload>());
+  zoo.push_back(std::make_unique<AesStreamWorkload>(key));
+  zoo.push_back(std::make_unique<FirFilterWorkload>());
+  zoo.push_back(std::make_unique<MatMulWorkload>());
+  zoo.push_back(std::make_unique<RoVirusWorkload>());
+  return zoo;
+}
+
+}  // namespace leakydsp::victim

@@ -1,0 +1,129 @@
+// Victim workload models for the fingerprinting study. Power side channels
+// on multi-tenant FPGAs have been used to classify co-tenant computations
+// (Gobulukoglu et al., DAC'21 — reference [14] of the paper); each workload
+// here produces a distinct temporal current signature that a LeakyDSP
+// readout stream can distinguish spectrally:
+//   idle        flat leakage
+//   aes-stream  back-to-back encryptions (fundamental at f_clk/11)
+//   fir-dsp     sample-rate bursts of MAC activity
+//   matmul      long compute/stall phase alternation (low-frequency square)
+//   ro-virus    saturated switching with broadband dither
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/aes128.h"
+#include "util/rng.h"
+
+namespace leakydsp::victim {
+
+/// A computation whose aggregate supply current varies over time.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Aggregate current draw at absolute time `t_ns` [A]. Implementations
+  /// may use `rng` for data-dependent variation.
+  virtual double current_at(double t_ns, util::Rng& rng) = 0;
+
+  /// Restarts the workload's internal schedule.
+  virtual void reset() = 0;
+};
+
+/// Flat leakage current.
+class IdleWorkload : public Workload {
+ public:
+  explicit IdleWorkload(double current = 0.01) : current_(current) {}
+  std::string name() const override { return "idle"; }
+  double current_at(double, util::Rng&) override { return current_; }
+  void reset() override {}
+
+ private:
+  double current_;
+};
+
+/// Back-to-back AES-128 encryptions on the iterative core: per-cycle
+/// current follows the round Hamming distances, repeating every
+/// 11 victim cycles with data-dependent amplitude.
+class AesStreamWorkload : public Workload {
+ public:
+  AesStreamWorkload(const crypto::Key& key, double clock_mhz = 20.0,
+                    double current_per_hd_bit = 0.0094,
+                    double static_current = 0.3);
+  std::string name() const override { return "aes-stream"; }
+  double current_at(double t_ns, util::Rng& rng) override;
+  void reset() override;
+
+ private:
+  crypto::Aes128 aes_;
+  double period_ns_;
+  double current_per_hd_bit_;
+  double static_current_;
+  crypto::Block plaintext_{};
+  crypto::EncryptionTrace trace_{};
+  long current_encryption_ = -1;
+};
+
+/// DSP FIR filter: a burst of `taps` MAC operations every sample period.
+class FirFilterWorkload : public Workload {
+ public:
+  FirFilterWorkload(double sample_rate_mhz = 1.0, std::size_t taps = 32,
+                    double mac_current = 0.6, double idle_current = 0.01,
+                    double mac_cycle_ns = 5.0);
+  std::string name() const override { return "fir-dsp"; }
+  double current_at(double t_ns, util::Rng& rng) override;
+  void reset() override {}
+
+ private:
+  double period_ns_;
+  double burst_ns_;
+  double mac_current_;
+  double idle_current_;
+};
+
+/// Blocked matrix multiply: compute phases at high current alternating
+/// with memory-stall phases at low current, with per-block duration jitter.
+class MatMulWorkload : public Workload {
+ public:
+  MatMulWorkload(double compute_us = 4.0, double stall_us = 2.0,
+                 double compute_current = 1.0, double stall_current = 0.06,
+                 double jitter_rel = 0.1);
+  std::string name() const override { return "matmul"; }
+  double current_at(double t_ns, util::Rng& rng) override;
+  void reset() override;
+
+ private:
+  double compute_ns_;
+  double stall_ns_;
+  double compute_current_;
+  double stall_current_;
+  double jitter_rel_;
+  // Current phase bookkeeping.
+  double phase_end_ns_ = 0.0;
+  bool computing_ = false;
+};
+
+/// Saturated RO switching with broadband activity dither.
+class RoVirusWorkload : public Workload {
+ public:
+  explicit RoVirusWorkload(double mean_current = 2.0, double dither = 0.03)
+      : mean_current_(mean_current), dither_(dither) {}
+  std::string name() const override { return "ro-virus"; }
+  double current_at(double, util::Rng& rng) override {
+    return mean_current_ * (1.0 + rng.gaussian(0.0, dither_));
+  }
+  void reset() override {}
+
+ private:
+  double mean_current_;
+  double dither_;
+};
+
+/// The standard zoo used by the fingerprinting bench and tests.
+std::vector<std::unique_ptr<Workload>> make_workload_zoo(const crypto::Key& key);
+
+}  // namespace leakydsp::victim

@@ -1,0 +1,322 @@
+// Tests for the attack extensions: TVLA leakage assessment, optimal key
+// enumeration, layer-structure recovery, and the fence-vs-campaign
+// interferer path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/campaign.h"
+#include "attack/key_enumeration.h"
+#include "attack/layer_detect.h"
+#include "attack/tvla.h"
+#include "core/leaky_dsp.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "victim/active_fence.h"
+#include "victim/aes_core.h"
+#include "victim/dnn_accelerator.h"
+
+namespace la = leakydsp::attack;
+namespace lc = leakydsp::crypto;
+namespace lcore = leakydsp::core;
+namespace lsim = leakydsp::sim;
+namespace lv = leakydsp::victim;
+namespace lu = leakydsp::util;
+namespace lf = leakydsp::fabric;
+
+namespace {
+
+lc::Block random_block(lu::Rng& rng) {
+  lc::Block b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng() & 0xff);
+  return b;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- TVLA
+
+TEST(Tvla, FlagsMeanDifference) {
+  lu::Rng rng(1101);
+  la::TvlaAccumulator acc(4);
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<double> fixed(4);
+    std::vector<double> random(4);
+    for (int k = 0; k < 4; ++k) {
+      fixed[static_cast<std::size_t>(k)] = rng.gaussian(0.0, 1.0);
+      random[static_cast<std::size_t>(k)] = rng.gaussian(0.0, 1.0);
+    }
+    fixed[2] += 0.3;  // leak at sample 2
+    acc.add_fixed(fixed);
+    acc.add_random(random);
+  }
+  const auto result = acc.result();
+  EXPECT_TRUE(result.leaks());
+  EXPECT_EQ(result.worst_sample, 2u);
+  EXPECT_GT(result.t_values[2], la::kTvlaThreshold);
+  EXPECT_LT(std::abs(result.t_values[0]), la::kTvlaThreshold);
+}
+
+TEST(Tvla, SilentOnIdenticalPopulations) {
+  lu::Rng rng(1102);
+  la::TvlaAccumulator acc(8);
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<double> a(8);
+    std::vector<double> b(8);
+    for (auto& v : a) v = rng.gaussian();
+    for (auto& v : b) v = rng.gaussian();
+    acc.add_fixed(a);
+    acc.add_random(b);
+  }
+  EXPECT_FALSE(acc.result().leaks());
+}
+
+TEST(Tvla, Contracts) {
+  la::TvlaAccumulator acc(4);
+  EXPECT_THROW(acc.add_fixed(std::vector<double>(3)), lu::PreconditionError);
+  EXPECT_THROW(acc.result(), lu::PreconditionError);  // no traces yet
+}
+
+TEST(Tvla, EndToEndSensorTracesLeak) {
+  // Fixed vs random plaintexts through the full sensor pipeline at boosted
+  // leakage: the POI window must light up.
+  const lsim::Basys3Scenario scenario;
+  lu::Rng rng(1103);
+  lv::AesCoreParams params;
+  params.current_per_hd_bit = 0.15;
+  lv::AesCoreModel aes(random_block(rng), scenario.aes_site(),
+                       scenario.grid(), params);
+  lcore::LeakyDspSensor sensor(scenario.device(),
+                               scenario.attack_placements()[5]);
+  lsim::SensorRig rig(scenario.grid(), sensor);
+  rig.calibrate(rng);
+  la::TraceCampaign campaign(rig, aes);
+
+  const lc::Block fixed_pt = random_block(rng);
+  la::TvlaAccumulator acc((aes.cycles_per_encryption() + 2) *
+                          campaign.samples_per_cycle());
+  for (int t = 0; t < 600; ++t) {
+    acc.add_fixed(campaign.generate_trace(fixed_pt, rng));
+    acc.add_random(campaign.generate_trace(random_block(rng), rng));
+  }
+  const auto result = acc.result();
+  EXPECT_TRUE(result.leaks());
+}
+
+// --------------------------------------------------------- key enumeration
+
+namespace {
+
+std::array<la::ByteScores, 16> scores_with_truth_at_rank(
+    const lc::RoundKey& truth, int truth_rank_per_byte, lu::Rng& rng) {
+  std::array<la::ByteScores, 16> scores;
+  for (int b = 0; b < 16; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    for (int g = 0; g < 256; ++g) {
+      scores[bi].score[static_cast<std::size_t>(g)] = rng.uniform(0.01, 0.02);
+    }
+    // Give the truth byte the (truth_rank_per_byte+1)-th best score.
+    scores[bi].score[truth[bi]] = 0.5;
+    for (int better = 0; better < truth_rank_per_byte; ++better) {
+      const auto idx = static_cast<std::uint8_t>(truth[bi] + better + 1);
+      scores[bi].score[idx] = 0.6 + 0.01 * better;
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+TEST(KeyEnumeration, FirstCandidateIsArgmax) {
+  lu::Rng rng(1104);
+  lc::RoundKey truth = random_block(rng);
+  const auto scores = scores_with_truth_at_rank(truth, 0, rng);
+  la::KeyEnumerator enumerator(scores);
+  const auto first = enumerator.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, truth);
+}
+
+TEST(KeyEnumeration, ScoresNonIncreasing) {
+  lu::Rng rng(1105);
+  std::array<la::ByteScores, 16> scores;
+  for (auto& bs : scores) {
+    for (auto& s : bs.score) s = rng.uniform(0.01, 0.9);
+  }
+  la::KeyEnumerator enumerator(scores);
+  auto joint = [&](const lc::RoundKey& key) {
+    double total = 0.0;
+    for (int b = 0; b < 16; ++b) {
+      total += std::log2(
+          scores[static_cast<std::size_t>(b)]
+              .score[key[static_cast<std::size_t>(b)]] + 1e-9);
+    }
+    return total;
+  };
+  double prev = 1e18;
+  for (int i = 0; i < 300; ++i) {
+    const auto candidate = enumerator.next();
+    ASSERT_TRUE(candidate.has_value());
+    const double s = joint(*candidate);
+    EXPECT_LE(s, prev + 1e-9) << "candidate " << i;
+    prev = s;
+  }
+  EXPECT_EQ(enumerator.emitted(), 300u);
+}
+
+TEST(KeyEnumeration, EnumerateAndVerifyFindsBuriedKey) {
+  // Truth at per-byte rank 1 for two bytes -> joint rank a handful of
+  // candidates deep; enumeration must find it without more traces.
+  lu::Rng rng(1106);
+  const lc::Key master = random_block(rng);
+  const lc::Aes128 aes(master);
+  const lc::RoundKey rk10 = aes.round_keys()[10];
+
+  auto scores = scores_with_truth_at_rank(rk10, 0, rng);
+  // Bury two bytes one rank deep.
+  for (const int b : {3, 11}) {
+    const auto bi = static_cast<std::size_t>(b);
+    const auto decoy = static_cast<std::uint8_t>(rk10[bi] + 1);
+    scores[bi].score[decoy] = 0.7;
+  }
+  const lc::Block pt = random_block(rng);
+  const auto result =
+      la::enumerate_and_verify(scores, pt, aes.encrypt(pt), 1000);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.master_key, master);
+  EXPECT_GT(result.candidates_tested, 1u);
+  EXPECT_LE(result.candidates_tested, 16u);
+}
+
+TEST(KeyEnumeration, GivesUpAtBudget) {
+  lu::Rng rng(1107);
+  std::array<la::ByteScores, 16> scores;
+  for (auto& bs : scores) {
+    for (auto& s : bs.score) s = rng.uniform(0.01, 0.9);
+  }
+  const auto result = la::enumerate_and_verify(
+      scores, lc::Block{}, lc::Block{{1, 2, 3}}, 50);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.candidates_tested, 50u);
+}
+
+// ---------------------------------------------------------- layer detection
+
+TEST(LayerDetect, SegmentsSyntheticSteps) {
+  std::vector<double> signal;
+  for (const double level : {40.0, 20.0, 35.0, 10.0}) {
+    for (int i = 0; i < 400; ++i) signal.push_back(level);
+  }
+  const auto segments = la::segment_levels(signal);
+  ASSERT_EQ(segments.size(), 4u);
+  EXPECT_NEAR(segments[0].level, 40.0, 1.0);
+  EXPECT_NEAR(segments[1].level, 20.0, 1.0);
+  EXPECT_NEAR(segments[3].level, 10.0, 1.0);
+}
+
+TEST(LayerDetect, IgnoresShortGlitches) {
+  std::vector<double> signal(2000, 30.0);
+  for (int i = 900; i < 910; ++i) signal[static_cast<std::size_t>(i)] = 5.0;
+  const auto segments = la::segment_levels(signal);
+  EXPECT_EQ(segments.size(), 1u);
+}
+
+TEST(LayerDetect, RecoversLeNetLayerCount) {
+  const lsim::Basys3Scenario scenario;
+  lu::Rng rng(1108);
+  lcore::LeakyDspSensor sensor(scenario.device(),
+                               scenario.attack_placements()[5]);
+  lsim::SensorRig rig(scenario.grid(), sensor);
+  rig.calibrate(rng);
+
+  auto dnn = lv::DnnWorkload::lenet_like();
+  const std::size_t node =
+      scenario.grid().node_of_site(scenario.aes_site());
+  // ~6 inferences at ~23 us per inference, 300 MHz sampling.
+  const std::size_t samples = 45000;
+  std::vector<double> readouts;
+  readouts.reserve(samples);
+  const double dt = rig.params().sample_period_ns;
+  const double gain = rig.coupling().gain_at_node(node);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double droop =
+        gain * dnn.current_at(static_cast<double>(s) * dt, rng);
+    readouts.push_back(
+        rig.sensor().sample(rig.supply_for_droop(droop, rng), rng));
+  }
+  const auto estimate = la::estimate_layers(readouts);
+  EXPECT_GE(estimate.inferences_seen, 2u);
+  EXPECT_EQ(estimate.layers_per_inference, dnn.layers().size());
+}
+
+TEST(LayerDetect, DistinguishesArchitectures) {
+  const lsim::Basys3Scenario scenario;
+  lu::Rng rng(1109);
+  lcore::LeakyDspSensor sensor(scenario.device(),
+                               scenario.attack_placements()[5]);
+  lsim::SensorRig rig(scenario.grid(), sensor);
+  rig.calibrate(rng);
+  const std::size_t node =
+      scenario.grid().node_of_site(scenario.aes_site());
+  const double gain = rig.coupling().gain_at_node(node);
+  const double dt = rig.params().sample_period_ns;
+
+  auto estimate_for = [&](lv::DnnWorkload dnn) {
+    rig.settle();
+    const auto period_samples =
+        static_cast<std::size_t>(dnn.inference_period_ns() / dt);
+    const std::size_t samples = period_samples * 6;
+    std::vector<double> readouts;
+    readouts.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const double droop =
+          gain * dnn.current_at(static_cast<double>(s) * dt, rng);
+      readouts.push_back(
+          rig.sensor().sample(rig.supply_for_droop(droop, rng), rng));
+    }
+    return la::estimate_layers(readouts).layers_per_inference;
+  };
+  EXPECT_EQ(estimate_for(lv::DnnWorkload::mlp_like()), 2u);
+  EXPECT_EQ(estimate_for(lv::DnnWorkload::vgg_like()), 9u);
+}
+
+// ----------------------------------------------------- fence vs campaign
+
+TEST(FenceCampaign, InterfererSlowsAttack) {
+  const lsim::Basys3Scenario scenario;
+  lu::Rng rng(1110);
+  const lc::Key key = random_block(rng);
+  lv::AesCoreParams params;
+  params.current_per_hd_bit = 0.10;  // demo scale
+
+  auto traces_to_break = [&](bool with_fence, std::uint64_t stream) {
+    lu::Rng run_rng = rng.fork(stream);
+    lv::AesCoreModel aes(key, scenario.aes_site(), scenario.grid(), params);
+    lcore::LeakyDspSensor sensor(scenario.device(),
+                                 scenario.attack_placements()[5]);
+    lsim::SensorRig rig(scenario.grid(), sensor);
+    rig.calibrate(run_rng);
+    la::CampaignConfig config;
+    config.max_traces = 20000;
+    config.break_check_stride = 250;
+    config.rank_stride = 20000;
+    la::TraceCampaign campaign(rig, aes, config);
+    lv::ActiveFence fence(scenario.device(), scenario.grid(),
+                          lf::Rect{6, 17, 24, 24});
+    if (with_fence) {
+      campaign.add_interferer(
+          [&fence](double, lu::Rng& r,
+                   std::vector<leakydsp::pdn::CurrentInjection>& out) {
+            for (const auto& d : fence.draws(r)) out.push_back(d);
+          });
+    }
+    const auto result = campaign.run(run_rng);
+    return result.broken ? result.traces_to_break : config.max_traces + 1;
+  };
+  const auto without = traces_to_break(false, 1);
+  const auto with = traces_to_break(true, 2);
+  EXPECT_GT(with, without);
+}
+

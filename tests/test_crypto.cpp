@@ -1,0 +1,169 @@
+// AES-128 correctness: FIPS-197 vectors, round-trip property, key-schedule
+// inversion, and the ShiftRows index maps the CPA power model depends on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "crypto/aes128.h"
+#include "util/rng.h"
+
+namespace lc = leakydsp::crypto;
+namespace lu = leakydsp::util;
+
+namespace {
+
+lc::Block block_from(const std::uint8_t (&bytes)[16]) {
+  lc::Block b;
+  for (int i = 0; i < 16; ++i) b[i] = bytes[i];
+  return b;
+}
+
+lc::Block random_block(lu::Rng& rng) {
+  lc::Block b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng() & 0xff);
+  return b;
+}
+
+}  // namespace
+
+TEST(Aes128, Fips197AppendixBVector) {
+  // FIPS-197 Appendix B: key 2b7e..., plaintext 3243..., cipher 3925...
+  const lc::Key key = block_from({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                                  0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                                  0x4f, 0x3c});
+  const lc::Block pt = block_from({0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30,
+                                   0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                                   0x07, 0x34});
+  const lc::Block expected = block_from({0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                                         0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                                         0x19, 0x6a, 0x0b, 0x32});
+  const lc::Aes128 aes(key);
+  EXPECT_EQ(aes.encrypt(pt), expected);
+}
+
+TEST(Aes128, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+  lc::Key key;
+  lc::Block pt;
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+    pt[i] = static_cast<std::uint8_t>(i * 0x11);
+  }
+  const lc::Block expected = block_from({0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                         0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                         0x70, 0xb4, 0xc5, 0x5a});
+  const lc::Aes128 aes(key);
+  EXPECT_EQ(aes.encrypt(pt), expected);
+}
+
+TEST(Aes128, KeyExpansionFirstAndLastRound) {
+  // FIPS-197 Appendix A.1 expansion of 2b7e...: w[40..43] round-10 key.
+  const lc::Key key = block_from({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                                  0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                                  0x4f, 0x3c});
+  const auto rks = lc::Aes128::expand_key(key);
+  EXPECT_EQ(rks[0], key);
+  const lc::RoundKey expected_rk10 =
+      block_from({0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f,
+                  0x0c, 0xc8, 0xb6, 0x63, 0x0c, 0xa6});
+  EXPECT_EQ(rks[10], expected_rk10);
+}
+
+TEST(Aes128, EncryptDecryptRoundTrip) {
+  lu::Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const lc::Key key = random_block(rng);
+    const lc::Block pt = random_block(rng);
+    const lc::Aes128 aes(key);
+    EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+  }
+}
+
+TEST(Aes128, TraceStatesConsistent) {
+  lu::Rng rng(102);
+  const lc::Key key = random_block(rng);
+  const lc::Block pt = random_block(rng);
+  const lc::Aes128 aes(key);
+  const auto trace = aes.encrypt_trace(pt);
+  EXPECT_EQ(trace.ciphertext, aes.encrypt(pt));
+  EXPECT_EQ(trace.states[10], trace.ciphertext);
+  // Initial state is plaintext xor round key 0.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(trace.states[0][i], pt[i] ^ aes.round_keys()[0][i]);
+  }
+}
+
+TEST(Aes128, SboxInvertsProperly) {
+  for (int x = 0; x < 256; ++x) {
+    const auto v = static_cast<std::uint8_t>(x);
+    EXPECT_EQ(lc::Aes128::inv_sbox(lc::Aes128::sbox(v)), v);
+    EXPECT_EQ(lc::Aes128::sbox(lc::Aes128::inv_sbox(v)), v);
+  }
+  EXPECT_EQ(lc::Aes128::sbox(0x00), 0x63);
+  EXPECT_EQ(lc::Aes128::sbox(0x53), 0xed);
+}
+
+TEST(Aes128, ShiftRowsMapsArePermutationInverses) {
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(lc::Aes128::inv_shift_rows_map(lc::Aes128::shift_rows_map(i)),
+              i);
+    EXPECT_EQ(lc::Aes128::shift_rows_map(lc::Aes128::inv_shift_rows_map(i)),
+              i);
+  }
+  // Row 0 is unshifted.
+  EXPECT_EQ(lc::Aes128::shift_rows_map(0), 0);
+  EXPECT_EQ(lc::Aes128::shift_rows_map(4), 4);
+  // Row 1 shifts by one column.
+  EXPECT_EQ(lc::Aes128::shift_rows_map(1), 5);
+}
+
+TEST(Aes128, LastRoundRelationForCpa) {
+  // The CPA hypothesis relies on: state9[shift_rows_map(i)] =
+  // inv_sbox(ct[i] ^ rk10[i]). Verify against real traces.
+  lu::Rng rng(103);
+  const lc::Key key = random_block(rng);
+  const lc::Aes128 aes(key);
+  for (int trial = 0; trial < 20; ++trial) {
+    const lc::Block pt = random_block(rng);
+    const auto trace = aes.encrypt_trace(pt);
+    const auto& rk10 = aes.round_keys()[10];
+    for (int i = 0; i < 16; ++i) {
+      const std::uint8_t recovered = lc::Aes128::inv_sbox(
+          trace.ciphertext[i] ^ rk10[i]);
+      EXPECT_EQ(recovered, trace.states[9][lc::Aes128::shift_rows_map(i)])
+          << "byte " << i;
+    }
+  }
+}
+
+TEST(Aes128, KeyScheduleInversionRecoversMasterKey) {
+  lu::Rng rng(104);
+  for (int trial = 0; trial < 50; ++trial) {
+    const lc::Key key = random_block(rng);
+    const auto rks = lc::Aes128::expand_key(key);
+    EXPECT_EQ(lc::Aes128::invert_key_schedule(rks[10]), key);
+  }
+}
+
+TEST(Aes128, CiphertextChainingAvoidsRepetition) {
+  // The paper feeds each ciphertext back as the next plaintext; sanity
+  // check that the chain does not cycle quickly.
+  const lc::Key key{};
+  const lc::Aes128 aes(key);
+  lc::Block pt{};
+  lc::Block first = aes.encrypt(pt);
+  lc::Block cur = first;
+  for (int i = 0; i < 1000; ++i) {
+    cur = aes.encrypt(cur);
+    ASSERT_NE(cur, first);
+  }
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertexts) {
+  lu::Rng rng(105);
+  const lc::Block pt = random_block(rng);
+  lc::Key k1 = random_block(rng);
+  lc::Key k2 = k1;
+  k2[7] ^= 0x01;
+  EXPECT_NE(lc::Aes128(k1).encrypt(pt), lc::Aes128(k2).encrypt(pt));
+}

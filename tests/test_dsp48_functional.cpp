@@ -1,0 +1,192 @@
+// Tests for the DSP48 functional model: datapath semantics per stage,
+// pipeline latency bookkeeping, architecture widths, accumulator feedback,
+// and agreement with the LeakyDSP sensor's identity computation.
+#include <gtest/gtest.h>
+
+#include "core/dsp48_functional.h"
+#include "core/leaky_dsp.h"
+#include "fabric/device.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace lc = leakydsp::core;
+namespace lf = leakydsp::fabric;
+namespace lu = leakydsp::util;
+
+namespace {
+
+lf::Dsp48Config combinational_base(lf::Architecture arch) {
+  lf::Dsp48Config cfg;
+  cfg.arch = arch;
+  cfg.use_preadder = true;
+  cfg.use_multiplier = true;
+  cfg.alu_op = lf::DspAluOp::kAdd;
+  cfg.z_source = lf::DspZSource::kZero;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Dsp48Functional, IdentityConfigComputesPEqualsA) {
+  const auto cfg = lf::Dsp48Config::leaky_identity(
+      lf::Architecture::kSeries7, true, false);
+  const lc::Dsp48Functional dsp(cfg);
+  for (const std::int64_t a : {0LL, 1LL, 12345LL, (1LL << 24) - 1}) {
+    lc::Dsp48Inputs in;
+    in.a = a;
+    EXPECT_EQ(dsp.evaluate_combinational(in), a) << "a=" << a;
+  }
+}
+
+TEST(Dsp48Functional, PreAdderAddsD) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.static_d = 100;
+  cfg.static_b = 1;
+  cfg.static_c = 0;
+  const lc::Dsp48Functional dsp(cfg);
+  lc::Dsp48Inputs in;
+  in.a = 23;
+  EXPECT_EQ(dsp.evaluate_combinational(in), 123);
+}
+
+TEST(Dsp48Functional, MultiplierScalesByB) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.static_d = 0;
+  cfg.static_b = 7;
+  const lc::Dsp48Functional dsp(cfg);
+  lc::Dsp48Inputs in;
+  in.a = 6;
+  EXPECT_EQ(dsp.evaluate_combinational(in), 42);
+}
+
+TEST(Dsp48Functional, AluUsesCPort) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.z_source = lf::DspZSource::kC;
+  cfg.static_c = 1000;
+  const lc::Dsp48Functional dsp(cfg);
+  lc::Dsp48Inputs in;
+  in.a = 5;
+  EXPECT_EQ(dsp.evaluate_combinational(in), 1005);
+}
+
+TEST(Dsp48Functional, SubtractMode) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.alu_op = lf::DspAluOp::kSubtract;
+  cfg.z_source = lf::DspZSource::kC;
+  cfg.static_c = 50;
+  const lc::Dsp48Functional dsp(cfg);
+  lc::Dsp48Inputs in;
+  in.a = 8;  // Z - M = 50 - 8
+  EXPECT_EQ(dsp.evaluate_combinational(in), 42);
+}
+
+TEST(Dsp48Functional, XorLogicMode) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.alu_op = lf::DspAluOp::kXor;
+  cfg.z_source = lf::DspZSource::kC;
+  cfg.static_c = 0b1100;
+  const lc::Dsp48Functional dsp(cfg);
+  lc::Dsp48Inputs in;
+  in.a = 0b1010;
+  EXPECT_EQ(dsp.evaluate_combinational(in), 0b0110);
+}
+
+TEST(Dsp48Functional, NegativeOperandsSignExtend) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.static_d = -3;
+  cfg.static_b = 2;
+  const lc::Dsp48Functional dsp(cfg);
+  lc::Dsp48Inputs in;
+  in.a = 1;  // (1 - 3) * 2 = -4 -> masked to 48 bits
+  const std::int64_t p = dsp.evaluate_combinational(in);
+  EXPECT_EQ(p, ((1LL << 48) - 4));  // two's complement in the P word
+}
+
+TEST(Dsp48Functional, PcinCascadeSource) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.z_source = lf::DspZSource::kPcin;
+  cfg.static_b = 1;
+  const lc::Dsp48Functional dsp(cfg);
+  lc::Dsp48Inputs in;
+  in.a = 5;
+  in.pcin = 1000;
+  EXPECT_EQ(dsp.evaluate_combinational(in), 1005);
+}
+
+TEST(Dsp48Functional, MaccAccumulates) {
+  const auto cfg = lf::Dsp48Config::pipelined_macc(lf::Architecture::kSeries7);
+  lc::Dsp48Functional dsp(cfg);
+  // AREG=1, BREG=1, MREG=1, PREG=1, P feedback: latency 3 cycles to first
+  // product, then accumulating each cycle.
+  lc::Dsp48Inputs in;
+  in.use_dynamic_b = true;
+  in.a = 2;
+  in.b = 3;
+  // AREG + MREG + PREG = 3-cycle latency to the first product, then one
+  // accumulation per cycle: after 13 clocks, 11 products of 6.
+  std::int64_t p = 0;
+  for (int cycle = 0; cycle < 13; ++cycle) p = dsp.clock(in);
+  EXPECT_EQ(p, 6 * 11);
+}
+
+TEST(Dsp48Functional, PipelineLatencyMatchesRegisterDepth) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.areg = 1;
+  cfg.preg = 1;
+  cfg.static_b = 1;
+  lc::Dsp48Functional dsp(cfg);
+  lc::Dsp48Inputs in;
+  in.a = 9;
+  // Two register stages: value appears after two clocks.
+  EXPECT_EQ(dsp.clock(in), 0);
+  EXPECT_EQ(dsp.clock(in), 9);
+  dsp.reset();
+  EXPECT_EQ(dsp.p(), 0);
+}
+
+TEST(Dsp48Functional, UltraScaleWiderMultiplier) {
+  // 26-bit operand fits the E2's 27-bit port but overflows the E1's 25-bit
+  // port (sign extension wraps it negative).
+  const std::int64_t a = (1LL << 25) + 5;  // bit 25 set
+  auto cfg_e1 = combinational_base(lf::Architecture::kSeries7);
+  auto cfg_e2 = combinational_base(lf::Architecture::kUltraScalePlus);
+  cfg_e1.static_b = 1;
+  cfg_e2.static_b = 1;
+  lc::Dsp48Inputs in;
+  in.a = a;
+  EXPECT_NE(lc::Dsp48Functional(cfg_e1).evaluate_combinational(in), a);
+  EXPECT_EQ(lc::Dsp48Functional(cfg_e2).evaluate_combinational(in), a);
+}
+
+TEST(Dsp48Cascade, MatchesSensorIdentity) {
+  const auto device = lf::Device::basys3();
+  const lc::LeakyDspSensor sensor(device, {16, 10});
+  const lc::Dsp48Cascade cascade(sensor.block_configs());
+  lu::Rng rng(401);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Positive operand range: P equals A exactly.
+    const auto a = static_cast<std::int64_t>(rng.uniform_u64(1ULL << 24));
+    EXPECT_EQ(cascade.evaluate(a), sensor.compute_identity(a));
+    EXPECT_EQ(cascade.evaluate(a), a);
+  }
+  // The toggling words the sensor actually launches: all-zeros and
+  // all-ones (sign extension fills the whole 48-bit P with ones).
+  EXPECT_EQ(cascade.evaluate(0), 0);
+  EXPECT_EQ(cascade.evaluate((1LL << 25) - 1), (1LL << 48) - 1);
+  EXPECT_EQ(sensor.compute_identity((1LL << 25) - 1), (1LL << 48) - 1);
+}
+
+TEST(Dsp48Cascade, SizeAndAccess) {
+  const auto device = lf::Device::basys3();
+  const lc::LeakyDspSensor sensor(device, {16, 10});
+  lc::Dsp48Cascade cascade(sensor.block_configs());
+  EXPECT_EQ(cascade.size(), 3u);
+  EXPECT_NO_THROW(cascade.block(2));
+  EXPECT_THROW(cascade.block(3), lu::PreconditionError);
+}
+
+TEST(Dsp48Functional, RejectsInvalidConfig) {
+  auto cfg = combinational_base(lf::Architecture::kSeries7);
+  cfg.preg = 5;
+  EXPECT_THROW(lc::Dsp48Functional{cfg}, lu::PreconditionError);
+}

@@ -1,0 +1,193 @@
+// Tests for the covert-channel extensions: Hamming(7,4) FEC and the 4-PAM
+// multi-level channel, plus the AWS-F1-class device model they motivate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/covert_channel.h"
+#include "attack/fec.h"
+#include "attack/pam_covert.h"
+#include "core/leaky_dsp.h"
+#include "fabric/device.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "stats/descriptive.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "victim/power_virus.h"
+
+namespace la = leakydsp::attack;
+namespace lf = leakydsp::fabric;
+namespace lsim = leakydsp::sim;
+namespace lcore = leakydsp::core;
+namespace lv = leakydsp::victim;
+namespace lu = leakydsp::util;
+
+// --------------------------------------------------------------------- FEC
+
+TEST(Hamming74, RoundTripCleanChannel) {
+  lu::Rng rng(1201);
+  std::vector<bool> data(400);
+  for (auto&& b : data) b = rng.bernoulli(0.5);
+  const auto encoded = la::hamming74_encode(data);
+  EXPECT_EQ(encoded.size(), 100u * 7u);
+  const auto decoded = la::hamming74_decode(encoded);
+  EXPECT_EQ(la::count_bit_errors(data, decoded), 0u);
+}
+
+TEST(Hamming74, CorrectsAnySingleBitErrorPerCodeword) {
+  lu::Rng rng(1202);
+  std::vector<bool> data(4);
+  for (int pattern = 0; pattern < 16; ++pattern) {
+    for (int k = 0; k < 4; ++k) {
+      data[static_cast<std::size_t>(k)] = (pattern >> k) & 1;
+    }
+    auto encoded = la::hamming74_encode(data);
+    for (std::size_t flip = 0; flip < 7; ++flip) {
+      auto corrupted = encoded;
+      corrupted[flip] = !corrupted[flip];
+      const auto decoded = la::hamming74_decode(corrupted);
+      EXPECT_EQ(la::count_bit_errors(data, decoded), 0u)
+          << "pattern " << pattern << " flip " << flip;
+    }
+  }
+}
+
+TEST(Hamming74, DoubleErrorNotCorrectable) {
+  std::vector<bool> data = {true, false, true, true};
+  auto encoded = la::hamming74_encode(data);
+  encoded[0] = !encoded[0];
+  encoded[3] = !encoded[3];
+  const auto decoded = la::hamming74_decode(encoded);
+  EXPECT_GT(la::count_bit_errors(data, decoded), 0u);
+}
+
+TEST(Hamming74, PartialNibblePadding) {
+  std::vector<bool> data = {true, true, false};  // 3 bits -> 1 codeword
+  const auto encoded = la::hamming74_encode(data);
+  EXPECT_EQ(encoded.size(), 7u);
+  const auto decoded = la::hamming74_decode(encoded);
+  EXPECT_EQ(la::count_bit_errors(data, decoded), 0u);
+}
+
+TEST(Hamming74, Contracts) {
+  EXPECT_THROW(la::hamming74_decode(std::vector<bool>(6)),
+               lu::PreconditionError);
+  EXPECT_EQ(la::hamming74_codewords(0), 0u);
+  EXPECT_EQ(la::hamming74_codewords(5), 2u);
+  EXPECT_THROW(
+      la::count_bit_errors(std::vector<bool>(4), std::vector<bool>(3)),
+      lu::PreconditionError);
+}
+
+TEST(Hamming74, ReducesResidualErrorOnNoisyChannel) {
+  // Random independent flips at 1%: residual after FEC must drop well
+  // below the raw rate.
+  lu::Rng rng(1203);
+  std::vector<bool> data(20000);
+  for (auto&& b : data) b = rng.bernoulli(0.5);
+  auto encoded = la::hamming74_encode(data);
+  std::size_t raw_flips = 0;
+  for (auto&& b : encoded) {
+    if (rng.bernoulli(0.01)) {
+      b = !b;
+      ++raw_flips;
+    }
+  }
+  const auto decoded = la::hamming74_decode(encoded);
+  const auto residual = la::count_bit_errors(data, decoded);
+  EXPECT_GT(raw_flips, 200u);
+  EXPECT_LT(static_cast<double>(residual) / 20000.0, 0.0025);
+}
+
+// ------------------------------------------------------------------- 4-PAM
+
+class PamTest : public ::testing::Test {
+ protected:
+  PamTest()
+      : sensor_(scenario_.device(), scenario_.receiver_site()),
+        rig_(scenario_.grid(), sensor_),
+        sender_(scenario_.device(), scenario_.grid(),
+                scenario_.sender_regions()) {}
+
+  lsim::Axu3egbScenario scenario_;
+  lcore::LeakyDspSensor sensor_;
+  lsim::SensorRig rig_;
+  lv::PowerVirus sender_;
+};
+
+TEST_F(PamTest, LevelsMonotoneAndSeparable) {
+  lu::Rng rng(1204);
+  rig_.calibrate(rng);
+  la::PamCovertChannel pam(rig_, sender_, la::CovertChannelParams{}, rng);
+  for (int s = 1; s < 4; ++s) {
+    EXPECT_GT(pam.level(s - 1), pam.level(s) + 1.0) << "levels " << s;
+  }
+  EXPECT_THROW(pam.level(4), lu::PreconditionError);
+}
+
+TEST_F(PamTest, DoublesRawRate) {
+  lu::Rng rng(1205);
+  rig_.calibrate(rng);
+  la::CovertChannelParams params;  // 4 ms slots
+  la::PamCovertChannel pam(rig_, sender_, params, rng);
+  la::CovertChannel ook(rig_, sender_, params, rng);
+  std::vector<bool> payload(4000);
+  for (auto&& b : payload) b = rng.bernoulli(0.5);
+  const auto pam_stats = pam.transmit(payload, rng);
+  const auto ook_stats = ook.transmit(payload, rng);
+  EXPECT_NEAR(pam_stats.transmission_rate() / ook_stats.transmission_rate(),
+              2.0, 0.15);
+}
+
+TEST_F(PamTest, HigherBerThanOok) {
+  lu::Rng rng(1206);
+  rig_.calibrate(rng);
+  la::CovertChannelParams params;
+  la::PamCovertChannel pam(rig_, sender_, params, rng);
+  la::CovertChannel ook(rig_, sender_, params, rng);
+  std::vector<bool> payload(8000);
+  for (auto&& b : payload) b = rng.bernoulli(0.5);
+  EXPECT_GT(pam.transmit(payload, rng).ber(),
+            2.0 * ook.transmit(payload, rng).ber());
+}
+
+TEST_F(PamTest, DecodedLengthMatchesPayload) {
+  lu::Rng rng(1207);
+  rig_.calibrate(rng);
+  la::PamCovertChannel pam(rig_, sender_, la::CovertChannelParams{}, rng);
+  std::vector<bool> payload(1001);  // odd length exercises the padding path
+  for (auto&& b : payload) b = rng.bernoulli(0.5);
+  std::vector<bool> decoded;
+  const auto stats = pam.transmit(payload, rng, &decoded);
+  EXPECT_EQ(stats.bits_sent, payload.size());
+  EXPECT_EQ(decoded.size(), payload.size());
+}
+
+// -------------------------------------------------------------- AWS F1 die
+
+TEST(AwsF1, FloorplanShape) {
+  const auto dev = lf::Device::aws_f1();
+  EXPECT_EQ(dev.architecture(), lf::Architecture::kUltraScalePlus);
+  EXPECT_EQ(dev.clock_regions().size(), 12u);
+  EXPECT_GT(dev.total_sites(lf::SiteType::kDsp), 500u);
+  EXPECT_GT(dev.die().area(), lf::Device::axu3egb().die().area());
+}
+
+TEST(AwsF1, LeakyDspDeploysAndSenses) {
+  const auto dev = lf::Device::aws_f1();
+  const leakydsp::pdn::PdnGrid grid(dev);
+  lcore::LeakyDspSensor sensor(dev, {54, 40});
+  lsim::SensorRig rig(grid, sensor);
+  lu::Rng rng(1208);
+  const auto cal = rig.calibrate(rng);
+  ASSERT_TRUE(cal.success);
+  lv::PowerVirus virus(dev, grid,
+                       {dev.clock_region(1).bounds,
+                        dev.clock_region(2).bounds});
+  virus.set_enabled(true);
+  const auto busy = rig.collect_constant(400, virus.mean_draws(), rng);
+  rig.settle();
+  const auto idle = rig.collect_constant(400, {}, rng);
+  EXPECT_LT(leakydsp::stats::mean(busy), leakydsp::stats::mean(idle) - 2.0);
+}

@@ -1,0 +1,197 @@
+// Tests for the spectral substrate: FFT against a naive DFT, Parseval's
+// theorem, periodogram peak detection, Welch averaging, and band-energy
+// features.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "stats/fft.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace ls = leakydsp::stats;
+namespace lu = leakydsp::util;
+
+namespace {
+
+std::vector<std::complex<double>> naive_dft(
+    const std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> sum(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      sum += x[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Fft, MatchesNaiveDft) {
+  lu::Rng rng(301);
+  std::vector<std::complex<double>> x(64);
+  for (auto& v : x) v = {rng.gaussian(), rng.gaussian()};
+  auto expected = naive_dft(x);
+  auto actual = x;
+  ls::fft(actual);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(actual[k].real(), expected[k].real(), 1e-9) << "bin " << k;
+    EXPECT_NEAR(actual[k].imag(), expected[k].imag(), 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  lu::Rng rng(302);
+  std::vector<std::complex<double>> x(128);
+  for (auto& v : x) v = {rng.gaussian(), rng.gaussian()};
+  auto y = x;
+  ls::fft(y);
+  ls::fft(y, /*inverse=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real() / 128.0, x[i].real(), 1e-9);
+    EXPECT_NEAR(y[i].imag() / 128.0, x[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  lu::Rng rng(303);
+  std::vector<std::complex<double>> x(256);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = {rng.gaussian(), 0.0};
+    time_energy += std::norm(v);
+  }
+  auto y = x;
+  ls::fft(y);
+  double freq_energy = 0.0;
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-6 * time_energy);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(48);
+  EXPECT_THROW(ls::fft(x), lu::PreconditionError);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(ls::next_pow2(1), 1u);
+  EXPECT_EQ(ls::next_pow2(2), 2u);
+  EXPECT_EQ(ls::next_pow2(3), 4u);
+  EXPECT_EQ(ls::next_pow2(1000), 1024u);
+  EXPECT_EQ(ls::next_pow2(1024), 1024u);
+}
+
+TEST(Fft, HannWindowShape) {
+  EXPECT_NEAR(ls::hann(0, 64), 0.0, 1e-12);
+  EXPECT_NEAR(ls::hann(63, 64), 0.0, 1e-12);
+  EXPECT_NEAR(ls::hann(31, 63), 1.0, 1e-9);  // center of odd window
+  EXPECT_GT(ls::hann(16, 64), 0.0);
+}
+
+TEST(Periodogram, FindsSinusoidFrequency) {
+  // 1 kHz-equivalent tone at bin 32 of a 1024-point window.
+  const std::size_t n = 1024;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 5.0 + std::sin(2.0 * std::numbers::pi * 32.0 *
+                          static_cast<double>(i) / static_cast<double>(n));
+  }
+  const auto psd = ls::periodogram(x);
+  std::size_t peak = 1;
+  for (std::size_t k = 1; k < psd.size(); ++k) {
+    if (psd[k] > psd[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 32u);
+  // Mean removal: DC bin far below the tone despite the +5 offset.
+  EXPECT_LT(psd[0], psd[32] * 1e-3);
+}
+
+TEST(Periodogram, WhiteNoiseIsFlat) {
+  lu::Rng rng(304);
+  std::vector<double> x(4096);
+  for (auto& v : x) v = rng.gaussian();
+  const auto psd = ls::welch_psd(x, 512);
+  double low = 0.0;
+  double high = 0.0;
+  const std::size_t half = psd.size() / 2;
+  for (std::size_t k = 1; k < half; ++k) low += psd[k];
+  for (std::size_t k = half; k < psd.size(); ++k) high += psd[k];
+  EXPECT_NEAR(low / high, 1.0, 0.35);
+}
+
+TEST(Periodogram, TooShortThrows) {
+  const std::vector<double> x(2);
+  EXPECT_THROW(ls::periodogram(x), lu::PreconditionError);
+}
+
+TEST(WelchPsd, AveragesSegments) {
+  lu::Rng rng(305);
+  std::vector<double> x(8192);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 0.1 * static_cast<double>(i)) +
+           0.5 * rng.gaussian();
+  }
+  const auto single = ls::periodogram(
+      std::span<const double>(x).subspan(0, 1024));
+  const auto welch = ls::welch_psd(x, 1024);
+  EXPECT_EQ(single.size(), welch.size());
+  // Welch variance in noise-only bins should be visibly lower; proxy: the
+  // noise floor's spread around its mean shrinks.
+  auto floor_spread = [](const std::vector<double>& psd) {
+    double mean = 0.0;
+    std::size_t count = 0;
+    for (std::size_t k = 10; k < 90; ++k) {
+      mean += psd[k];
+      ++count;
+    }
+    mean /= static_cast<double>(count);
+    double var = 0.0;
+    for (std::size_t k = 10; k < 90; ++k) {
+      var += (psd[k] - mean) * (psd[k] - mean);
+    }
+    return var / (mean * mean * static_cast<double>(count));
+  };
+  EXPECT_LT(floor_spread(welch), floor_spread(single));
+}
+
+TEST(BandEnergies, NormalizedAndSized) {
+  std::vector<double> psd(129, 1.0);
+  const auto bands = ls::band_energies(psd, 8);
+  ASSERT_EQ(bands.size(), 8u);
+  double total = 0.0;
+  for (const double b : bands) {
+    EXPECT_GE(b, 0.0);
+    total += b;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BandEnergies, LowToneFillsLowBand) {
+  const std::size_t n = 1024;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 3.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  const auto bands = ls::band_energies(ls::periodogram(x), 8);
+  std::size_t peak_band = 0;
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    if (bands[b] > bands[peak_band]) peak_band = b;
+  }
+  EXPECT_LE(peak_band, 2u);
+}
+
+TEST(BandEnergies, ContractChecks) {
+  std::vector<double> psd(4, 1.0);
+  EXPECT_THROW(ls::band_energies(psd, 0), lu::PreconditionError);
+  EXPECT_THROW(ls::band_energies(psd, 4), lu::PreconditionError);
+}

@@ -1,0 +1,211 @@
+// Tests for workload models and the fingerprinting attack: temporal
+// signatures, recording, feature stability and end-to-end classification.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/fingerprint.h"
+#include "core/leaky_dsp.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "stats/descriptive.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "victim/workloads.h"
+
+namespace la = leakydsp::attack;
+namespace lv = leakydsp::victim;
+namespace lc = leakydsp::crypto;
+namespace lcore = leakydsp::core;
+namespace lsim = leakydsp::sim;
+namespace lu = leakydsp::util;
+
+namespace {
+
+lc::Key test_key() {
+  lc::Key key;
+  for (int i = 0; i < 16; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i * 11 + 5);
+  return key;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- workloads
+
+TEST(Workloads, IdleIsFlat) {
+  lv::IdleWorkload idle(0.02);
+  lu::Rng rng(801);
+  EXPECT_DOUBLE_EQ(idle.current_at(0.0, rng), 0.02);
+  EXPECT_DOUBLE_EQ(idle.current_at(1e6, rng), 0.02);
+}
+
+TEST(Workloads, FirBurstsAtSampleRate) {
+  lv::FirFilterWorkload fir(/*sample_rate_mhz=*/1.0, /*taps=*/32,
+                            /*mac_current=*/0.6, /*idle_current=*/0.01,
+                            /*mac_cycle_ns=*/5.0);
+  lu::Rng rng(802);
+  // Burst covers the first 160 ns of each 1000 ns period.
+  EXPECT_DOUBLE_EQ(fir.current_at(10.0, rng), 0.6);
+  EXPECT_DOUBLE_EQ(fir.current_at(150.0, rng), 0.6);
+  EXPECT_DOUBLE_EQ(fir.current_at(500.0, rng), 0.01);
+  EXPECT_DOUBLE_EQ(fir.current_at(1010.0, rng), 0.6);
+}
+
+TEST(Workloads, FirBurstMustFitPeriod) {
+  EXPECT_THROW(lv::FirFilterWorkload(10.0, 32, 0.6, 0.01, 5.0),
+               lu::PreconditionError);  // 160 ns burst in a 100 ns period
+}
+
+TEST(Workloads, MatMulAlternatesPhases) {
+  lv::MatMulWorkload mm(/*compute_us=*/4.0, /*stall_us=*/2.0,
+                        /*compute_current=*/1.0, /*stall_current=*/0.06,
+                        /*jitter_rel=*/0.0);
+  lu::Rng rng(803);
+  // reset() starts in a stall-free sequence: first phase toggles to
+  // compute at t=0.
+  std::vector<double> seen;
+  for (double t = 0.0; t < 20e3; t += 500.0) {
+    seen.push_back(mm.current_at(t, rng));
+  }
+  // Both levels appear.
+  EXPECT_EQ(leakydsp::stats::max_value(seen), 1.0);
+  EXPECT_EQ(leakydsp::stats::min_value(seen), 0.06);
+}
+
+TEST(Workloads, MatMulTimeMustAdvance) {
+  lv::MatMulWorkload mm;
+  lu::Rng rng(804);
+  mm.current_at(1000.0, rng);
+  EXPECT_THROW(mm.current_at(-1.0, rng), lu::PreconditionError);
+}
+
+TEST(Workloads, AesStreamPeriodicWithDataVariation) {
+  lv::AesStreamWorkload aes(test_key());
+  lu::Rng rng(805);
+  // 11 cycles of 50 ns per encryption; currents differ across rounds.
+  std::vector<double> first_encryption;
+  for (int c = 0; c < 11; ++c) {
+    first_encryption.push_back(aes.current_at(c * 50.0 + 1.0, rng));
+  }
+  EXPECT_GT(leakydsp::stats::stddev(first_encryption), 0.0);
+  // Sequential queries stay consistent when revisiting the same cycle.
+  aes.reset();
+  EXPECT_DOUBLE_EQ(aes.current_at(1.0, rng), first_encryption[0]);
+}
+
+TEST(Workloads, RoVirusDithersAroundMean) {
+  lv::RoVirusWorkload ro(2.0, 0.03);
+  lu::Rng rng(806);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += ro.current_at(0.0, rng);
+  EXPECT_NEAR(sum / n, 2.0, 0.01);
+}
+
+TEST(Workloads, ZooHasFiveDistinctClasses) {
+  const auto zoo = lv::make_workload_zoo(test_key());
+  ASSERT_EQ(zoo.size(), 5u);
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    for (std::size_t j = i + 1; j < zoo.size(); ++j) {
+      EXPECT_NE(zoo[i]->name(), zoo[j]->name());
+    }
+  }
+}
+
+// -------------------------------------------------------------- classifier
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  FingerprintTest()
+      : sensor_(scenario_.device(),
+                scenario_.attack_placements()
+                    [lsim::Basys3Scenario::kBestPlacementIndex]),
+        rig_(scenario_.grid(), sensor_) {}
+
+  lsim::Basys3Scenario scenario_;
+  lcore::LeakyDspSensor sensor_;
+  lsim::SensorRig rig_;
+};
+
+TEST_F(FingerprintTest, RecordingHasExpectedLength) {
+  lu::Rng rng(807);
+  rig_.calibrate(rng);
+  lv::IdleWorkload idle;
+  const auto readouts = la::record_workload(
+      rig_, idle, scenario_.grid().node_of_site(scenario_.aes_site()), 4096,
+      rng);
+  EXPECT_EQ(readouts.size(), 4096u);
+}
+
+TEST_F(FingerprintTest, FeaturesAreReproducibleAcrossObservations) {
+  lu::Rng rng(808);
+  rig_.calibrate(rng);
+  const std::size_t node =
+      scenario_.grid().node_of_site(scenario_.aes_site());
+  lv::FirFilterWorkload fir;
+  la::WorkloadClassifier classifier;
+  const auto obs1 = la::record_workload(rig_, fir,  node,
+                                        classifier.params().samples, rng);
+  const auto obs2 = la::record_workload(rig_, fir, node,
+                                        classifier.params().samples, rng);
+  const auto f1 = classifier.features(obs1);
+  const auto f2 = classifier.features(obs2);
+  ASSERT_EQ(f1.size(), f2.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    d2 += (f1[i] - f2[i]) * (f1[i] - f2[i]);
+  }
+  EXPECT_LT(std::sqrt(d2), 0.5);  // same class: features nearby
+}
+
+TEST_F(FingerprintTest, DistinguishesFirFromIdle) {
+  lu::Rng rng(809);
+  rig_.calibrate(rng);
+  const std::size_t node =
+      scenario_.grid().node_of_site(scenario_.aes_site());
+  la::WorkloadClassifier classifier;
+  lv::IdleWorkload idle;
+  lv::FirFilterWorkload fir;
+  for (int rep = 0; rep < 2; ++rep) {
+    classifier.train("idle",
+                     la::record_workload(rig_, idle, node,
+                                         classifier.params().samples, rng));
+    classifier.train("fir",
+                     la::record_workload(rig_, fir, node,
+                                         classifier.params().samples, rng));
+  }
+  EXPECT_EQ(classifier.class_count(), 2u);
+  int correct = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    if (classifier.classify(la::record_workload(
+            rig_, fir, node, classifier.params().samples, rng)) == "fir") {
+      ++correct;
+    }
+    if (classifier.classify(la::record_workload(
+            rig_, idle, node, classifier.params().samples, rng)) == "idle") {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 7);
+}
+
+TEST_F(FingerprintTest, ClassifierContracts) {
+  la::WorkloadClassifier classifier;
+  const std::vector<double> too_short(16, 0.0);
+  EXPECT_THROW(classifier.features(too_short), lu::PreconditionError);
+  const std::vector<double> ok(classifier.params().samples, 1.0);
+  EXPECT_THROW(classifier.classify(ok), lu::PreconditionError);  // untrained
+  EXPECT_THROW(classifier.distance_to("nope", ok), lu::PreconditionError);
+  EXPECT_THROW(la::WorkloadClassifier(la::FingerprintParams{100, 2048, 16}),
+               lu::PreconditionError);
+}
+
+TEST(ConfusionMatrix, AccuracyComputation) {
+  la::ConfusionMatrix cm;
+  cm.labels = {"a", "b"};
+  cm.counts = {{3, 1}, {0, 4}};
+  EXPECT_NEAR(cm.accuracy(), 7.0 / 8.0, 1e-12);
+  la::ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+}

@@ -1,0 +1,285 @@
+// Cross-cutting integration tests: numerical cross-validation of the
+// solvers (CG vs dense elimination, online CPA vs batch recomputation) and
+// miniature end-to-end pipelines chaining every attack stage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "attack/campaign.h"
+#include "attack/covert_channel.h"
+#include "attack/cpa.h"
+#include "attack/fec.h"
+#include "attack/key_enumeration.h"
+#include "attack/key_rank.h"
+#include "attack/power_model.h"
+#include "attack/tvla.h"
+#include "core/leaky_dsp.h"
+#include "pdn/grid.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "util/rng.h"
+#include "victim/aes_core.h"
+#include "victim/power_virus.h"
+
+namespace la = leakydsp::attack;
+namespace lc = leakydsp::crypto;
+namespace lcore = leakydsp::core;
+namespace lf = leakydsp::fabric;
+namespace lp = leakydsp::pdn;
+namespace lsim = leakydsp::sim;
+namespace lv = leakydsp::victim;
+namespace lu = leakydsp::util;
+
+namespace {
+
+lc::Block random_block(lu::Rng& rng) {
+  lc::Block b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng() & 0xff);
+  return b;
+}
+
+}  // namespace
+
+// ----------------------------------------- CG vs dense Gaussian elimination
+
+TEST(SolverCrossCheck, CgMatchesDenseElimination) {
+  // A small PDN mesh solved two ways must agree to solver tolerance.
+  lp::PdnParams params;
+  params.node_pitch = 12;  // Basys3 -> 5x5 mesh (25 unknowns)
+  const lp::PdnGrid grid(lf::Device::basys3(), params);
+  const std::size_t n = grid.node_count();
+  ASSERT_LE(n, 36u);
+
+  // Dense copy of the conductance matrix.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i][j] = grid.conductance().at(i, j);
+    }
+  }
+  std::vector<double> b(n, 0.0);
+  b[n / 2] = 1.0;
+  // Gaussian elimination with partial pivoting.
+  auto dense = a;
+  auto x = b;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(dense[r][col]) > std::abs(dense[pivot][col])) pivot = r;
+    }
+    std::swap(dense[col], dense[pivot]);
+    std::swap(x[col], x[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = dense[r][col] / dense[col][col];
+      for (std::size_t c = col; c < n; ++c) dense[r][c] -= f * dense[col][c];
+      x[r] -= f * x[col];
+    }
+  }
+  std::vector<double> exact(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = x[r];
+    for (std::size_t c = r + 1; c < n; ++c) sum -= dense[r][c] * exact[c];
+    exact[r] = sum / dense[r][r];
+  }
+
+  const auto cg = grid.dc_droop(
+      std::vector<lp::CurrentInjection>{{n / 2, 1.0}});
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(cg[i], exact[i], 1e-8 * std::abs(exact[n / 2]) + 1e-14)
+        << "node " << i;
+  }
+}
+
+// ------------------------------------------- online CPA vs batch formulas
+
+TEST(SolverCrossCheck, OnlineCpaMatchesBatchPearson) {
+  lu::Rng rng(1501);
+  const lc::Key key = random_block(rng);
+  const lc::Aes128 aes(key);
+
+  const std::size_t traces = 800;
+  std::vector<lc::Block> cts;
+  std::vector<double> samples;
+  la::CpaAttack cpa(1);
+  lc::Block pt = random_block(rng);
+  for (std::size_t t = 0; t < traces; ++t) {
+    const auto trace = aes.encrypt_trace(pt);
+    const double leak =
+        -static_cast<double>(lv::block_hd(trace.states[9], trace.states[10])) +
+        rng.gaussian(0.0, 3.0);
+    cts.push_back(trace.ciphertext);
+    samples.push_back(leak);
+    cpa.add_trace(trace.ciphertext, std::vector<double>{leak});
+    pt = trace.ciphertext;
+  }
+
+  // Batch Pearson for a handful of (byte, guess) pairs.
+  const auto scores = cpa.snapshot_byte(5);
+  for (const int guess : {0, 17, 113, 255}) {
+    double sum_h = 0.0, sum_h2 = 0.0, sum_t = 0.0, sum_t2 = 0.0, sum_ht = 0.0;
+    for (std::size_t t = 0; t < traces; ++t) {
+      const double h = la::last_round_hd(cts[t], 5,
+                                         static_cast<std::uint8_t>(guess));
+      sum_h += h;
+      sum_h2 += h * h;
+      sum_t += samples[t];
+      sum_t2 += samples[t] * samples[t];
+      sum_ht += h * samples[t];
+    }
+    const double n = static_cast<double>(traces);
+    const double cov = sum_ht - sum_h * sum_t / n;
+    const double var_h = sum_h2 - sum_h * sum_h / n;
+    const double var_t = sum_t2 - sum_t * sum_t / n;
+    const double rho = std::abs(cov) / std::sqrt(var_h * var_t);
+    EXPECT_NEAR(scores.score[static_cast<std::size_t>(guess)], rho, 1e-9)
+        << "guess " << guess;
+  }
+}
+
+TEST(SolverCrossCheck, CpaInvariantToAffineReadoutTransform) {
+  // Pearson correlation is affine-invariant: rescaling/offsetting the
+  // readouts must not change any score.
+  lu::Rng rng(1502);
+  const lc::Key key = random_block(rng);
+  const lc::Aes128 aes(key);
+  la::CpaAttack cpa_raw(1);
+  la::CpaAttack cpa_affine(1);
+  lc::Block pt = random_block(rng);
+  for (int t = 0; t < 500; ++t) {
+    const auto trace = aes.encrypt_trace(pt);
+    const double leak =
+        -static_cast<double>(lv::block_hd(trace.states[9], trace.states[10])) +
+        rng.gaussian(0.0, 2.0);
+    cpa_raw.add_trace(trace.ciphertext, std::vector<double>{leak});
+    cpa_affine.add_trace(trace.ciphertext,
+                         std::vector<double>{-7.5 * leak + 1234.0});
+    pt = trace.ciphertext;
+  }
+  const auto raw = cpa_raw.snapshot_byte(2);
+  const auto affine = cpa_affine.snapshot_byte(2);
+  for (int g = 0; g < 256; ++g) {
+    EXPECT_NEAR(raw.score[static_cast<std::size_t>(g)],
+                affine.score[static_cast<std::size_t>(g)], 1e-9);
+  }
+}
+
+// ------------------------------------------------- end-to-end mini pipeline
+
+TEST(EndToEnd, TvlaThenCpaThenRankThenEnumeration) {
+  // The full attacker playbook at demo scale: leakage assessment first,
+  // CPA second, key-rank to decide, enumeration to finish.
+  const lsim::Basys3Scenario scenario;
+  lu::Rng rng(1503);
+  const lc::Key key = random_block(rng);
+  lv::AesCoreParams params;
+  params.current_per_hd_bit = 0.05;
+  lv::AesCoreModel aes(key, scenario.aes_site(), scenario.grid(), params);
+  lcore::LeakyDspSensor sensor(scenario.device(),
+                               scenario.attack_placements()[5]);
+  lsim::SensorRig rig(scenario.grid(), sensor);
+  rig.calibrate(rng);
+  la::TraceCampaign campaign(rig, aes);
+  const std::size_t samples =
+      (aes.cycles_per_encryption() + 2) * campaign.samples_per_cycle();
+
+  // Stage 1: TVLA says the channel leaks.
+  la::TvlaAccumulator tvla(samples);
+  const auto fixed_pt = random_block(rng);
+  for (int t = 0; t < 400; ++t) {
+    tvla.add_fixed(campaign.generate_trace(fixed_pt, rng));
+    tvla.add_random(campaign.generate_trace(random_block(rng), rng));
+  }
+  ASSERT_TRUE(tvla.result().leaks());
+
+  // Stage 2: a deliberately *undersized* CPA (not enough traces for a
+  // clean argmax break).
+  const std::size_t spc = campaign.samples_per_cycle();
+  const std::size_t poi_begin = 10 * spc;
+  const std::size_t poi_count = 2 * spc;
+  la::CpaAttack cpa(poi_count);
+  std::vector<double> poi(poi_count);
+  lc::Block pt = random_block(rng);
+  lc::Block known_pt{};
+  lc::Block known_ct{};
+  for (int t = 0; t < 1500; ++t) {
+    const auto trace = campaign.generate_trace(pt, rng);
+    for (std::size_t k = 0; k < poi_count; ++k) poi[k] = trace[poi_begin + k];
+    cpa.add_trace(aes.ciphertext(), poi);
+    known_pt = pt;
+    known_ct = aes.ciphertext();
+    pt = aes.ciphertext();
+  }
+  const auto scores = cpa.snapshot();
+
+  // Stage 3: the rank estimate is far below brute force.
+  const auto bounds =
+      la::estimate_key_rank(scores, aes.cipher().round_keys()[10]);
+  ASSERT_LT(bounds.log2_upper, 40.0);
+
+  // Stage 4: enumeration with a generous budget finishes the job whether
+  // or not the argmax already equals the key.
+  const auto result =
+      la::enumerate_and_verify(scores, known_pt, known_ct, 1u << 20);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.master_key, key);
+}
+
+TEST(EndToEnd, CovertTextWithFecIsErrorFree) {
+  // A realistic covert transfer: ASCII payload, 2.5 ms bits (raw BER over
+  // 1%), Hamming(7,4) on top -> the decoded text is exact.
+  const lsim::Axu3egbScenario scenario;
+  lu::Rng rng(1504);
+  lcore::LeakyDspSensor sensor(scenario.device(), scenario.receiver_site());
+  lsim::SensorRig rig(scenario.grid(), sensor);
+  lv::PowerVirus sender(scenario.device(), scenario.grid(),
+                        scenario.sender_regions());
+  rig.calibrate(rng);
+  la::CovertChannelParams params;
+  params.bit_time_ms = 2.5;
+  la::CovertChannel channel(rig, sender, params, rng);
+
+  const std::string message =
+      "exfiltrating through the shared PDN, 2.5 ms per raw bit";
+  std::vector<bool> payload;
+  for (const char c : message) {
+    for (int b = 7; b >= 0; --b) {
+      payload.push_back((static_cast<unsigned char>(c) >> b) & 1);
+    }
+  }
+  const auto encoded = la::hamming74_encode(payload);
+  std::vector<bool> received;
+  channel.transmit(encoded, rng, &received);
+  const auto decoded = la::hamming74_decode(received);
+  EXPECT_EQ(la::count_bit_errors(payload, decoded), 0u);
+}
+
+TEST(EndToEnd, CampaignResultsReproducibleAcrossRuns) {
+  const lsim::Basys3Scenario scenario;
+  auto run_once = [&]() {
+    lu::Rng rng(1505);
+    lc::Key key = random_block(rng);
+    lv::AesCoreParams params;
+    params.current_per_hd_bit = 0.1;
+    lv::AesCoreModel aes(key, scenario.aes_site(), scenario.grid(), params);
+    lcore::LeakyDspSensor sensor(scenario.device(),
+                                 scenario.attack_placements()[5]);
+    lsim::SensorRig rig(scenario.grid(), sensor);
+    rig.calibrate(rng);
+    la::CampaignConfig config;
+    config.max_traces = 2000;
+    config.break_check_stride = 250;
+    config.rank_stride = 1000;
+    la::TraceCampaign campaign(rig, aes, config);
+    return campaign.run(rng);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.traces_to_break, b.traces_to_break);
+  EXPECT_EQ(a.traces_run, b.traces_run);
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (std::size_t c = 0; c < a.checkpoints.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a.checkpoints[c].rank.log2_upper,
+                     b.checkpoints[c].rank.log2_upper);
+  }
+}

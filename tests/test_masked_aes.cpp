@@ -1,0 +1,162 @@
+// Tests for the masked AES core: functional equivalence, power-model
+// decorrelation, and the end-to-end masking-defeats-first-order-CPA claim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "attack/cpa.h"
+#include "core/leaky_dsp.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "stats/accumulators.h"
+#include "util/rng.h"
+#include "victim/aes_core.h"
+#include "victim/masked_aes_core.h"
+
+namespace lv = leakydsp::victim;
+namespace lc = leakydsp::crypto;
+namespace la = leakydsp::attack;
+namespace ls = leakydsp::stats;
+namespace lu = leakydsp::util;
+namespace lsim = leakydsp::sim;
+namespace lcore = leakydsp::core;
+
+namespace {
+
+lc::Block random_block(lu::Rng& rng) {
+  lc::Block b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng() & 0xff);
+  return b;
+}
+
+}  // namespace
+
+class MaskedAesTest : public ::testing::Test {
+ protected:
+  lsim::Basys3Scenario scenario_;
+};
+
+TEST_F(MaskedAesTest, CiphertextUnchangedByMasking) {
+  lu::Rng rng(1301);
+  const lc::Key key = random_block(rng);
+  lv::MaskedAesCoreModel masked(key, scenario_.aes_site(), scenario_.grid());
+  lv::AesCoreModel plain(key, scenario_.aes_site(), scenario_.grid());
+  for (int t = 0; t < 10; ++t) {
+    const auto pt = random_block(rng);
+    masked.start_encryption(pt);
+    plain.start_encryption(pt);
+    EXPECT_EQ(masked.ciphertext(), plain.ciphertext());
+  }
+}
+
+TEST_F(MaskedAesTest, RoundCurrentsDataIndependent) {
+  // The masked core's round-10 current must not correlate with the true
+  // last-round Hamming distance; the plain core's must.
+  lu::Rng rng(1302);
+  const lc::Key key = random_block(rng);
+  lv::MaskedAesCoreModel masked(key, scenario_.aes_site(), scenario_.grid());
+  lv::AesCoreModel plain(key, scenario_.aes_site(), scenario_.grid());
+  ls::Correlation masked_corr;
+  ls::Correlation plain_corr;
+  lc::Block pt = random_block(rng);
+  const std::size_t round10_cycle = plain.params().load_cycles + 9;
+  for (int t = 0; t < 4000; ++t) {
+    plain.start_encryption(pt);
+    masked.start_encryption(pt);
+    const double true_hd =
+        static_cast<double>(plain.round_transition_hd(10));
+    plain_corr.add(true_hd, plain.current_at_cycle(round10_cycle));
+    masked_corr.add(true_hd, masked.current_at_cycle(round10_cycle));
+    pt = plain.ciphertext();
+  }
+  EXPECT_GT(plain_corr.pearson(), 0.99);
+  EXPECT_LT(std::abs(masked_corr.pearson()), 0.05);
+}
+
+TEST_F(MaskedAesTest, MaskedCurrentsHaveHigherMeanActivity) {
+  // Two share registers toggle instead of one: mean switching roughly
+  // doubles — the masking overhead.
+  lu::Rng rng(1303);
+  const lc::Key key = random_block(rng);
+  lv::MaskedAesCoreModel masked(key, scenario_.aes_site(), scenario_.grid());
+  lv::AesCoreModel plain(key, scenario_.aes_site(), scenario_.grid());
+  double masked_sum = 0.0;
+  double plain_sum = 0.0;
+  lc::Block pt{};
+  const std::size_t cycle = plain.params().load_cycles + 4;
+  for (int t = 0; t < 500; ++t) {
+    plain.start_encryption(pt);
+    masked.start_encryption(pt);
+    plain_sum += plain.current_at_cycle(cycle);
+    masked_sum += masked.current_at_cycle(cycle);
+    pt = plain.ciphertext();
+  }
+  EXPECT_GT(masked_sum, 1.5 * plain_sum - 500.0 * plain.params().static_active_current);
+}
+
+TEST_F(MaskedAesTest, FirstOrderCpaFailsOnMaskedTraces) {
+  lu::Rng rng(1304);
+  const lc::Key key = random_block(rng);
+  lv::AesCoreParams params;
+  params.current_per_hd_bit = 0.05;  // strong leakage
+  lv::MaskedAesCoreModel masked(key, scenario_.aes_site(), scenario_.grid(),
+                                params);
+
+  lcore::LeakyDspSensor sensor(scenario_.device(),
+                               scenario_.attack_placements()[5]);
+  lsim::SensorRig rig(scenario_.grid(), sensor);
+  rig.calibrate(rng);
+  const double gain = rig.coupling().gain_at_node(masked.pdn_node());
+  const std::size_t spc = 15;
+  const std::size_t poi_begin = 10 * spc;
+  const std::size_t poi_count = 2 * spc;
+  la::CpaAttack cpa(poi_count);
+  std::vector<double> poi(poi_count);
+  lc::Block pt = random_block(rng);
+  const std::size_t trace_samples = 13 * spc;
+  for (int t = 0; t < 3000; ++t) {
+    masked.start_encryption(pt);
+    for (std::size_t s = 0; s < trace_samples; ++s) {
+      const double droop = gain * masked.current_at_cycle(s / spc);
+      const double readout =
+          rig.sensor().sample(rig.supply_for_droop(droop, rng), rng);
+      if (s >= poi_begin && s < poi_begin + poi_count) {
+        poi[s - poi_begin] = readout;
+      }
+    }
+    cpa.add_trace(masked.ciphertext(), poi);
+    pt = masked.ciphertext();
+  }
+  // At this leakage an unprotected core is fully broken by 3k traces
+  // (CampaignTest.BoostedLeakageBreaksQuickly uses comparable settings);
+  // against masking the recovered key is essentially random.
+  const auto recovered = cpa.recovered_round_key();
+  const auto& truth = masked.cipher().round_keys()[10];
+  int correct = 0;
+  for (int b = 0; b < 16; ++b) {
+    if (recovered[static_cast<std::size_t>(b)] ==
+        truth[static_cast<std::size_t>(b)]) {
+      ++correct;
+    }
+  }
+  EXPECT_LE(correct, 3);
+}
+
+TEST_F(MaskedAesTest, DifferentMaskSeedsDifferentPower) {
+  lu::Rng rng(1305);
+  const lc::Key key = random_block(rng);
+  lv::MaskedAesCoreModel a(key, scenario_.aes_site(), scenario_.grid(), {},
+                           /*mask_seed=*/1);
+  lv::MaskedAesCoreModel b(key, scenario_.aes_site(), scenario_.grid(), {},
+                           /*mask_seed=*/2);
+  const auto pt = random_block(rng);
+  a.start_encryption(pt);
+  b.start_encryption(pt);
+  EXPECT_EQ(a.ciphertext(), b.ciphertext());
+  bool any_different = false;
+  for (std::size_t c = 1; c <= 10; ++c) {
+    if (a.current_at_cycle(c) != b.current_at_cycle(c)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}

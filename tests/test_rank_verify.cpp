@@ -1,0 +1,139 @@
+// Verification of the key-rank estimator against exhaustive enumeration on
+// reduced key spaces (1-3 bytes): the histogram bounds must always contain
+// the exact rank. This is the correctness evidence behind every Fig. 5/6
+// number.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "attack/key_rank.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace la = leakydsp::attack;
+namespace lu = leakydsp::util;
+
+namespace {
+
+std::vector<std::array<double, 256>> random_scores(std::size_t bytes,
+                                                   lu::Rng& rng,
+                                                   double info_strength) {
+  std::vector<std::array<double, 256>> scores(bytes);
+  for (auto& row : scores) {
+    for (auto& s : row) s = rng.uniform(0.01, 0.03);
+  }
+  // Inject partial information about byte value 0 with some probability.
+  for (auto& row : scores) {
+    if (rng.bernoulli(0.7)) {
+      row[0] += info_strength * rng.uniform(0.2, 1.0);
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+class RankVerifyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankVerifyTest, BoundsContainExactRank) {
+  const auto bytes = static_cast<std::size_t>(GetParam());
+  lu::Rng rng(1000 + GetParam());
+  const std::vector<std::uint8_t> truth(bytes, 0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto scores =
+        random_scores(bytes, rng, trial % 5 == 0 ? 0.0 : 0.3);
+    const double exact = la::exact_key_rank(scores, truth);
+    const auto bounds = la::estimate_key_rank_general(scores, truth);
+    const double exact_log2 = std::log2(exact);
+    EXPECT_LE(bounds.log2_lower, exact_log2 + 1e-9)
+        << "trial " << trial << ": lower bound above exact rank " << exact;
+    EXPECT_GE(bounds.log2_upper, exact_log2 - 1e-9)
+        << "trial " << trial << ": upper bound below exact rank " << exact;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToThreeBytes, RankVerifyTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(RankVerify, ExactRankKnownCases) {
+  // Single byte, truth has the top score: rank 1.
+  std::vector<std::array<double, 256>> scores(1);
+  for (int g = 0; g < 256; ++g) {
+    scores[0][static_cast<std::size_t>(g)] = 0.01;
+  }
+  scores[0][7] = 0.9;
+  EXPECT_DOUBLE_EQ(la::exact_key_rank(scores, {7}), 1.0);
+  // Truth with the *lowest* distinct score: rank 256.
+  scores[0][7] = 0.001;
+  EXPECT_DOUBLE_EQ(la::exact_key_rank(scores, {7}), 256.0);
+}
+
+TEST(RankVerify, ExactRankTwoBytesComposition) {
+  // Independent bytes: truth strictly better than all in byte 0 and byte 1
+  // -> rank 1 overall.
+  std::vector<std::array<double, 256>> scores(2);
+  for (auto& row : scores) {
+    for (auto& s : row) s = 0.01;
+    row[3] = 0.8;
+  }
+  EXPECT_DOUBLE_EQ(la::exact_key_rank(scores, {3, 3}), 1.0);
+}
+
+TEST(RankVerify, ExactRankLimitedToThreeBytes) {
+  std::vector<std::array<double, 256>> scores(4);
+  for (auto& row : scores) {
+    for (auto& s : row) s = 0.01;
+  }
+  EXPECT_THROW(la::exact_key_rank(scores, {0, 0, 0, 0}),
+               lu::PreconditionError);
+}
+
+TEST(RankVerify, GeneralEstimatorContracts) {
+  std::vector<std::array<double, 256>> scores;
+  EXPECT_THROW(la::estimate_key_rank_general(scores, {}),
+               lu::PreconditionError);
+  scores.resize(2);
+  for (auto& row : scores) {
+    for (auto& s : row) s = 0.01;
+  }
+  EXPECT_THROW(la::estimate_key_rank_general(scores, {0}),
+               lu::PreconditionError);  // truth size mismatch
+}
+
+TEST(RankVerify, GeneralEstimatorUninformativeSmallSpace) {
+  lu::Rng rng(1010);
+  std::vector<std::array<double, 256>> scores(2);
+  for (auto& row : scores) {
+    for (auto& s : row) s = rng.uniform(0.01, 0.011);
+  }
+  const auto bounds = la::estimate_key_rank_general(scores, {5, 9});
+  // Flat scores over a 16-bit space: rank around 2^15, never above 2^16.
+  EXPECT_GT(bounds.log2_upper, 10.0);
+  EXPECT_LE(bounds.log2_upper, 16.5);
+}
+
+TEST(RankVerify, MoreBinsTightenBounds) {
+  // The histogram estimator's quantization slack shrinks with resolution:
+  // the bound interval at 2048 bins must be no wider than at 128 bins.
+  lu::Rng rng(1020);
+  std::vector<std::array<double, 256>> scores(3);
+  for (auto& row : scores) {
+    for (auto& s : row) s = rng.uniform(0.01, 0.05);
+  }
+  const std::vector<std::uint8_t> truth = {1, 2, 3};
+  la::KeyRankParams coarse;
+  coarse.bins = 128;
+  la::KeyRankParams fine;
+  fine.bins = 2048;
+  const auto wide = la::estimate_key_rank_general(scores, truth, coarse);
+  const auto tight = la::estimate_key_rank_general(scores, truth, fine);
+  EXPECT_LE(tight.log2_upper - tight.log2_lower,
+            wide.log2_upper - wide.log2_lower + 1e-9);
+  // Both still contain the exact rank.
+  const double exact = std::log2(la::exact_key_rank(scores, truth));
+  EXPECT_LE(wide.log2_lower, exact + 1e-9);
+  EXPECT_GE(wide.log2_upper, exact - 1e-9);
+  EXPECT_LE(tight.log2_lower, exact + 1e-9);
+  EXPECT_GE(tight.log2_upper, exact - 1e-9);
+}

@@ -1,0 +1,201 @@
+// Tests for the routing-delay estimator, classical DPA, and the readout
+// decimator front-end.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/cpa.h"
+#include "attack/dpa.h"
+#include "crypto/aes128.h"
+#include "fabric/netlist_builders.h"
+#include "fabric/routing.h"
+#include "sensors/decimator.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "victim/aes_core.h"
+
+namespace la = leakydsp::attack;
+namespace lc = leakydsp::crypto;
+namespace lf = leakydsp::fabric;
+namespace lsens = leakydsp::sensors;
+namespace lv = leakydsp::victim;
+namespace lu = leakydsp::util;
+
+// ----------------------------------------------------------------- routing
+
+TEST(Routing, ManhattanHops) {
+  EXPECT_EQ(lf::manhattan_hops({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(lf::manhattan_hops({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(lf::manhattan_hops({5, 5}, {2, 9}), 7);
+}
+
+TEST(Routing, DelayMonotoneInDistance) {
+  double prev = lf::route_delay_ns({0, 0}, {0, 0});
+  for (int d = 1; d <= 40; ++d) {
+    const double cur = lf::route_delay_ns({0, 0}, {d, 0});
+    EXPECT_GT(cur, prev) << "distance " << d;
+    prev = cur;
+  }
+}
+
+TEST(Routing, ExpressLinesDiscountLongNets) {
+  // 12 hops partly on express lines must be cheaper than 12x the local
+  // single-hop marginal.
+  const double base = lf::route_delay_ns({0, 0}, {0, 0});
+  const double one = lf::route_delay_ns({0, 0}, {1, 0}) - base;
+  const double twelve = lf::route_delay_ns({0, 0}, {12, 0}) - base;
+  EXPECT_LT(twelve, 12.0 * one * 0.8);
+}
+
+TEST(Routing, PlacementAwarePathExceedsCellOnlyEstimate) {
+  // The TDC netlist is fully placed; wire delay adds on top of cell delay.
+  const auto design = lf::build_tdc_netlist(32, 5, 0);
+  const double cells_only = design.worst_combinational_path_ns();
+  const double with_routing = lf::worst_path_with_routing_ns(design);
+  EXPECT_GT(with_routing, cells_only);
+}
+
+TEST(Routing, RejectsBadParams) {
+  lf::RoutingParams params;
+  params.express_discount = 0.0;
+  EXPECT_THROW(lf::route_delay_ns({0, 0}, {1, 1}, params),
+               lu::PreconditionError);
+}
+
+// --------------------------------------------------------------------- DPA
+
+namespace {
+
+lc::Block random_block(lu::Rng& rng) {
+  lc::Block b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng() & 0xff);
+  return b;
+}
+
+}  // namespace
+
+TEST(Dpa, RecoversKeyFromStrongLeakage) {
+  lu::Rng rng(1601);
+  const lc::Key key = random_block(rng);
+  const lc::Aes128 aes(key);
+  la::DpaAttack dpa(1);
+  lc::Block pt = random_block(rng);
+  for (int t = 0; t < 6000; ++t) {
+    const auto trace = aes.encrypt_trace(pt);
+    const double leak =
+        -static_cast<double>(lv::block_hd(trace.states[9], trace.states[10]));
+    dpa.add_trace(trace.ciphertext,
+                  std::vector<double>{leak + rng.gaussian(0.0, 2.0)});
+    pt = trace.ciphertext;
+  }
+  EXPECT_EQ(dpa.recovered_round_key(), aes.round_keys()[10]);
+}
+
+TEST(Dpa, WeakerThanCpaAtSameTraceCount) {
+  // At a trace count where CPA is already solid, single-bit DPA recovers
+  // fewer bytes — the statistical gap between using 1 and 8 hypothesis
+  // bits.
+  lu::Rng rng(1602);
+  const lc::Key key = random_block(rng);
+  const lc::Aes128 aes(key);
+  la::DpaAttack dpa(1);
+  la::CpaAttack cpa(1);
+  lc::Block pt = random_block(rng);
+  const double sigma = 10.0;
+  for (int t = 0; t < 2500; ++t) {
+    const auto trace = aes.encrypt_trace(pt);
+    const double leak =
+        -static_cast<double>(lv::block_hd(trace.states[9], trace.states[10])) +
+        rng.gaussian(0.0, sigma);
+    dpa.add_trace(trace.ciphertext, std::vector<double>{leak});
+    cpa.add_trace(trace.ciphertext, std::vector<double>{leak});
+    pt = trace.ciphertext;
+  }
+  int dpa_correct = 0;
+  int cpa_correct = 0;
+  const auto& truth = aes.round_keys()[10];
+  const auto cpa_rk = cpa.recovered_round_key();
+  const auto dpa_rk = dpa.recovered_round_key();
+  for (int b = 0; b < 16; ++b) {
+    if (cpa_rk[static_cast<std::size_t>(b)] ==
+        truth[static_cast<std::size_t>(b)]) {
+      ++cpa_correct;
+    }
+    if (dpa_rk[static_cast<std::size_t>(b)] ==
+        truth[static_cast<std::size_t>(b)]) {
+      ++dpa_correct;
+    }
+  }
+  EXPECT_GT(cpa_correct, dpa_correct);
+  EXPECT_GE(cpa_correct, 14);
+}
+
+TEST(Dpa, TargetBitSelectable) {
+  for (const int bit : {0, 3, 7}) {
+    EXPECT_NO_THROW(la::DpaAttack(4, bit));
+  }
+  EXPECT_THROW(la::DpaAttack(4, 8), lu::PreconditionError);
+  EXPECT_THROW(la::DpaAttack(0, 0), lu::PreconditionError);
+}
+
+TEST(Dpa, Contracts) {
+  la::DpaAttack dpa(2);
+  EXPECT_THROW(dpa.add_trace(lc::Block{}, std::vector<double>(1)),
+               lu::PreconditionError);
+  EXPECT_THROW(dpa.snapshot_byte(0), lu::PreconditionError);  // no traces
+  EXPECT_THROW(dpa.snapshot_byte(16), lu::PreconditionError);
+}
+
+// --------------------------------------------------------------- decimator
+
+TEST(Decimator, AverageMode) {
+  lsens::SampleDecimator dec(4);
+  const std::vector<double> in = {1, 2, 3, 4, 10, 10, 10, 10, 7};
+  const auto out = dec.process(in);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 2.5);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+  EXPECT_EQ(dec.pending(), 1u);  // the trailing 7
+}
+
+TEST(Decimator, SumAndSubsampleModes) {
+  lsens::SampleDecimator sum(3, lsens::SampleDecimator::Mode::kSum);
+  EXPECT_FALSE(sum.push(1.0));
+  EXPECT_FALSE(sum.push(2.0));
+  EXPECT_TRUE(sum.push(3.0));
+  EXPECT_DOUBLE_EQ(sum.output(), 6.0);
+
+  lsens::SampleDecimator sub(2, lsens::SampleDecimator::Mode::kSubsample);
+  sub.push(42.0);
+  EXPECT_TRUE(sub.push(99.0));
+  EXPECT_DOUBLE_EQ(sub.output(), 42.0);
+}
+
+TEST(Decimator, AveragingReducesNoise) {
+  lu::Rng rng(1603);
+  std::vector<double> noisy(16000);
+  for (auto& v : noisy) v = rng.gaussian(40.0, 2.0);
+  lsens::SampleDecimator dec(16);
+  const auto out = dec.process(noisy);
+  double var = 0.0;
+  for (const double v : out) var += (v - 40.0) * (v - 40.0);
+  var /= static_cast<double>(out.size());
+  // sigma/sqrt(16): variance shrinks ~16x.
+  EXPECT_LT(var, 2.0 * 4.0 / 16.0 * 2.0);
+  EXPECT_GT(var, 4.0 / 16.0 / 2.0);
+}
+
+TEST(Decimator, Contracts) {
+  EXPECT_THROW(lsens::SampleDecimator(0), lu::PreconditionError);
+  lsens::SampleDecimator dec(4);
+  EXPECT_THROW(dec.output(), lu::PreconditionError);  // nothing complete
+  dec.push(1.0);
+  dec.reset();
+  EXPECT_EQ(dec.pending(), 0u);
+}
+
+TEST(Decimator, RatioOnePassesThrough) {
+  lsens::SampleDecimator dec(1);
+  EXPECT_TRUE(dec.push(5.5));
+  EXPECT_DOUBLE_EQ(dec.output(), 5.5);
+}

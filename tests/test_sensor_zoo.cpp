@@ -1,0 +1,177 @@
+// Tests for the extended sensor families (RDS, VITI, PPWM): construction
+// contracts, calibration, voltage sensitivity direction, self-calibration
+// behaviour, and bitstream-scan verdicts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabric/bitstream_checker.h"
+#include "fabric/device.h"
+#include "sensors/ppwm.h"
+#include "sensors/rds.h"
+#include "sensors/viti.h"
+#include "stats/descriptive.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace lsens = leakydsp::sensors;
+namespace lf = leakydsp::fabric;
+namespace ls = leakydsp::stats;
+namespace lu = leakydsp::util;
+
+namespace {
+
+double mean_readout(lsens::VoltageSensor& sensor, double v, lu::Rng& rng,
+                    int n = 2000) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(sensor.sample(v, rng));
+  return ls::mean(xs);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- RDS
+
+class RdsTest : public ::testing::Test {
+ protected:
+  lf::Device dev_ = lf::Device::basys3();
+  lsens::RdsSensor sensor_{dev_, {2, 10}};
+  lu::Rng rng_{711};
+};
+
+TEST_F(RdsTest, RequiresClbSite) {
+  EXPECT_THROW(lsens::RdsSensor(dev_, {16, 10}), lu::PreconditionError);
+}
+
+TEST_F(RdsTest, BranchArrivalsIncrease) {
+  for (std::size_t i = 1; i < sensor_.params().taps; ++i) {
+    EXPECT_GT(sensor_.branch_arrival_ns(i), sensor_.branch_arrival_ns(i - 1));
+  }
+  EXPECT_THROW(sensor_.branch_arrival_ns(32), lu::PreconditionError);
+}
+
+TEST_F(RdsTest, CalibrationParksOnScale) {
+  const auto cal = sensor_.calibrate(1.0, rng_, 128);
+  EXPECT_TRUE(cal.success);
+  EXPECT_GT(cal.idle_readout, 2.0);
+  EXPECT_LT(cal.idle_readout, 32.0);
+}
+
+TEST_F(RdsTest, DroopReducesLatchedBranches) {
+  sensor_.calibrate(1.0, rng_, 128);
+  const double idle = mean_readout(sensor_, 1.0, rng_);
+  const double drooped = mean_readout(sensor_, 1.0 - 10e-3, rng_);
+  EXPECT_LT(drooped, idle - 1.5);
+}
+
+TEST_F(RdsTest, PassesDeployedBitstreamChecks) {
+  const auto report = lf::audit_bitstream(sensor_.netlist(),
+                                          lf::CheckPolicy::deployed());
+  EXPECT_TRUE(report.accepted());
+}
+
+TEST_F(RdsTest, NetlistIsRoutingAndFfsOnly) {
+  const auto nl = sensor_.netlist();
+  EXPECT_TRUE(nl.cells_of_type(lf::CellType::kCarry4).empty());
+  EXPECT_TRUE(nl.cells_of_type(lf::CellType::kLut).empty());
+  EXPECT_EQ(nl.cells_of_type(lf::CellType::kFf).size(),
+            sensor_.params().taps + 1);  // launch + captures
+}
+
+// -------------------------------------------------------------------- VITI
+
+class VitiTest : public ::testing::Test {
+ protected:
+  lf::Device dev_ = lf::Device::basys3();
+  lsens::VitiSensor sensor_{dev_, {2, 10}};
+  lu::Rng rng_{712};
+};
+
+TEST_F(VitiTest, RequiresClbSite) {
+  EXPECT_THROW(lsens::VitiSensor(dev_, {16, 10}), lu::PreconditionError);
+}
+
+TEST_F(VitiTest, SelfCalibrationCentersOperatingPoint) {
+  const auto cal = sensor_.calibrate(1.0, rng_, 256);
+  EXPECT_TRUE(cal.success);
+  EXPECT_GT(cal.idle_readout, sensor_.params().low_rail);
+  EXPECT_LT(cal.idle_readout, sensor_.params().high_rail);
+}
+
+TEST_F(VitiTest, DroopReducesReadoutAfterSettling) {
+  sensor_.calibrate(1.0, rng_, 256);
+  const double idle = mean_readout(sensor_, 1.0, rng_, 1000);
+  // Short probe (shorter than the adaptation horizon) at drooped supply.
+  const double drooped = mean_readout(sensor_, 1.0 - 10e-3, rng_, 200);
+  EXPECT_LT(drooped, idle - 0.8);
+}
+
+TEST_F(VitiTest, ControllerRecoversFromSustainedDroop) {
+  sensor_.calibrate(1.0, rng_, 256);
+  // A long-sustained droop drives the readout to a rail; the controller
+  // eventually re-centers (that is VITI's defining feature).
+  const double heavy = 1.0 - 60e-3;
+  for (int i = 0; i < 30000; ++i) sensor_.sample(heavy, rng_);
+  const double adapted = mean_readout(sensor_, heavy, rng_, 500);
+  EXPECT_GT(adapted, sensor_.params().low_rail - 0.5);
+  EXPECT_LT(adapted, sensor_.params().high_rail + 0.5);
+}
+
+TEST_F(VitiTest, PassesDeployedBitstreamChecks) {
+  const auto report = lf::audit_bitstream(sensor_.netlist(),
+                                          lf::CheckPolicy::deployed());
+  EXPECT_TRUE(report.accepted());
+}
+
+TEST_F(VitiTest, TinyFootprint) {
+  const auto nl = sensor_.netlist();
+  EXPECT_LE(nl.cell_count(), 16u);
+}
+
+// -------------------------------------------------------------------- PPWM
+
+class PpwmTest : public ::testing::Test {
+ protected:
+  lf::Device dev_ = lf::Device::basys3();
+  lsens::PpwmSensor sensor_{dev_, {2, 10}};
+  lu::Rng rng_{713};
+};
+
+TEST_F(PpwmTest, RequiresClbSite) {
+  EXPECT_THROW(lsens::PpwmSensor(dev_, {16, 10}), lu::PreconditionError);
+}
+
+TEST_F(PpwmTest, PulseWidensWithDroop) {
+  EXPECT_GT(sensor_.pulse_width_ns(0.99), sensor_.pulse_width_ns(1.0));
+  EXPECT_GT(sensor_.pulse_width_ns(1.0), 0.0);
+}
+
+TEST_F(PpwmTest, ReadoutGrowsWithDroop) {
+  const double idle = mean_readout(sensor_, 1.0, rng_);
+  const double drooped = mean_readout(sensor_, 1.0 - 10e-3, rng_);
+  EXPECT_GT(drooped, idle + 1.5);
+}
+
+TEST_F(PpwmTest, InvalidParamsRejected) {
+  lsens::PpwmParams params;
+  params.reference_path_ns = 10.0;  // slower than sensitive path
+  EXPECT_THROW(lsens::PpwmSensor(dev_, {2, 10}, params),
+               lu::PreconditionError);
+  params = lsens::PpwmParams{};
+  params.stretch_gain = 0.5;
+  EXPECT_THROW(lsens::PpwmSensor(dev_, {2, 10}, params),
+               lu::PreconditionError);
+}
+
+TEST_F(PpwmTest, PassesDeployedBitstreamChecks) {
+  const auto report = lf::audit_bitstream(sensor_.netlist(),
+                                          lf::CheckPolicy::deployed());
+  EXPECT_TRUE(report.accepted());
+}
+
+TEST_F(PpwmTest, CalibrationReportsIdle) {
+  const auto cal = sensor_.calibrate(1.0, rng_, 128);
+  EXPECT_TRUE(cal.success);
+  EXPECT_GT(cal.idle_readout, 0.0);
+}

@@ -1,0 +1,120 @@
+// Tests for the voltage→delay substrate: alpha-power law properties and
+// delay-chain arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "timing/delay_model.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace lt = leakydsp::timing;
+namespace lu = leakydsp::util;
+
+TEST(AlphaPowerLaw, NormalizedAtNominal) {
+  const lt::AlphaPowerLaw law;
+  EXPECT_NEAR(law.scale(law.vnom), 1.0, 1e-12);
+}
+
+TEST(AlphaPowerLaw, LowerVoltageIsSlower) {
+  const lt::AlphaPowerLaw law;
+  EXPECT_GT(law.scale(0.99), 1.0);
+  EXPECT_GT(law.scale(0.95), law.scale(0.99));
+  EXPECT_LT(law.scale(1.01), 1.0);
+}
+
+TEST(AlphaPowerLaw, MonotoneDecreasingInVoltage) {
+  const lt::AlphaPowerLaw law;
+  double prev = law.scale(0.80);
+  for (double v = 0.81; v <= 1.2; v += 0.01) {
+    const double s = law.scale(v);
+    EXPECT_LT(s, prev) << "at v=" << v;
+    prev = s;
+  }
+}
+
+TEST(AlphaPowerLaw, ThrowsBelowThreshold) {
+  const lt::AlphaPowerLaw law;
+  EXPECT_THROW(law.scale(0.30), lu::PreconditionError);
+  EXPECT_THROW(law.scale(0.10), lu::PreconditionError);
+}
+
+TEST(AlphaPowerLaw, SensitivityMatchesNumericalDerivative) {
+  const lt::AlphaPowerLaw law;
+  const double h = 1e-6;
+  const double numeric =
+      (law.scale(law.vnom + h) - law.scale(law.vnom - h)) / (2 * h);
+  EXPECT_NEAR(law.sensitivity_at_nominal(), numeric, 1e-5);
+  EXPECT_LT(law.sensitivity_at_nominal(), 0.0);
+}
+
+TEST(AlphaPowerLaw, MillivoltDroopGivesTensOfPsOnTenNsPath) {
+  // The design-level sanity check from DESIGN.md: a few-mV droop stretches
+  // a ~10 ns amplified chain by tens of ps.
+  const lt::AlphaPowerLaw law;
+  const double d0 = 10.0;  // ns
+  const double stretch_ps = (law.scale(1.0 - 0.0025) - 1.0) * d0 * 1e3;
+  EXPECT_GT(stretch_ps, 10.0);
+  EXPECT_LT(stretch_ps, 100.0);
+}
+
+TEST(DelayChain, TotalIsSumOfStages) {
+  const lt::DelayChain chain({1.0, 2.0, 3.0}, lt::AlphaPowerLaw{});
+  EXPECT_DOUBLE_EQ(chain.nominal_total(), 6.0);
+  EXPECT_NEAR(chain.total_delay(1.0), 6.0, 1e-12);
+  EXPECT_EQ(chain.stages(), 3u);
+}
+
+TEST(DelayChain, ArrivalIsPrefixSum) {
+  const lt::DelayChain chain({1.0, 2.0, 3.0}, lt::AlphaPowerLaw{});
+  EXPECT_NEAR(chain.arrival(0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(chain.arrival(1, 1.0), 3.0, 1e-12);
+  EXPECT_NEAR(chain.arrival(2, 1.0), 6.0, 1e-12);
+  EXPECT_THROW(chain.arrival(3, 1.0), lu::PreconditionError);
+}
+
+TEST(DelayChain, StagesWithinBudget) {
+  const lt::DelayChain chain(std::vector<double>(10, 1.0),
+                             lt::AlphaPowerLaw{});
+  EXPECT_EQ(chain.stages_within(0.5, 1.0), 0u);
+  EXPECT_EQ(chain.stages_within(3.5, 1.0), 3u);
+  EXPECT_EQ(chain.stages_within(100.0, 1.0), 10u);
+  EXPECT_EQ(chain.stages_within(-1.0, 1.0), 0u);
+}
+
+TEST(DelayChain, DroopReducesStagesWithin) {
+  // The TDC observable: at lower supply the edge traverses fewer stages
+  // within the same clock budget.
+  const lt::DelayChain chain(std::vector<double>(128, 0.015),
+                             lt::AlphaPowerLaw{});
+  const double budget = 1.0;  // ns
+  const auto nominal = chain.stages_within(budget, 1.0);
+  const auto drooped = chain.stages_within(budget, 0.97);
+  EXPECT_LT(drooped, nominal);
+}
+
+TEST(DelayChain, RejectsBadStages) {
+  EXPECT_THROW(lt::DelayChain({}, lt::AlphaPowerLaw{}),
+               lu::PreconditionError);
+  EXPECT_THROW(lt::DelayChain({1.0, -0.5}, lt::AlphaPowerLaw{}),
+               lu::PreconditionError);
+}
+
+TEST(JitterModel, ZeroSigmaIsDeterministic) {
+  lu::Rng rng(1);
+  const lt::JitterModel jitter{0.0};
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(jitter.sample(rng), 0.0);
+}
+
+TEST(JitterModel, SigmaScalesSpread) {
+  lu::Rng rng(2);
+  const lt::JitterModel jitter{0.01};
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double j = jitter.sample(rng);
+    sum_sq += j * j;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.01, 0.001);
+}

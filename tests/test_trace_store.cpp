@@ -1,0 +1,139 @@
+// Tests for trace persistence: round-trips, format validation, and the
+// offline-CPA workflow (record once, attack from disk).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "attack/cpa.h"
+#include "crypto/aes128.h"
+#include "sim/trace_store.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "victim/aes_core.h"
+
+namespace lsim = leakydsp::sim;
+namespace lc = leakydsp::crypto;
+namespace la = leakydsp::attack;
+namespace lu = leakydsp::util;
+
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string("/tmp/leakydsp_test_") + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
+TEST(TraceStore, RoundTripPreservesData) {
+  lu::Rng rng(901);
+  lsim::TraceStore store(30);
+  for (int t = 0; t < 50; ++t) {
+    lc::Block ct;
+    for (auto& b : ct) b = static_cast<std::uint8_t>(rng() & 0xff);
+    std::vector<double> samples(30);
+    for (auto& s : samples) s = rng.gaussian(40.0, 1.0);
+    store.add(ct, samples);
+  }
+  const TempFile file("roundtrip.ldtr");
+  store.save(file.path());
+  const auto loaded = lsim::TraceStore::load(file.path());
+  ASSERT_EQ(loaded.size(), store.size());
+  ASSERT_EQ(loaded.samples_per_trace(), 30u);
+  for (std::size_t t = 0; t < store.size(); ++t) {
+    EXPECT_EQ(loaded.trace(t).ciphertext, store.trace(t).ciphertext);
+    EXPECT_EQ(loaded.trace(t).samples, store.trace(t).samples);
+  }
+}
+
+TEST(TraceStore, EmptyStoreRoundTrips) {
+  lsim::TraceStore store(10);
+  const TempFile file("empty.ldtr");
+  store.save(file.path());
+  const auto loaded = lsim::TraceStore::load(file.path());
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.samples_per_trace(), 10u);
+}
+
+TEST(TraceStore, SampleCountMismatchRejected) {
+  lsim::TraceStore store(8);
+  EXPECT_THROW(store.add(lc::Block{}, std::vector<double>(7)),
+               lu::PreconditionError);
+}
+
+TEST(TraceStore, MissingFileRejected) {
+  EXPECT_THROW(lsim::TraceStore::load("/tmp/leakydsp_does_not_exist.ldtr"),
+               lu::PreconditionError);
+}
+
+TEST(TraceStore, BadMagicRejected) {
+  const TempFile file("badmagic.ldtr");
+  std::ofstream os(file.path(), std::ios::binary);
+  os << "NOPEimmaterial trailing bytes";
+  os.close();
+  EXPECT_THROW(lsim::TraceStore::load(file.path()), lu::PreconditionError);
+}
+
+TEST(TraceStore, TruncatedFileRejected) {
+  lu::Rng rng(902);
+  lsim::TraceStore store(16);
+  for (int t = 0; t < 5; ++t) {
+    std::vector<double> samples(16, 1.0);
+    store.add(lc::Block{}, samples);
+  }
+  const TempFile file("trunc.ldtr");
+  store.save(file.path());
+  // Chop the last 8 bytes off.
+  std::ifstream is(file.path(), std::ios::binary | std::ios::ate);
+  const auto size = static_cast<long>(is.tellg());
+  std::vector<char> bytes(static_cast<std::size_t>(size - 8));
+  is.seekg(0);
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  is.close();
+  std::ofstream os(file.path(), std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.close();
+  EXPECT_THROW(lsim::TraceStore::load(file.path()), lu::PreconditionError);
+}
+
+TEST(TraceStore, OutOfRangeAccessRejected) {
+  lsim::TraceStore store(4);
+  EXPECT_THROW(store.trace(0), lu::PreconditionError);
+}
+
+TEST(TraceStore, OfflineCpaFromDiskRecoversKey) {
+  // The paper's split workflow: record traces "on the board", attack
+  // offline. Synthetic strong leakage keeps the test fast.
+  lu::Rng rng(903);
+  lc::Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng() & 0xff);
+  const lc::Aes128 aes(key);
+
+  lsim::TraceStore store(1);
+  lc::Block pt{};
+  for (int t = 0; t < 3000; ++t) {
+    const auto trace = aes.encrypt_trace(pt);
+    const double leak = -static_cast<double>(
+        leakydsp::victim::block_hd(trace.states[9], trace.states[10]));
+    store.add(trace.ciphertext,
+              std::vector<double>{leak + rng.gaussian(0.0, 4.0)});
+    pt = trace.ciphertext;
+  }
+  const TempFile file("offline.ldtr");
+  store.save(file.path());
+
+  const auto loaded = lsim::TraceStore::load(file.path());
+  la::CpaAttack cpa(loaded.samples_per_trace());
+  for (std::size_t t = 0; t < loaded.size(); ++t) {
+    cpa.add_trace(loaded.trace(t).ciphertext, loaded.trace(t).samples);
+  }
+  EXPECT_EQ(cpa.recovered_master_key(), key);
+}

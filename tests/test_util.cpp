@@ -1,0 +1,299 @@
+// Unit tests for the util substrate: RNG determinism and distribution
+// moments, bit vectors, contracts, tables and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/bitvec.h"
+#include "util/cli.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace lu = leakydsp::util;
+
+TEST(Contracts, RequireThrowsWithMessage) {
+  try {
+    LD_REQUIRE(1 == 2, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const lu::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsureThrowsInvariantError) {
+  EXPECT_THROW(LD_ENSURE(false, "broken"), lu::InvariantError);
+  EXPECT_NO_THROW(LD_ENSURE(true, "fine"));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  lu::Rng a(123);
+  lu::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  lu::Rng a(1);
+  lu::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  lu::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproachesHalf) {
+  lu::Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, GaussianMoments) {
+  lu::Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  lu::Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, UniformU64Bounded) {
+  lu::Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform_u64(0), lu::PreconditionError);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  lu::Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), lu::PreconditionError);
+}
+
+TEST(Rng, PoissonMean) {
+  lu::Rng rng(29);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(4.5);
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  lu::Rng rng(31);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  lu::Rng rng(37);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, StudentTHeavyTails) {
+  lu::Rng rng(41);
+  double sum = 0.0;
+  int extreme = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.student_t(4.0);
+    sum += t;
+    if (std::abs(t) > 4.0) ++extreme;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  // t(4) has far more 4-sigma events than a Gaussian (~0.6% vs ~0.006%).
+  EXPECT_GT(extreme, n / 1000);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  lu::Rng parent(43);
+  lu::Rng a = parent.fork(0);
+  lu::Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(BitVec, ConstructAndTest) {
+  lu::BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.hamming_weight(), 0u);
+  v.set(0, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_FALSE(v.test(50));
+  EXPECT_EQ(v.hamming_weight(), 2u);
+}
+
+TEST(BitVec, FilledConstructionClearsPadding) {
+  lu::BitVec v(70, true);
+  EXPECT_EQ(v.hamming_weight(), 70u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  lu::BitVec v(8);
+  EXPECT_THROW(v.test(8), lu::PreconditionError);
+  EXPECT_THROW(v.set(100, true), lu::PreconditionError);
+}
+
+TEST(BitVec, FromWordRoundTrip) {
+  const auto v = lu::BitVec::from_word(0b1011, 4);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(1));
+  EXPECT_FALSE(v.test(2));
+  EXPECT_TRUE(v.test(3));
+  EXPECT_EQ(v.to_word(4), 0b1011u);
+}
+
+TEST(BitVec, FromStringMsbFirst) {
+  const auto v = lu::BitVec::from_string("1010");
+  EXPECT_EQ(v.to_word(4), 0b1010u);
+  EXPECT_EQ(v.to_string(), "1010");
+  EXPECT_THROW(lu::BitVec::from_string("10x1"), lu::PreconditionError);
+}
+
+TEST(BitVec, HammingDistance) {
+  const auto a = lu::BitVec::from_word(0b1100, 4);
+  const auto b = lu::BitVec::from_word(0b1010, 4);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  const lu::BitVec wrong_size(5);
+  EXPECT_THROW(a.hamming_distance(wrong_size), lu::PreconditionError);
+}
+
+TEST(BitVec, BitwiseOps) {
+  const auto a = lu::BitVec::from_word(0b1100, 4);
+  const auto b = lu::BitVec::from_word(0b1010, 4);
+  EXPECT_EQ((a ^ b).to_word(4), 0b0110u);
+  EXPECT_EQ((a & b).to_word(4), 0b1000u);
+  EXPECT_EQ((a | b).to_word(4), 0b1110u);
+  EXPECT_EQ((~a).to_word(4), 0b0011u);
+}
+
+TEST(BitVec, ComplementKeepsSizeInvariant) {
+  lu::BitVec v(130);
+  const auto c = ~v;
+  EXPECT_EQ(c.size(), 130u);
+  EXPECT_EQ(c.hamming_weight(), 130u);
+}
+
+TEST(BitVec, FlipAndFill) {
+  lu::BitVec v(16);
+  v.flip(3);
+  EXPECT_TRUE(v.test(3));
+  v.flip(3);
+  EXPECT_FALSE(v.test(3));
+  v.fill(true);
+  EXPECT_EQ(v.hamming_weight(), 16u);
+}
+
+TEST(Table, AlignedPrint) {
+  lu::Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 2);
+  t.row().add("b").add(42);
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  lu::Table t({"a", "b"});
+  t.row().add("x,y").add("plain");
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_NE(oss.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  lu::Table t({"only"});
+  t.row().add("one");
+  EXPECT_THROW(t.add("two"), lu::PreconditionError);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(lu::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(lu::format_count(25000), "25,000");
+  EXPECT_EQ(lu::format_count(999), "999");
+  EXPECT_EQ(lu::format_count(1234567), "1,234,567");
+}
+
+TEST(Cli, ParsesValuesAndFlags) {
+  const char* argv[] = {"prog", "--traces", "5000", "--quick", "--seed=42"};
+  lu::Cli cli(5, argv, {"traces", "seed", "quick!"});
+  EXPECT_EQ(cli.get_int("traces", 0), 5000);
+  EXPECT_EQ(cli.get_seed("seed", 0), 42u);
+  EXPECT_TRUE(cli.get_flag("quick"));
+  EXPECT_FALSE(cli.get_flag("missing_flag"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  lu::Cli cli(1, argv, {"traces", "rate", "quick!"});
+  EXPECT_EQ(cli.get_int("traces", 60000), 60000);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 2.5), 2.5);
+  EXPECT_FALSE(cli.get_flag("quick"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(lu::Cli(3, argv, {"traces"}), lu::PreconditionError);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--traces", "abc"};
+  lu::Cli cli(3, argv, {"traces"});
+  EXPECT_THROW(cli.get_int("traces", 0), lu::PreconditionError);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(lu::ps(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(lu::us(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(lu::ms(1.0), 1e6);
+  EXPECT_DOUBLE_EQ(lu::mv(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(lu::mhz_to_period_ns(300.0), 1e3 / 300.0);
+  EXPECT_NEAR(lu::period_ns_to_mhz(lu::mhz_to_period_ns(20.0)), 20.0, 1e-12);
+}

@@ -1,0 +1,205 @@
+// Tests for the victim substrate: power virus grouping/placement and the
+// cycle-level AES core leakage model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fabric/device.h"
+#include "pdn/coupling.h"
+#include "pdn/grid.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "victim/aes_core.h"
+#include "victim/power_virus.h"
+
+namespace lf = leakydsp::fabric;
+namespace lp = leakydsp::pdn;
+namespace lv = leakydsp::victim;
+namespace lc = leakydsp::crypto;
+namespace lu = leakydsp::util;
+
+class VictimTest : public ::testing::Test {
+ protected:
+  lf::Device dev_ = lf::Device::basys3();
+  lp::PdnGrid grid_{dev_};
+};
+
+// -------------------------------------------------------------- power virus
+
+TEST_F(VictimTest, VirusGroupsSplitEvenly) {
+  const lv::PowerVirus virus(dev_, grid_,
+                             {dev_.clock_region(1).bounds,
+                              dev_.clock_region(2).bounds});
+  EXPECT_EQ(virus.group_count(), 8u);
+  EXPECT_EQ(virus.instances_per_group(), 1000u);
+}
+
+TEST_F(VictimTest, ActiveCurrentScalesWithGroups) {
+  lv::PowerVirus virus(dev_, grid_,
+                       {dev_.clock_region(1).bounds,
+                        dev_.clock_region(2).bounds});
+  EXPECT_DOUBLE_EQ(virus.active_current(), 0.0);
+  virus.set_active_groups(4);
+  const double half = virus.active_current();
+  virus.set_active_groups(8);
+  const double full = virus.active_current();
+  EXPECT_NEAR(full, 2.0 * half, 1e-12);
+  EXPECT_NEAR(full, 8000.0 * lv::kInstanceCurrent, 1e-12);
+}
+
+TEST_F(VictimTest, EnableSwitchMatchesAllGroups) {
+  lv::PowerVirus virus(dev_, grid_, {dev_.clock_region(1).bounds});
+  virus.set_enabled(true);
+  EXPECT_EQ(virus.active_groups(), 8u);
+  virus.set_enabled(false);
+  EXPECT_EQ(virus.active_groups(), 0u);
+}
+
+TEST_F(VictimTest, TooManyGroupsRejected) {
+  lv::PowerVirus virus(dev_, grid_, {dev_.clock_region(1).bounds});
+  EXPECT_THROW(virus.set_active_groups(9), lu::PreconditionError);
+}
+
+TEST_F(VictimTest, UnevenSplitRejected) {
+  lv::PowerVirusParams params;
+  params.instance_count = 1001;
+  params.group_count = 8;
+  EXPECT_THROW(
+      lv::PowerVirus(dev_, grid_, {dev_.clock_region(1).bounds}, params),
+      lu::PreconditionError);
+}
+
+TEST_F(VictimTest, DrawsStayInsideVirusRegions) {
+  lv::PowerVirus virus(dev_, grid_,
+                       {dev_.clock_region(1).bounds,
+                        dev_.clock_region(2).bounds});
+  virus.set_active_groups(8);
+  // Regions 1 and 2 are the bottom third of the die: all draw nodes must
+  // map to mesh rows covering y < 20.
+  for (const auto& draw : virus.mean_draws()) {
+    const int iy = static_cast<int>(draw.node) / grid_.nodes_x();
+    EXPECT_LT(iy * grid_.params().node_pitch, 20);
+  }
+}
+
+TEST_F(VictimTest, GroupsAreSpatiallyInterleaved) {
+  // Every group should produce nearly the same droop at a given sensor: the
+  // paper distributes groups evenly, so activity level — not which group —
+  // determines the signal.
+  lv::PowerVirus virus(dev_, grid_,
+                       {dev_.clock_region(1).bounds,
+                        dev_.clock_region(2).bounds});
+  const lp::SensorCoupling coupling(grid_, {36, 10});
+  std::vector<double> per_group;
+  for (std::size_t g = 1; g <= 8; ++g) {
+    virus.set_active_groups(g);
+    per_group.push_back(coupling.droop_for(virus.mean_draws()));
+  }
+  // Consecutive increments are the marginal droop of each group.
+  for (std::size_t g = 1; g < 8; ++g) {
+    const double inc = per_group[g] - per_group[g - 1];
+    const double first = per_group[0];
+    EXPECT_NEAR(inc, first, 0.05 * first) << "group " << g + 1;
+  }
+}
+
+TEST_F(VictimTest, DitherIsZeroMeanAndBounded) {
+  lu::Rng rng(55);
+  lv::PowerVirus virus(dev_, grid_, {dev_.clock_region(1).bounds});
+  virus.set_active_groups(8);
+  const double mean_current = virus.active_current();
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (const auto& d : virus.draws(rng)) total += d.current;
+    sum += total;
+  }
+  EXPECT_NEAR(sum / n, mean_current, 0.01 * mean_current);
+}
+
+// ----------------------------------------------------------------- AES core
+
+TEST_F(VictimTest, AesCoreCycleCount) {
+  const lc::Key key{};
+  lv::AesCoreModel core(key, {30, 10}, grid_);
+  EXPECT_EQ(core.cycles_per_encryption(), 11u);
+  EXPECT_DOUBLE_EQ(core.clock_period_ns(), 50.0);
+}
+
+TEST_F(VictimTest, AesCoreCiphertextMatchesReference) {
+  lu::Rng rng(56);
+  lc::Key key;
+  lc::Block pt;
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(rng() & 0xff);
+    pt[i] = static_cast<std::uint8_t>(rng() & 0xff);
+  }
+  lv::AesCoreModel core(key, {30, 10}, grid_);
+  core.start_encryption(pt);
+  EXPECT_EQ(core.ciphertext(), lc::Aes128(key).encrypt(pt));
+}
+
+TEST_F(VictimTest, AesCurrentTracksRoundHd) {
+  lu::Rng rng(57);
+  lc::Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng() & 0xff);
+  lv::AesCoreModel core(key, {30, 10}, grid_);
+  lc::Block pt{};
+  core.start_encryption(pt);
+  const auto& p = core.params();
+  for (std::size_t r = 1; r <= 10; ++r) {
+    const double expected =
+        p.static_active_current +
+        p.current_per_hd_bit * static_cast<double>(core.round_transition_hd(r));
+    EXPECT_DOUBLE_EQ(core.current_at_cycle(p.load_cycles + r - 1), expected)
+        << "round " << r;
+  }
+}
+
+TEST_F(VictimTest, AesIdleAfterEncryption) {
+  lv::AesCoreModel core(lc::Key{}, {30, 10}, grid_);
+  core.start_encryption(lc::Block{});
+  EXPECT_DOUBLE_EQ(core.current_at_cycle(50),
+                   core.params().idle_current);
+}
+
+TEST_F(VictimTest, AesQueriesRequireStart) {
+  lv::AesCoreModel core(lc::Key{}, {30, 10}, grid_);
+  EXPECT_THROW(core.current_at_cycle(0), lu::PreconditionError);
+  EXPECT_THROW(core.round_transition_hd(1), lu::PreconditionError);
+}
+
+TEST_F(VictimTest, AesRoundHdNearSixtyFour) {
+  // Random plaintexts: round-transition HD of a 128-bit state concentrates
+  // near 64 (binomial n=128 p=1/2).
+  lu::Rng rng(58);
+  lc::Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng() & 0xff);
+  lv::AesCoreModel core(key, {30, 10}, grid_);
+  double sum = 0.0;
+  const int n = 500;
+  lc::Block pt{};
+  for (int i = 0; i < n; ++i) {
+    core.start_encryption(pt);
+    sum += static_cast<double>(core.round_transition_hd(5));
+    pt = core.ciphertext();
+  }
+  EXPECT_NEAR(sum / n, 64.0, 2.0);
+}
+
+TEST_F(VictimTest, BlockHd) {
+  lc::Block a{};
+  lc::Block b{};
+  EXPECT_EQ(lv::block_hd(a, b), 0u);
+  b[0] = 0xff;
+  b[15] = 0x01;
+  EXPECT_EQ(lv::block_hd(a, b), 9u);
+}
+
+TEST_F(VictimTest, HigherClockShortensPeriod) {
+  lv::AesCoreParams params;
+  params.clock_mhz = 100.0;
+  lv::AesCoreModel core(lc::Key{}, {30, 10}, grid_, params);
+  EXPECT_DOUBLE_EQ(core.clock_period_ns(), 10.0);
+}

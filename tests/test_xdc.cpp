@@ -1,0 +1,68 @@
+// Tests for the XDC constraint exporter.
+#include <gtest/gtest.h>
+
+#include "fabric/xdc_export.h"
+#include "util/contracts.h"
+
+namespace lf = leakydsp::fabric;
+namespace lu = leakydsp::util;
+
+TEST(Xdc, SiteNames) {
+  EXPECT_EQ(lf::site_name(lf::SiteType::kDsp, {16, 20}), "DSP48_X16Y20");
+  EXPECT_EQ(lf::site_name(lf::SiteType::kClb, {2, 3}), "SLICE_X2Y3");
+  EXPECT_EQ(lf::site_name(lf::SiteType::kBram, {8, 1}), "RAMB36_X8Y1");
+}
+
+TEST(Xdc, PblockBlockContainsAllCommands) {
+  const lf::Pblock pb{"attacker_sensor", {16, 18, 16, 20}};
+  const auto xdc = lf::xdc_pblock(pb, "sensor/*");
+  EXPECT_NE(xdc.find("create_pblock attacker_sensor"), std::string::npos);
+  EXPECT_NE(xdc.find("resize_pblock attacker_sensor -add "
+                     "{SLICE_X16Y18:SLICE_X16Y20}"),
+            std::string::npos);
+  EXPECT_NE(xdc.find("add_cells_to_pblock attacker_sensor"),
+            std::string::npos);
+  EXPECT_NE(xdc.find("CONTAIN_ROUTING"), std::string::npos);
+}
+
+TEST(Xdc, LocLines) {
+  const auto xdc = lf::xdc_locs(
+      {{"sensor/dsp0", lf::SiteType::kDsp, {16, 18}},
+       {"sensor/dsp1", lf::SiteType::kDsp, {16, 19}}});
+  EXPECT_NE(xdc.find("set_property LOC DSP48_X16Y18 [get_cells sensor/dsp0]"),
+            std::string::npos);
+  EXPECT_NE(xdc.find("set_property LOC DSP48_X16Y19 [get_cells sensor/dsp1]"),
+            std::string::npos);
+}
+
+TEST(Xdc, FullFileValidatesFloorplan) {
+  const auto device = lf::Device::basys3();
+  const std::vector<lf::Pblock> pblocks = {{"victim", {6, 5, 18, 16}},
+                                           {"attacker", {16, 18, 16, 20}}};
+  const auto xdc = lf::xdc_file(device, pblocks, {"aes/*", "sensor/*"},
+                                {{"sensor/dsp0", lf::SiteType::kDsp,
+                                  {16, 18}}});
+  EXPECT_NE(xdc.find("Basys3"), std::string::npos);
+  EXPECT_NE(xdc.find("create_pblock victim"), std::string::npos);
+  EXPECT_NE(xdc.find("create_pblock attacker"), std::string::npos);
+  EXPECT_NE(xdc.find("DSP48_X16Y18"), std::string::npos);
+}
+
+TEST(Xdc, OverlappingPblocksRejected) {
+  const auto device = lf::Device::basys3();
+  const std::vector<lf::Pblock> pblocks = {{"a", {0, 0, 20, 20}},
+                                           {"b", {10, 10, 30, 30}}};
+  EXPECT_THROW(lf::xdc_file(device, pblocks, {"x/*", "y/*"}, {}),
+               lu::PreconditionError);
+}
+
+TEST(Xdc, PatternCountMustMatch) {
+  const auto device = lf::Device::basys3();
+  EXPECT_THROW(lf::xdc_file(device, {{"a", {0, 0, 5, 5}}}, {}, {}),
+               lu::PreconditionError);
+}
+
+TEST(Xdc, EmptyCellNameRejected) {
+  EXPECT_THROW(lf::xdc_locs({{"", lf::SiteType::kDsp, {0, 0}}}),
+               lu::PreconditionError);
+}
