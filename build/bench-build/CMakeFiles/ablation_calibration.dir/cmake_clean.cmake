@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_calibration"
+  "../bench/ablation_calibration.pdb"
+  "CMakeFiles/ablation_calibration.dir/ablation_calibration.cpp.o"
+  "CMakeFiles/ablation_calibration.dir/ablation_calibration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

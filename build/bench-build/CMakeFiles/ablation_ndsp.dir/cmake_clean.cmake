@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ndsp"
+  "../bench/ablation_ndsp.pdb"
+  "CMakeFiles/ablation_ndsp.dir/ablation_ndsp.cpp.o"
+  "CMakeFiles/ablation_ndsp.dir/ablation_ndsp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ndsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

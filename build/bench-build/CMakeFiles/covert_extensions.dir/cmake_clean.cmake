@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/covert_extensions"
+  "../bench/covert_extensions.pdb"
+  "CMakeFiles/covert_extensions.dir/covert_extensions.cpp.o"
+  "CMakeFiles/covert_extensions.dir/covert_extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/distinguishers"
+  "../bench/distinguishers.pdb"
+  "CMakeFiles/distinguishers.dir/distinguishers.cpp.o"
+  "CMakeFiles/distinguishers.dir/distinguishers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinguishers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dnn_fingerprint"
+  "../bench/dnn_fingerprint.pdb"
+  "CMakeFiles/dnn_fingerprint.dir/dnn_fingerprint.cpp.o"
+  "CMakeFiles/dnn_fingerprint.dir/dnn_fingerprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_sensitivity"
+  "../bench/fig3_sensitivity.pdb"
+  "CMakeFiles/fig3_sensitivity.dir/fig3_sensitivity.cpp.o"
+  "CMakeFiles/fig3_sensitivity.dir/fig3_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_placement"
+  "../bench/fig4_placement.pdb"
+  "CMakeFiles/fig4_placement.dir/fig4_placement.cpp.o"
+  "CMakeFiles/fig4_placement.dir/fig4_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

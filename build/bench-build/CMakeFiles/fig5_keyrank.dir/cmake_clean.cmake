@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_keyrank"
+  "../bench/fig5_keyrank.pdb"
+  "CMakeFiles/fig5_keyrank.dir/fig5_keyrank.cpp.o"
+  "CMakeFiles/fig5_keyrank.dir/fig5_keyrank.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_keyrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_frequency"
+  "../bench/fig6_frequency.pdb"
+  "CMakeFiles/fig6_frequency.dir/fig6_frequency.cpp.o"
+  "CMakeFiles/fig6_frequency.dir/fig6_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_covert"
+  "../bench/fig7_covert.pdb"
+  "CMakeFiles/fig7_covert.dir/fig7_covert.cpp.o"
+  "CMakeFiles/fig7_covert.dir/fig7_covert.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_covert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fingerprint"
+  "../bench/fingerprint.pdb"
+  "CMakeFiles/fingerprint.dir/fingerprint.cpp.o"
+  "CMakeFiles/fingerprint.dir/fingerprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mitigation"
+  "../bench/mitigation.pdb"
+  "CMakeFiles/mitigation.dir/mitigation.cpp.o"
+  "CMakeFiles/mitigation.dir/mitigation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

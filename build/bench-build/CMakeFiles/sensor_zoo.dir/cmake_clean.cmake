@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sensor_zoo"
+  "../bench/sensor_zoo.pdb"
+  "CMakeFiles/sensor_zoo.dir/sensor_zoo.cpp.o"
+  "CMakeFiles/sensor_zoo.dir/sensor_zoo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_traces"
+  "../bench/table1_traces.pdb"
+  "CMakeFiles/table1_traces.dir/table1_traces.cpp.o"
+  "CMakeFiles/table1_traces.dir/table1_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

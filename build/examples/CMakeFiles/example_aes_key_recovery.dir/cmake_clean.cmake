@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aes_key_recovery.dir/aes_key_recovery.cpp.o"
+  "CMakeFiles/example_aes_key_recovery.dir/aes_key_recovery.cpp.o.d"
+  "example_aes_key_recovery"
+  "example_aes_key_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aes_key_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

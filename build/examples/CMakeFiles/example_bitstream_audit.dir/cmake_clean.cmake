@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bitstream_audit.dir/bitstream_audit.cpp.o"
+  "CMakeFiles/example_bitstream_audit.dir/bitstream_audit.cpp.o.d"
+  "example_bitstream_audit"
+  "example_bitstream_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bitstream_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_covert_message.dir/covert_message.cpp.o"
+  "CMakeFiles/example_covert_message.dir/covert_message.cpp.o.d"
+  "example_covert_message"
+  "example_covert_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_covert_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

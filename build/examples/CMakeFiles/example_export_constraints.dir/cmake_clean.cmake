@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_export_constraints.dir/export_constraints.cpp.o"
+  "CMakeFiles/example_export_constraints.dir/export_constraints.cpp.o.d"
+  "example_export_constraints"
+  "example_export_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_export_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

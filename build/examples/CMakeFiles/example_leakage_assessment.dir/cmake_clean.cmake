@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_leakage_assessment.dir/leakage_assessment.cpp.o"
+  "CMakeFiles/example_leakage_assessment.dir/leakage_assessment.cpp.o.d"
+  "example_leakage_assessment"
+  "example_leakage_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_leakage_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_offline_attack.dir/offline_attack.cpp.o"
+  "CMakeFiles/example_offline_attack.dir/offline_attack.cpp.o.d"
+  "example_offline_attack"
+  "example_offline_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_offline_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_record_traces.dir/record_traces.cpp.o"
+  "CMakeFiles/example_record_traces.dir/record_traces.cpp.o.d"
+  "example_record_traces"
+  "example_record_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_record_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_comparison.dir/sensor_comparison.cpp.o"
+  "CMakeFiles/example_sensor_comparison.dir/sensor_comparison.cpp.o.d"
+  "example_sensor_comparison"
+  "example_sensor_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

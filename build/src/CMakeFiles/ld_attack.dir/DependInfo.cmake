@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/campaign.cpp" "src/CMakeFiles/ld_attack.dir/attack/campaign.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/campaign.cpp.o.d"
+  "/root/repo/src/attack/covert_channel.cpp" "src/CMakeFiles/ld_attack.dir/attack/covert_channel.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/covert_channel.cpp.o.d"
+  "/root/repo/src/attack/cpa.cpp" "src/CMakeFiles/ld_attack.dir/attack/cpa.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/cpa.cpp.o.d"
+  "/root/repo/src/attack/dpa.cpp" "src/CMakeFiles/ld_attack.dir/attack/dpa.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/dpa.cpp.o.d"
+  "/root/repo/src/attack/fec.cpp" "src/CMakeFiles/ld_attack.dir/attack/fec.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/fec.cpp.o.d"
+  "/root/repo/src/attack/fingerprint.cpp" "src/CMakeFiles/ld_attack.dir/attack/fingerprint.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/fingerprint.cpp.o.d"
+  "/root/repo/src/attack/key_enumeration.cpp" "src/CMakeFiles/ld_attack.dir/attack/key_enumeration.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/key_enumeration.cpp.o.d"
+  "/root/repo/src/attack/key_rank.cpp" "src/CMakeFiles/ld_attack.dir/attack/key_rank.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/key_rank.cpp.o.d"
+  "/root/repo/src/attack/layer_detect.cpp" "src/CMakeFiles/ld_attack.dir/attack/layer_detect.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/layer_detect.cpp.o.d"
+  "/root/repo/src/attack/metrics.cpp" "src/CMakeFiles/ld_attack.dir/attack/metrics.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/metrics.cpp.o.d"
+  "/root/repo/src/attack/pam_covert.cpp" "src/CMakeFiles/ld_attack.dir/attack/pam_covert.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/pam_covert.cpp.o.d"
+  "/root/repo/src/attack/power_model.cpp" "src/CMakeFiles/ld_attack.dir/attack/power_model.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/power_model.cpp.o.d"
+  "/root/repo/src/attack/second_order_cpa.cpp" "src/CMakeFiles/ld_attack.dir/attack/second_order_cpa.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/second_order_cpa.cpp.o.d"
+  "/root/repo/src/attack/tvla.cpp" "src/CMakeFiles/ld_attack.dir/attack/tvla.cpp.o" "gcc" "src/CMakeFiles/ld_attack.dir/attack/tvla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ld_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_victim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

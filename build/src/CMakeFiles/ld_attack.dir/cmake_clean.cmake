@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_attack.dir/attack/campaign.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/campaign.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/covert_channel.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/covert_channel.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/cpa.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/cpa.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/dpa.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/dpa.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/fec.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/fec.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/fingerprint.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/fingerprint.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/key_enumeration.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/key_enumeration.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/key_rank.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/key_rank.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/layer_detect.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/layer_detect.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/metrics.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/metrics.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/pam_covert.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/pam_covert.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/power_model.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/power_model.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/second_order_cpa.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/second_order_cpa.cpp.o.d"
+  "CMakeFiles/ld_attack.dir/attack/tvla.cpp.o"
+  "CMakeFiles/ld_attack.dir/attack/tvla.cpp.o.d"
+  "libld_attack.a"
+  "libld_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libld_attack.a"
+)

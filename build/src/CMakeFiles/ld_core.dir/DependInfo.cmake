@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dsp48_functional.cpp" "src/CMakeFiles/ld_core.dir/core/dsp48_functional.cpp.o" "gcc" "src/CMakeFiles/ld_core.dir/core/dsp48_functional.cpp.o.d"
+  "/root/repo/src/core/leaky_dsp.cpp" "src/CMakeFiles/ld_core.dir/core/leaky_dsp.cpp.o" "gcc" "src/CMakeFiles/ld_core.dir/core/leaky_dsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ld_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_core.dir/core/dsp48_functional.cpp.o"
+  "CMakeFiles/ld_core.dir/core/dsp48_functional.cpp.o.d"
+  "CMakeFiles/ld_core.dir/core/leaky_dsp.cpp.o"
+  "CMakeFiles/ld_core.dir/core/leaky_dsp.cpp.o.d"
+  "libld_core.a"
+  "libld_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

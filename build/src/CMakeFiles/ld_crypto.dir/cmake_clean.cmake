@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_crypto.dir/crypto/aes128.cpp.o"
+  "CMakeFiles/ld_crypto.dir/crypto/aes128.cpp.o.d"
+  "libld_crypto.a"
+  "libld_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/bitstream.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/bitstream.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/bitstream.cpp.o.d"
+  "/root/repo/src/fabric/bitstream_checker.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/bitstream_checker.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/bitstream_checker.cpp.o.d"
+  "/root/repo/src/fabric/device.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/device.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/device.cpp.o.d"
+  "/root/repo/src/fabric/netlist.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/netlist.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/netlist.cpp.o.d"
+  "/root/repo/src/fabric/netlist_builders.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/netlist_builders.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/netlist_builders.cpp.o.d"
+  "/root/repo/src/fabric/pblock.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/pblock.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/pblock.cpp.o.d"
+  "/root/repo/src/fabric/primitives.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/primitives.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/primitives.cpp.o.d"
+  "/root/repo/src/fabric/routing.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/routing.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/routing.cpp.o.d"
+  "/root/repo/src/fabric/xdc_export.cpp" "src/CMakeFiles/ld_fabric.dir/fabric/xdc_export.cpp.o" "gcc" "src/CMakeFiles/ld_fabric.dir/fabric/xdc_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_fabric.dir/fabric/bitstream.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/bitstream.cpp.o.d"
+  "CMakeFiles/ld_fabric.dir/fabric/bitstream_checker.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/bitstream_checker.cpp.o.d"
+  "CMakeFiles/ld_fabric.dir/fabric/device.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/device.cpp.o.d"
+  "CMakeFiles/ld_fabric.dir/fabric/netlist.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/netlist.cpp.o.d"
+  "CMakeFiles/ld_fabric.dir/fabric/netlist_builders.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/netlist_builders.cpp.o.d"
+  "CMakeFiles/ld_fabric.dir/fabric/pblock.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/pblock.cpp.o.d"
+  "CMakeFiles/ld_fabric.dir/fabric/primitives.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/primitives.cpp.o.d"
+  "CMakeFiles/ld_fabric.dir/fabric/routing.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/routing.cpp.o.d"
+  "CMakeFiles/ld_fabric.dir/fabric/xdc_export.cpp.o"
+  "CMakeFiles/ld_fabric.dir/fabric/xdc_export.cpp.o.d"
+  "libld_fabric.a"
+  "libld_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdn/coupling.cpp" "src/CMakeFiles/ld_pdn.dir/pdn/coupling.cpp.o" "gcc" "src/CMakeFiles/ld_pdn.dir/pdn/coupling.cpp.o.d"
+  "/root/repo/src/pdn/droop_filter.cpp" "src/CMakeFiles/ld_pdn.dir/pdn/droop_filter.cpp.o" "gcc" "src/CMakeFiles/ld_pdn.dir/pdn/droop_filter.cpp.o.d"
+  "/root/repo/src/pdn/grid.cpp" "src/CMakeFiles/ld_pdn.dir/pdn/grid.cpp.o" "gcc" "src/CMakeFiles/ld_pdn.dir/pdn/grid.cpp.o.d"
+  "/root/repo/src/pdn/sparse.cpp" "src/CMakeFiles/ld_pdn.dir/pdn/sparse.cpp.o" "gcc" "src/CMakeFiles/ld_pdn.dir/pdn/sparse.cpp.o.d"
+  "/root/repo/src/pdn/transient.cpp" "src/CMakeFiles/ld_pdn.dir/pdn/transient.cpp.o" "gcc" "src/CMakeFiles/ld_pdn.dir/pdn/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

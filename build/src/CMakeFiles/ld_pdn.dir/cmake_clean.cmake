@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_pdn.dir/pdn/coupling.cpp.o"
+  "CMakeFiles/ld_pdn.dir/pdn/coupling.cpp.o.d"
+  "CMakeFiles/ld_pdn.dir/pdn/droop_filter.cpp.o"
+  "CMakeFiles/ld_pdn.dir/pdn/droop_filter.cpp.o.d"
+  "CMakeFiles/ld_pdn.dir/pdn/grid.cpp.o"
+  "CMakeFiles/ld_pdn.dir/pdn/grid.cpp.o.d"
+  "CMakeFiles/ld_pdn.dir/pdn/sparse.cpp.o"
+  "CMakeFiles/ld_pdn.dir/pdn/sparse.cpp.o.d"
+  "CMakeFiles/ld_pdn.dir/pdn/transient.cpp.o"
+  "CMakeFiles/ld_pdn.dir/pdn/transient.cpp.o.d"
+  "libld_pdn.a"
+  "libld_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

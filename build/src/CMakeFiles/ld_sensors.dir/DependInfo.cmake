@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/decimator.cpp" "src/CMakeFiles/ld_sensors.dir/sensors/decimator.cpp.o" "gcc" "src/CMakeFiles/ld_sensors.dir/sensors/decimator.cpp.o.d"
+  "/root/repo/src/sensors/ppwm.cpp" "src/CMakeFiles/ld_sensors.dir/sensors/ppwm.cpp.o" "gcc" "src/CMakeFiles/ld_sensors.dir/sensors/ppwm.cpp.o.d"
+  "/root/repo/src/sensors/rds.cpp" "src/CMakeFiles/ld_sensors.dir/sensors/rds.cpp.o" "gcc" "src/CMakeFiles/ld_sensors.dir/sensors/rds.cpp.o.d"
+  "/root/repo/src/sensors/ro_sensor.cpp" "src/CMakeFiles/ld_sensors.dir/sensors/ro_sensor.cpp.o" "gcc" "src/CMakeFiles/ld_sensors.dir/sensors/ro_sensor.cpp.o.d"
+  "/root/repo/src/sensors/tdc.cpp" "src/CMakeFiles/ld_sensors.dir/sensors/tdc.cpp.o" "gcc" "src/CMakeFiles/ld_sensors.dir/sensors/tdc.cpp.o.d"
+  "/root/repo/src/sensors/viti.cpp" "src/CMakeFiles/ld_sensors.dir/sensors/viti.cpp.o" "gcc" "src/CMakeFiles/ld_sensors.dir/sensors/viti.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

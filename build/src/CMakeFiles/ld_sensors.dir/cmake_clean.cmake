@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_sensors.dir/sensors/decimator.cpp.o"
+  "CMakeFiles/ld_sensors.dir/sensors/decimator.cpp.o.d"
+  "CMakeFiles/ld_sensors.dir/sensors/ppwm.cpp.o"
+  "CMakeFiles/ld_sensors.dir/sensors/ppwm.cpp.o.d"
+  "CMakeFiles/ld_sensors.dir/sensors/rds.cpp.o"
+  "CMakeFiles/ld_sensors.dir/sensors/rds.cpp.o.d"
+  "CMakeFiles/ld_sensors.dir/sensors/ro_sensor.cpp.o"
+  "CMakeFiles/ld_sensors.dir/sensors/ro_sensor.cpp.o.d"
+  "CMakeFiles/ld_sensors.dir/sensors/tdc.cpp.o"
+  "CMakeFiles/ld_sensors.dir/sensors/tdc.cpp.o.d"
+  "CMakeFiles/ld_sensors.dir/sensors/viti.cpp.o"
+  "CMakeFiles/ld_sensors.dir/sensors/viti.cpp.o.d"
+  "libld_sensors.a"
+  "libld_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/ld_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/ld_sim.dir/sim/scenarios.cpp.o"
+  "CMakeFiles/ld_sim.dir/sim/scenarios.cpp.o.d"
+  "CMakeFiles/ld_sim.dir/sim/sensor_rig.cpp.o"
+  "CMakeFiles/ld_sim.dir/sim/sensor_rig.cpp.o.d"
+  "CMakeFiles/ld_sim.dir/sim/trace_store.cpp.o"
+  "CMakeFiles/ld_sim.dir/sim/trace_store.cpp.o.d"
+  "libld_sim.a"
+  "libld_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/accumulators.cpp" "src/CMakeFiles/ld_stats.dir/stats/accumulators.cpp.o" "gcc" "src/CMakeFiles/ld_stats.dir/stats/accumulators.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/ld_stats.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/ld_stats.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/fft.cpp" "src/CMakeFiles/ld_stats.dir/stats/fft.cpp.o" "gcc" "src/CMakeFiles/ld_stats.dir/stats/fft.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/ld_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/ld_stats.dir/stats/histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

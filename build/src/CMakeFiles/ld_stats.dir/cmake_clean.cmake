@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_stats.dir/stats/accumulators.cpp.o"
+  "CMakeFiles/ld_stats.dir/stats/accumulators.cpp.o.d"
+  "CMakeFiles/ld_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/ld_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/ld_stats.dir/stats/fft.cpp.o"
+  "CMakeFiles/ld_stats.dir/stats/fft.cpp.o.d"
+  "CMakeFiles/ld_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/ld_stats.dir/stats/histogram.cpp.o.d"
+  "libld_stats.a"
+  "libld_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

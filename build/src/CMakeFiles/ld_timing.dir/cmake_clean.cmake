@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_timing.dir/timing/delay_model.cpp.o"
+  "CMakeFiles/ld_timing.dir/timing/delay_model.cpp.o.d"
+  "libld_timing.a"
+  "libld_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_util.dir/util/bitvec.cpp.o"
+  "CMakeFiles/ld_util.dir/util/bitvec.cpp.o.d"
+  "CMakeFiles/ld_util.dir/util/cli.cpp.o"
+  "CMakeFiles/ld_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/ld_util.dir/util/contracts.cpp.o"
+  "CMakeFiles/ld_util.dir/util/contracts.cpp.o.d"
+  "CMakeFiles/ld_util.dir/util/crc32.cpp.o"
+  "CMakeFiles/ld_util.dir/util/crc32.cpp.o.d"
+  "CMakeFiles/ld_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ld_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ld_util.dir/util/table.cpp.o"
+  "CMakeFiles/ld_util.dir/util/table.cpp.o.d"
+  "libld_util.a"
+  "libld_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/victim/active_fence.cpp" "src/CMakeFiles/ld_victim.dir/victim/active_fence.cpp.o" "gcc" "src/CMakeFiles/ld_victim.dir/victim/active_fence.cpp.o.d"
+  "/root/repo/src/victim/aes_core.cpp" "src/CMakeFiles/ld_victim.dir/victim/aes_core.cpp.o" "gcc" "src/CMakeFiles/ld_victim.dir/victim/aes_core.cpp.o.d"
+  "/root/repo/src/victim/dnn_accelerator.cpp" "src/CMakeFiles/ld_victim.dir/victim/dnn_accelerator.cpp.o" "gcc" "src/CMakeFiles/ld_victim.dir/victim/dnn_accelerator.cpp.o.d"
+  "/root/repo/src/victim/masked_aes_core.cpp" "src/CMakeFiles/ld_victim.dir/victim/masked_aes_core.cpp.o" "gcc" "src/CMakeFiles/ld_victim.dir/victim/masked_aes_core.cpp.o.d"
+  "/root/repo/src/victim/power_virus.cpp" "src/CMakeFiles/ld_victim.dir/victim/power_virus.cpp.o" "gcc" "src/CMakeFiles/ld_victim.dir/victim/power_virus.cpp.o.d"
+  "/root/repo/src/victim/workloads.cpp" "src/CMakeFiles/ld_victim.dir/victim/workloads.cpp.o" "gcc" "src/CMakeFiles/ld_victim.dir/victim/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ld_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_victim.dir/victim/active_fence.cpp.o"
+  "CMakeFiles/ld_victim.dir/victim/active_fence.cpp.o.d"
+  "CMakeFiles/ld_victim.dir/victim/aes_core.cpp.o"
+  "CMakeFiles/ld_victim.dir/victim/aes_core.cpp.o.d"
+  "CMakeFiles/ld_victim.dir/victim/dnn_accelerator.cpp.o"
+  "CMakeFiles/ld_victim.dir/victim/dnn_accelerator.cpp.o.d"
+  "CMakeFiles/ld_victim.dir/victim/masked_aes_core.cpp.o"
+  "CMakeFiles/ld_victim.dir/victim/masked_aes_core.cpp.o.d"
+  "CMakeFiles/ld_victim.dir/victim/power_virus.cpp.o"
+  "CMakeFiles/ld_victim.dir/victim/power_virus.cpp.o.d"
+  "CMakeFiles/ld_victim.dir/victim/workloads.cpp.o"
+  "CMakeFiles/ld_victim.dir/victim/workloads.cpp.o.d"
+  "libld_victim.a"
+  "libld_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_ext.dir/test_attack_ext.cpp.o"
+  "CMakeFiles/test_attack_ext.dir/test_attack_ext.cpp.o.d"
+  "test_attack_ext"
+  "test_attack_ext.pdb"
+  "test_attack_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp48_functional.dir/test_dsp48_functional.cpp.o"
+  "CMakeFiles/test_dsp48_functional.dir/test_dsp48_functional.cpp.o.d"
+  "test_dsp48_functional"
+  "test_dsp48_functional.pdb"
+  "test_dsp48_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp48_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fec_pam.dir/test_fec_pam.cpp.o"
+  "CMakeFiles/test_fec_pam.dir/test_fec_pam.cpp.o.d"
+  "test_fec_pam"
+  "test_fec_pam.pdb"
+  "test_fec_pam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fec_pam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

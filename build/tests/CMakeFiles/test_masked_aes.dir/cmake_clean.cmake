@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masked_aes.dir/test_masked_aes.cpp.o"
+  "CMakeFiles/test_masked_aes.dir/test_masked_aes.cpp.o.d"
+  "test_masked_aes"
+  "test_masked_aes.pdb"
+  "test_masked_aes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masked_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

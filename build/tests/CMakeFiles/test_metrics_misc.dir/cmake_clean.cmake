@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_misc.dir/test_metrics_misc.cpp.o"
+  "CMakeFiles/test_metrics_misc.dir/test_metrics_misc.cpp.o.d"
+  "test_metrics_misc"
+  "test_metrics_misc.pdb"
+  "test_metrics_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_dpa.dir/test_routing_dpa.cpp.o"
+  "CMakeFiles/test_routing_dpa.dir/test_routing_dpa.cpp.o.d"
+  "test_routing_dpa"
+  "test_routing_dpa.pdb"
+  "test_routing_dpa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_dpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

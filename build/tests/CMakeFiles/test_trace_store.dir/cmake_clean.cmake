@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_store.dir/test_trace_store.cpp.o"
+  "CMakeFiles/test_trace_store.dir/test_trace_store.cpp.o.d"
+  "test_trace_store"
+  "test_trace_store.pdb"
+  "test_trace_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

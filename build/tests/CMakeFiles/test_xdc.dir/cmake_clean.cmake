@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xdc.dir/test_xdc.cpp.o"
+  "CMakeFiles/test_xdc.dir/test_xdc.cpp.o.d"
+  "test_xdc"
+  "test_xdc.pdb"
+  "test_xdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
