@@ -1,9 +1,12 @@
 // google-benchmark micro-benchmarks for the simulation kernels: PDN solves,
 // sensor sampling, AES, CPA trace updates and key-rank estimation. These
 // quantify the cost model behind the campaign runtimes quoted in
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. Besides the console table, every run writes the full
+// google-benchmark JSON report to BENCH_micro.json in the working
+// directory for machine consumption.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "attack/cpa.h"
@@ -105,6 +108,26 @@ void BM_CpaAddTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_CpaAddTrace)->Arg(6)->Arg(30);
 
+void BM_CpaAddTracesBlock(benchmark::State& state) {
+  // The campaign's blocked accumulation path: one add_traces call per
+  // block of 64 traces (cf. CampaignConfig::block_traces).
+  const auto poi = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBlock = 64;
+  attack::CpaAttack cpa(poi);
+  util::Rng rng(3);
+  std::vector<crypto::Block> cts(kBlock);
+  std::vector<double> rows(kBlock * poi);
+  for (auto _ : state) {
+    for (auto& ct : cts) {
+      for (auto& b : ct) b = static_cast<std::uint8_t>(rng() & 0xff);
+    }
+    for (auto& s : rows) s = rng.gaussian();
+    cpa.add_traces(cts, rows);
+  }
+  state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_CpaAddTracesBlock)->Arg(6)->Arg(30);
+
 void BM_KeyRankEstimate(benchmark::State& state) {
   util::Rng rng(4);
   std::array<attack::ByteScores, 16> scores;
@@ -128,4 +151,27 @@ BENCHMARK(BM_SensorCoupling);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Console table for humans, full JSON report for scripts: default the
+  // library's own out-file flags to BENCH_micro.json unless the caller
+  // already picked a destination.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).starts_with("--benchmark_out=")) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

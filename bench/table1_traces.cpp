@@ -11,6 +11,12 @@
 //
 // Paper reference: LeakyDSP 25 k-58 k traces across placements (P6 best);
 // TDC 51 k traces in its single evaluated setting.
+//
+// Campaigns fan out over --threads workers (default: hardware concurrency)
+// with bit-identical results for every thread count. Besides the console
+// table the bench writes per-placement wall time and throughput to
+// BENCH_table1_traces.json.
+#include <chrono>
 #include <iostream>
 
 #include "attack/campaign.h"
@@ -19,6 +25,7 @@
 #include "sensors/tdc.h"
 #include "sim/scenarios.h"
 #include "sim/sensor_rig.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -27,8 +34,9 @@
 using namespace leakydsp;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"seed", "max-traces", "quick!"});
+  const util::Cli cli(argc, argv, {"seed", "max-traces", "threads", "quick!"});
   const auto seed = cli.get_seed("seed", 7);
+  const std::size_t threads = cli.get_threads();
   const bool quick = cli.get_flag("quick");
   const auto max_traces = static_cast<std::size_t>(
       cli.get_int("max-traces", quick ? 8000 : 90000));
@@ -50,6 +58,28 @@ int main(int argc, char** argv) {
   attack::CampaignConfig config;
   config.max_traces = max_traces;
   config.rank_stride = 5000;
+  config.threads = threads;
+
+  util::BenchJson report("table1_traces");
+  const auto timed_run = [&](attack::TraceCampaign& campaign,
+                             util::Rng& run_rng, const std::string& label) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = campaign.run(run_rng);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report.row()
+        .set("placement", label)
+        .set("threads", static_cast<std::int64_t>(threads))
+        .set("traces_run", static_cast<std::int64_t>(result.traces_run))
+        .set("broken", result.broken)
+        .set("traces_to_break",
+             static_cast<std::int64_t>(result.traces_to_break))
+        .set("wall_seconds", seconds)
+        .set("traces_per_second",
+             static_cast<double>(result.traces_run) / seconds);
+    return result;
+  };
 
   util::Table table({"placement", "site", "coupling [uV/A]",
                      "traces to break", "paper"});
@@ -65,7 +95,7 @@ int main(int argc, char** argv) {
     sim::SensorRig rig(scenario.grid(), sensor);
     rig.calibrate(run_rng);
     attack::TraceCampaign campaign(rig, aes, config);
-    const auto result = campaign.run(run_rng);
+    const auto result = timed_run(campaign, run_rng, "P" + std::to_string(i + 1));
 
     const pdn::SensorCoupling coupling(scenario.grid(), site);
     table.row()
@@ -90,7 +120,7 @@ int main(int argc, char** argv) {
     sim::SensorRig rig(scenario.grid(), tdc);
     rig.calibrate(run_rng);
     attack::TraceCampaign campaign(rig, aes, config);
-    const auto result = campaign.run(run_rng);
+    const auto result = timed_run(campaign, run_rng, "TDC");
     const pdn::SensorCoupling coupling(scenario.grid(), tdc_site);
     table.row()
         .add("TDC")
@@ -104,6 +134,9 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+  report.write("BENCH_table1_traces.json");
+  std::cout << "\nwrote BENCH_table1_traces.json (" << threads
+            << " thread(s))\n";
   std::cout << "\nNote: per-placement cells of the paper's Table I are only "
                "available as an image;\nEXPERIMENTS.md checks the range "
                "(25k-58k), the best placement (P6), and the\nTDC-comparable "

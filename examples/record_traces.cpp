@@ -4,6 +4,9 @@
 //
 //   $ ./example_record_traces --traces 6000 --out /tmp/leakydsp.ldtr
 //   $ ./example_offline_attack --in /tmp/leakydsp.ldtr
+//
+// Capture fans out over --threads workers (default: hardware concurrency);
+// the recorded file is byte-identical for every thread count.
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -20,7 +23,7 @@
 using namespace leakydsp;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"traces", "out", "seed"});
+  const util::Cli cli(argc, argv, {"traces", "out", "seed", "threads"});
   const auto traces = static_cast<std::size_t>(cli.get_int("traces", 6000));
   const auto out = cli.get_string("out", "/tmp/leakydsp.ldtr");
   util::Rng rng(cli.get_seed("seed", 19));
@@ -37,18 +40,14 @@ int main(int argc, char** argv) {
       scenario.attack_placements()[sim::Basys3Scenario::kBestPlacementIndex]);
   sim::SensorRig rig(scenario.grid(), sensor);
   rig.calibrate(rng);
-  attack::TraceCampaign campaign(rig, aes);
+  attack::CampaignConfig config;
+  config.threads = cli.get_threads();
+  attack::TraceCampaign campaign(rig, aes, config);
 
   const std::size_t samples =
       (aes.cycles_per_encryption() + 2) * campaign.samples_per_cycle();
   sim::TraceStore store(samples);
-  crypto::Block pt;
-  for (auto& b : pt) b = static_cast<std::uint8_t>(rng() & 0xff);
-  for (std::size_t t = 0; t < traces; ++t) {
-    auto trace = campaign.generate_trace(pt, rng);
-    store.add(aes.ciphertext(), std::move(trace));
-    pt = aes.ciphertext();  // ciphertext chaining, as in the paper
-  }
+  campaign.record(rng, traces, store);
   store.save(out);
 
   std::ostringstream key_hex;

@@ -1,8 +1,11 @@
 #include "attack/campaign.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace leakydsp::attack {
 
@@ -65,7 +68,126 @@ std::vector<double> TraceCampaign::generate_trace(
   return samples;
 }
 
+template <typename Emit>
+void TraceCampaign::sample_trace(sim::SensorRig::Sampler& sampler,
+                                 victim::AesCoreModel& aes,
+                                 const crypto::Block& plaintext, util::Rng& rng,
+                                 std::vector<pdn::CurrentInjection>& scratch,
+                                 Emit&& emit) const {
+  sampler.settle();  // idle between encryptions, as on the board
+  aes.start_encryption(plaintext);
+  const double gain = rig_->coupling().gain_at_node(aes.pdn_node());
+  const double dt = rig_->params().sample_period_ns;
+  for (std::size_t s = 0; s < trace_samples_; ++s) {
+    const std::size_t cycle = s / spc_;
+    const double droop =
+        gain * aes.current_at_cycle(cycle) +
+        interference_droop(static_cast<double>(s) * dt, rng, scratch);
+    const double v = sampler.supply_for_droop(droop, rng);
+    emit(s, sampler.sample_supply(v, rng));
+  }
+}
+
+std::vector<crypto::Block> TraceCampaign::plaintext_chain(
+    crypto::Block& plaintext, std::size_t count) const {
+  std::vector<crypto::Block> chain(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    chain[i] = plaintext;
+    plaintext = aes_->cipher().encrypt(plaintext);
+  }
+  return chain;
+}
+
+void TraceCampaign::process_block(std::size_t first_trace,
+                                  std::span<const crypto::Block> plaintexts,
+                                  const util::Rng& trace_parent, CpaAttack& cpa,
+                                  double& poi_sum) const {
+  sim::SensorRig::Sampler sampler = rig_->make_sampler();
+  victim::AesCoreModel aes = *aes_;  // thread-private encryption state
+  const std::size_t n = plaintexts.size();
+  std::vector<crypto::Block> ciphertexts(n);
+  std::vector<double> poi_rows(n * poi_count_);
+  std::vector<pdn::CurrentInjection> scratch;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Rng rng = trace_parent.fork(first_trace + i);
+    double* poi = poi_rows.data() + i * poi_count_;
+    sample_trace(sampler, aes, plaintexts[i], rng, scratch,
+                 [&](std::size_t s, double readout) {
+                   if (s >= poi_begin_ && s < poi_begin_ + poi_count_) {
+                     poi[s - poi_begin_] = readout;
+                     poi_sum += readout;
+                   }
+                 });
+    ciphertexts[i] = aes.ciphertext();
+  }
+  cpa.add_traces(ciphertexts, poi_rows);
+}
+
+void TraceCampaign::record(util::Rng& rng, std::size_t n,
+                           sim::TraceStore& store) const {
+  LD_REQUIRE(n >= 1, "need at least one trace");
+  LD_REQUIRE(store.samples_per_trace() == trace_samples_,
+             "store expects " << store.samples_per_trace()
+                              << " samples per trace, campaign produces "
+                              << trace_samples_);
+  util::ThreadPool pool(config_.threads);
+
+  crypto::Block plaintext;
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng() & 0xff);
+  const util::Rng trace_parent = rng;
+  const std::vector<crypto::Block> plaintexts = plaintext_chain(plaintext, n);
+
+  struct Recorded {
+    crypto::Block ciphertext;
+    std::vector<double> samples;
+  };
+  const std::size_t block = config_.block_traces;
+  const std::size_t blocks = (n + block - 1) / block;
+  std::vector<std::vector<Recorded>> shards(blocks);
+  pool.parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t lo = blk * block;
+    const std::size_t hi = std::min(lo + block, n);
+    sim::SensorRig::Sampler sampler = rig_->make_sampler();
+    victim::AesCoreModel aes = *aes_;
+    std::vector<pdn::CurrentInjection> scratch;
+    auto& out = shards[blk];
+    out.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      util::Rng trace_rng = trace_parent.fork(i + 1);
+      std::vector<double> samples;
+      samples.reserve(trace_samples_);
+      sample_trace(sampler, aes, plaintexts[i], trace_rng, scratch,
+                   [&](std::size_t, double readout) {
+                     samples.push_back(readout);
+                   });
+      out.push_back({aes.ciphertext(), std::move(samples)});
+    }
+  });
+  for (auto& shard : shards) {
+    for (auto& rec : shard) store.add(rec.ciphertext, std::move(rec.samples));
+  }
+}
+
+namespace {
+
+/// Per-block accumulator a worker fills before the ordered merge.
+struct BlockShard {
+  CpaAttack cpa;
+  double poi_sum = 0.0;
+  explicit BlockShard(std::size_t poi) : cpa(poi) {}
+};
+
+/// Smallest multiple of `stride` strictly greater than `t`.
+std::size_t next_multiple(std::size_t t, std::size_t stride) {
+  return (t / stride + 1) * stride;
+}
+
+}  // namespace
+
 CampaignResult TraceCampaign::run(util::Rng& rng, bool stop_when_broken) {
+  LD_REQUIRE(config_.block_traces >= 1, "bad block size");
+  util::ThreadPool pool(config_.threads);
   CpaAttack cpa(poi_count_);
   CampaignResult result;
   const crypto::Key true_key = aes_->cipher().round_keys()[0];
@@ -73,30 +195,49 @@ CampaignResult TraceCampaign::run(util::Rng& rng, bool stop_when_broken) {
 
   crypto::Block plaintext;
   for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng() & 0xff);
+  // Every trace t forks its own noise stream from this snapshot, so the
+  // readouts depend only on the seed and t — never on which worker ran it.
+  const util::Rng trace_parent = rng;
 
   double poi_sum = 0.0;
   std::size_t consecutive_ok = 0;
-  const double gain = rig_->coupling().gain_at_node(aes_->pdn_node());
-  const double dt = rig_->params().sample_period_ns;
-  std::vector<double> poi(poi_count_);
-  std::vector<pdn::CurrentInjection> scratch;
+  std::size_t t = 0;  // traces completed
 
-  for (std::size_t t = 1; t <= config_.max_traces; ++t) {
-    aes_->start_encryption(plaintext);
-    for (std::size_t s = 0; s < trace_samples_; ++s) {
-      const std::size_t cycle = s / spc_;
-      const double droop =
-          gain * aes_->current_at_cycle(cycle) +
-          interference_droop(static_cast<double>(s) * dt, rng, scratch);
-      const double v = rig_->supply_for_droop(droop, rng);
-      const double readout = rig_->sensor().sample(v, rng);
-      if (s >= poi_begin_ && s < poi_begin_ + poi_count_) {
-        poi[s - poi_begin_] = readout;
-        poi_sum += readout;
-      }
+  while (t < config_.max_traces) {
+    // Advance to the next checkpoint boundary: break checks while the key
+    // is still unbroken, rank checkpoints always.
+    std::size_t next = config_.max_traces;
+    if (!result.broken) {
+      next = std::min(next, next_multiple(t, config_.break_check_stride));
     }
-    cpa.add_trace(aes_->ciphertext(), poi);
-    plaintext = aes_->ciphertext();  // the paper chains ciphertexts
+    next = std::min(next, next_multiple(t, config_.rank_stride));
+    const std::size_t count = next - t;
+
+    // The paper chains plaintexts (p[t+1] = ciphertext of trace t); the
+    // chain is pure AES, so materialize it before any PDN work and hand
+    // each worker block its slice.
+    const std::vector<crypto::Block> plaintexts =
+        plaintext_chain(plaintext, count);
+
+    const std::size_t block = config_.block_traces;
+    const std::size_t blocks = (count + block - 1) / block;
+    std::vector<std::unique_ptr<BlockShard>> shards(blocks);
+    pool.parallel_for(blocks, [&](std::size_t blk) {
+      const std::size_t lo = blk * block;
+      const std::size_t hi = std::min(lo + block, count);
+      auto shard = std::make_unique<BlockShard>(poi_count_);
+      process_block(t + lo + 1, {plaintexts.data() + lo, hi - lo},
+                    trace_parent, shard->cpa, shard->poi_sum);
+      shards[blk] = std::move(shard);
+    });
+    // Merge in block order: the reduction tree is fixed by the block size,
+    // not by the schedule, so any thread count gives identical sums.
+    for (const auto& shard : shards) {
+      cpa.merge(shard->cpa);
+      poi_sum += shard->poi_sum;
+    }
+    t = next;
+    result.traces_run = t;
 
     if (!result.broken && t % config_.break_check_stride == 0 && t >= 2) {
       const bool ok = cpa.recovered_master_key() == true_key;
@@ -128,12 +269,8 @@ CampaignResult TraceCampaign::run(util::Rng& rng, bool stop_when_broken) {
       }
       cp.full_key = cpa.recovered_master_key() == true_key;
       result.checkpoints.push_back(cp);
-      if (stop_when_broken && result.broken) {
-        result.traces_run = t;
-        break;
-      }
+      if (stop_when_broken && result.broken) break;
     }
-    result.traces_run = t;
   }
 
   result.mean_poi_readout =

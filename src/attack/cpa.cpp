@@ -1,5 +1,6 @@
 #include "attack/cpa.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "attack/power_model.h"
@@ -42,11 +43,87 @@ void CpaAttack::add_trace(const crypto::Block& ciphertext,
   }
 }
 
+void CpaAttack::add_traces(std::span<const crypto::Block> ciphertexts,
+                           std::span<const double> poi_matrix) {
+  const std::size_t n = ciphertexts.size();
+  LD_REQUIRE(poi_matrix.size() == n * poi_,
+             "expected " << n * poi_ << " POI samples for " << n
+                         << " traces, got " << poi_matrix.size());
+  traces_ += n;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double* row = poi_matrix.data() + t * poi_;
+    for (std::size_t k = 0; k < poi_; ++k) {
+      sum_t_[k] += row[k];
+      sum_t2_[k] += row[k] * row[k];
+    }
+  }
+  // Hypothesis rows for the whole batch, [t * 256 + g] per byte, so the
+  // guess loop below streams them column-wise without re-deriving SBox
+  // inversions inside the hot kernel.
+  std::vector<std::uint8_t> hyp(n * 256);
+  for (int b = 0; b < 16; ++b) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto row = last_round_hd_row(ciphertexts[t], b);
+      std::copy(row.begin(), row.end(), hyp.begin() + static_cast<std::ptrdiff_t>(t * 256));
+    }
+    auto& h_sums = sum_h_[static_cast<std::size_t>(b)];
+    auto& h2_sums = sum_h2_[static_cast<std::size_t>(b)];
+    auto& ht = sum_ht_[static_cast<std::size_t>(b)];
+    // GEMM-style kernel: dst row (one guess x POI stripe) stays resident
+    // across the whole batch instead of the per-trace axpy cycling through
+    // all 256 stripes for every trace.
+    for (int g = 0; g < 256; ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      double* dst = ht.data() + gi * poi_;
+      double hs = 0.0;
+      double h2s = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        const double h = static_cast<double>(hyp[t * 256 + gi]);
+        hs += h;
+        h2s += h * h;
+        const double* src = poi_matrix.data() + t * poi_;
+        for (std::size_t k = 0; k < poi_; ++k) {
+          dst[k] += h * src[k];
+        }
+      }
+      h_sums[gi] += hs;
+      h2_sums[gi] += h2s;
+    }
+  }
+}
+
+void CpaAttack::merge(const CpaAttack& other) {
+  LD_REQUIRE(other.poi_ == poi_,
+             "merging shards with different POI windows: " << other.poi_
+                                                           << " vs " << poi_);
+  traces_ += other.traces_;
+  for (std::size_t k = 0; k < poi_; ++k) {
+    sum_t_[k] += other.sum_t_[k];
+    sum_t2_[k] += other.sum_t2_[k];
+  }
+  for (std::size_t b = 0; b < 16; ++b) {
+    for (std::size_t g = 0; g < 256; ++g) {
+      sum_h_[b][g] += other.sum_h_[b][g];
+      sum_h2_[b][g] += other.sum_h2_[b][g];
+    }
+    const auto& src = other.sum_ht_[b];
+    auto& dst = sum_ht_[b];
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  }
+}
+
 ByteScores CpaAttack::snapshot_byte(int byte_index) const {
   LD_REQUIRE(byte_index >= 0 && byte_index < 16, "bad byte index");
   LD_REQUIRE(traces_ >= 2, "need at least two traces to correlate");
   const auto b = static_cast<std::size_t>(byte_index);
   const double n = static_cast<double>(traces_);
+
+  // The trace-side variance is guess-independent; hoist it out of the
+  // 256-guess loop (it used to be recomputed 256x per byte).
+  std::vector<double> var_t(poi_);
+  for (std::size_t k = 0; k < poi_; ++k) {
+    var_t[k] = sum_t2_[k] - sum_t_[k] * sum_t_[k] / n;
+  }
 
   ByteScores result;
   for (int g = 0; g < 256; ++g) {
@@ -56,10 +133,9 @@ ByteScores CpaAttack::snapshot_byte(int byte_index) const {
     if (var_h > 1e-12) {
       const double* ht = sum_ht_[b].data() + gi * poi_;
       for (std::size_t k = 0; k < poi_; ++k) {
-        const double var_t = sum_t2_[k] - sum_t_[k] * sum_t_[k] / n;
-        if (var_t <= 1e-12) continue;
+        if (var_t[k] <= 1e-12) continue;
         const double cov = ht[k] - sum_h_[b][gi] * sum_t_[k] / n;
-        const double rho = std::abs(cov) / std::sqrt(var_h * var_t);
+        const double rho = std::abs(cov) / std::sqrt(var_h * var_t[k]);
         if (rho > best) best = rho;
       }
     }

@@ -39,6 +39,20 @@ class CpaAttack {
   void add_trace(const crypto::Block& ciphertext,
                  std::span<const double> poi_samples);
 
+  /// Accumulates a batch of traces at once: `poi_matrix` holds the POI rows
+  /// of `ciphertexts.size()` traces back to back (row t at offset
+  /// t * poi_count()). Bit-identical to calling add_trace per trace in order
+  /// — the per-(guess, POI) additions happen in the same trace order — but
+  /// the guess x POI accumulator block is walked once per batch instead of
+  /// once per trace, which keeps each 256-guess row hot in cache.
+  void add_traces(std::span<const crypto::Block> ciphertexts,
+                  std::span<const double> poi_matrix);
+
+  /// Folds another accumulator (same poi_count) into this one, as if this
+  /// attack had also seen every trace `other` saw. This is how per-worker
+  /// shards of a parallel campaign combine at checkpoint boundaries.
+  void merge(const CpaAttack& other);
+
   /// Correlation snapshot for one key byte.
   ByteScores snapshot_byte(int byte_index) const;
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fabric/device.h"
@@ -91,6 +92,10 @@ class LeakyDspSensor : public sensors::VoltageSensor {
   sensors::CalibrationResult calibrate(
       double idle_v, util::Rng& rng,
       std::size_t samples_per_setting = 64) override;
+
+  std::unique_ptr<sensors::VoltageSensor> clone() const override {
+    return std::make_unique<LeakyDspSensor>(*this);
+  }
 
   /// Functional check: the value the cascade computes for input `a`
   /// (settled case) under the malicious identity configuration.

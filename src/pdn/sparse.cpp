@@ -60,10 +60,13 @@ void SparseMatrix::multiply(std::span<const double> x,
 double SparseMatrix::at(std::size_t row, std::size_t col) const {
   LD_REQUIRE(frozen_, "freeze() before at()");
   LD_REQUIRE(row < n_ && col < n_, "entry outside matrix");
-  for (std::size_t k = row_start_[row]; k < row_start_[row + 1]; ++k) {
-    if (cols_[k] == col) return values_[k];
-  }
-  return 0.0;
+  // freeze() sorts each row's columns ascending, so the lookup is a binary
+  // search over the row's nonzeros.
+  const auto first = cols_.begin() + static_cast<std::ptrdiff_t>(row_start_[row]);
+  const auto last = cols_.begin() + static_cast<std::ptrdiff_t>(row_start_[row + 1]);
+  const auto it = std::lower_bound(first, last, col);
+  if (it == last || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - cols_.begin())];
 }
 
 CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,

@@ -27,7 +27,8 @@ class SparseMatrix {
   /// y = A x. Only valid after freeze().
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  /// Entry lookup (post-freeze); zero when absent. O(row nnz).
+  /// Entry lookup (post-freeze); zero when absent. O(log row nnz): columns
+  /// are sorted within each row at freeze(), so this binary-searches.
   double at(std::size_t row, std::size_t col) const;
 
   std::size_t nonzeros() const { return values_.size(); }

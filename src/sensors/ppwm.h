@@ -7,6 +7,8 @@
 // moderate quantization.
 #pragma once
 
+#include <memory>
+
 #include "fabric/device.h"
 #include "fabric/netlist.h"
 #include "sensors/sensor.h"
@@ -53,6 +55,10 @@ class PpwmSensor : public VoltageSensor {
   sensors::CalibrationResult calibrate(
       double idle_v, util::Rng& rng,
       std::size_t samples_per_setting = 64) override;
+
+  std::unique_ptr<sensors::VoltageSensor> clone() const override {
+    return std::make_unique<PpwmSensor>(*this);
+  }
 
   fabric::Netlist netlist() const;
 

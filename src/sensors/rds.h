@@ -8,6 +8,8 @@
 // LUT/FF/routing resources.
 #pragma once
 
+#include <memory>
+
 #include <cstddef>
 #include <vector>
 
@@ -55,6 +57,10 @@ class RdsSensor : public VoltageSensor {
   sensors::CalibrationResult calibrate(
       double idle_v, util::Rng& rng,
       std::size_t samples_per_setting = 64) override;
+
+  std::unique_ptr<sensors::VoltageSensor> clone() const override {
+    return std::make_unique<RdsSensor>(*this);
+  }
 
   /// Structural netlist: FFs and routing only — passes every deployed
   /// structure check (no loops, no latches, no carry chain).

@@ -5,6 +5,8 @@
 // and structurally detectable (the loop trips deployed bitstream checks).
 #pragma once
 
+#include <memory>
+
 #include "fabric/device.h"
 #include "fabric/netlist.h"
 #include "sensors/sensor.h"
@@ -41,6 +43,10 @@ class RoSensor : public VoltageSensor {
   sensors::CalibrationResult calibrate(
       double idle_v, util::Rng& rng,
       std::size_t samples_per_setting = 64) override;
+
+  std::unique_ptr<sensors::VoltageSensor> clone() const override {
+    return std::make_unique<RoSensor>(*this);
+  }
 
   fabric::Netlist netlist() const;
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "fabric/geometry.h"
@@ -44,6 +45,11 @@ class VoltageSensor {
   /// with maximum readout variation between consecutive settings.
   virtual CalibrationResult calibrate(double idle_v, util::Rng& rng,
                                       std::size_t samples_per_setting = 64) = 0;
+
+  /// Deep copy including calibration state (taps, offsets, controller
+  /// state). Parallel campaigns give every worker block its own clone so
+  /// concurrent sampling never shares mutable sensor state.
+  virtual std::unique_ptr<VoltageSensor> clone() const = 0;
 };
 
 }  // namespace leakydsp::sensors

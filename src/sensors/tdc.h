@@ -7,6 +7,8 @@
 // (32 CARRY4 blocks, 128 MUXCY stages).
 #pragma once
 
+#include <memory>
+
 #include <cstddef>
 #include <vector>
 
@@ -54,6 +56,10 @@ class TdcSensor : public VoltageSensor {
   sensors::CalibrationResult calibrate(
       double idle_v, util::Rng& rng,
       std::size_t samples_per_setting = 64) override;
+
+  std::unique_ptr<sensors::VoltageSensor> clone() const override {
+    return std::make_unique<TdcSensor>(*this);
+  }
 
   /// Structural netlist (trips the carry-chain bitstream rule).
   fabric::Netlist netlist() const;

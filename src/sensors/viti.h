@@ -7,6 +7,8 @@
 // (a few delay elements instead of 48/128 bits).
 #pragma once
 
+#include <memory>
+
 #include <cstddef>
 #include <vector>
 
@@ -58,6 +60,10 @@ class VitiSensor : public VoltageSensor {
   sensors::CalibrationResult calibrate(
       double idle_v, util::Rng& rng,
       std::size_t samples_per_setting = 64) override;
+
+  std::unique_ptr<sensors::VoltageSensor> clone() const override {
+    return std::make_unique<VitiSensor>(*this);
+  }
 
   fabric::Netlist netlist() const;
 

@@ -1,6 +1,10 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <span>
+
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace leakydsp::sim {
 
@@ -39,18 +43,36 @@ std::vector<SensorTraceResult> Engine::run(std::size_t samples,
     results.push_back(std::move(r));
   }
 
+  // Stage 1 (serial): materialize every tenant's draw schedule. Sources may
+  // carry state across samples, so they step once, in sample order, from
+  // their own forked stream. Flattened layout: sample s owns injections
+  // [offsets[s], offsets[s + 1]).
+  util::Rng source_rng = rng.fork(0);
   std::vector<pdn::CurrentInjection> draws;
+  std::vector<std::size_t> offsets(samples + 1, 0);
   for (std::size_t s = 0; s < samples; ++s) {
-    draws.clear();
     // All rigs share the sample clock of the first rig (the paper's setup:
     // one attacker tenant, one sample domain).
     const double t_ns =
         static_cast<double>(s) * rigs_.front()->params().sample_period_ns;
-    for (auto& src : sources_) src->draws_at(t_ns, rng, draws);
-    for (std::size_t r = 0; r < rigs_.size(); ++r) {
-      results[r].readouts.push_back(rigs_[r]->sample(draws, rng));
-    }
+    for (auto& src : sources_) src->draws_at(t_ns, source_rng, draws);
+    offsets[s + 1] = draws.size();
   }
+
+  // Stage 2 (parallel): every rig consumes the shared schedule with its own
+  // dynamics and noise stream. Rigs are distinct objects, so stepping them
+  // concurrently shares only the read-only draw schedule.
+  util::ThreadPool pool(std::min(
+      threads_ == 0 ? util::ThreadPool::hardware_threads() : threads_,
+      rigs_.size()));
+  pool.parallel_for(rigs_.size(), [&](std::size_t r) {
+    util::Rng rig_rng = rng.fork(r + 1);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const std::span<const pdn::CurrentInjection> sample_draws{
+          draws.data() + offsets[s], offsets[s + 1] - offsets[s]};
+      results[r].readouts.push_back(rigs_[r]->sample(sample_draws, rig_rng));
+    }
+  });
   return results;
 }
 

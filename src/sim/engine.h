@@ -66,14 +66,24 @@ class Engine {
   void add_rig(SensorRig& rig);
   std::size_t rig_count() const { return rigs_.size(); }
 
+  /// Worker threads used to step rigs in run() (0 = hardware concurrency).
+  /// Results are identical for every value: each rig samples from its own
+  /// forked RNG stream, so the schedule never shows in the readouts.
+  void set_threads(std::size_t threads) { threads_ = threads; }
+  std::size_t threads() const { return threads_; }
+
   /// Runs `samples` sensor-clock steps from t = 0, returning one readout
-  /// stream per attached rig. Every rig's dynamics are reset first.
+  /// stream per attached rig. Every rig's dynamics are reset first. The
+  /// tenants' draw schedule is materialized serially (sources may be
+  /// stateful), then the attached rigs consume it in parallel — rig r draws
+  /// its sampling noise from rng.fork(r + 1), the sources from rng.fork(0).
   std::vector<SensorTraceResult> run(std::size_t samples, util::Rng& rng);
 
  private:
   const pdn::PdnGrid& grid_;
   std::vector<std::unique_ptr<CurrentSource>> sources_;
   std::vector<SensorRig*> rigs_;
+  std::size_t threads_ = 0;
 };
 
 }  // namespace leakydsp::sim

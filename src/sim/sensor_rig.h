@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -59,6 +60,50 @@ class SensorRig {
 
   /// Clears filter and noise state (idle settling between experiments).
   void settle();
+
+  /// A self-contained copy of the rig's sampling front-end: its own sensor
+  /// clone plus fresh (settled) droop-filter and ambient-noise state.
+  /// Parallel campaign workers sample through one of these per trace block,
+  /// so concurrent blocks never share mutable state with the rig or each
+  /// other; the rig itself is left untouched.
+  class Sampler {
+   public:
+    /// Equivalent of SensorRig::supply_for_droop on this private state.
+    double supply_for_droop(double static_droop_v, util::Rng& rng) {
+      return vnom_ - filter_.step(static_droop_v) - ambient_.step(rng);
+    }
+
+    /// Digitizes a supply voltage through the cloned sensor.
+    double sample_supply(double supply_v, util::Rng& rng) {
+      return sensor_->sample(supply_v, rng);
+    }
+
+    /// Clears filter and noise state (between traces).
+    void settle() {
+      filter_.reset();
+      ambient_.reset();
+    }
+
+   private:
+    friend class SensorRig;
+    Sampler(std::unique_ptr<sensors::VoltageSensor> sensor,
+            const RigParams& params)
+        : sensor_(std::move(sensor)),
+          filter_(params.dynamics, params.sample_period_ns),
+          ambient_(params.ambient_sigma_v, params.ambient_correlation_ns,
+                   params.sample_period_ns),
+          vnom_(params.vnom) {}
+
+    std::unique_ptr<sensors::VoltageSensor> sensor_;
+    pdn::DroopFilter filter_;
+    pdn::AmbientNoise ambient_;
+    double vnom_;
+  };
+
+  /// Clones the rig's sampling front-end in its current calibration state.
+  Sampler make_sampler() const {
+    return Sampler(sensor_->clone(), params_);
+  }
 
  private:
   const pdn::PdnGrid& grid_;

@@ -1,0 +1,110 @@
+#include "util/bench_json.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace leakydsp::util {
+
+namespace {
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchJsonRow& BenchJsonRow::set(std::string key, std::string value) {
+  fields_.emplace_back(std::move(key), Value(std::move(value)));
+  return *this;
+}
+
+BenchJsonRow& BenchJsonRow::set(std::string key, const char* value) {
+  return set(std::move(key), std::string(value));
+}
+
+BenchJsonRow& BenchJsonRow::set(std::string key, double value) {
+  fields_.emplace_back(std::move(key), Value(value));
+  return *this;
+}
+
+BenchJsonRow& BenchJsonRow::set(std::string key, std::int64_t value) {
+  fields_.emplace_back(std::move(key), Value(value));
+  return *this;
+}
+
+BenchJsonRow& BenchJsonRow::set(std::string key, std::uint64_t value) {
+  return set(std::move(key), static_cast<std::int64_t>(value));
+}
+
+BenchJsonRow& BenchJsonRow::set(std::string key, bool value) {
+  fields_.emplace_back(std::move(key), Value(value));
+  return *this;
+}
+
+BenchJson::BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+BenchJsonRow& BenchJson::row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string BenchJson::to_string() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << escaped(bench_) << "\",\n  \"results\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "    {";
+    const auto& fields = rows_[r].fields_;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (f != 0) os << ", ";
+      os << '"' << escaped(fields[f].first) << "\": ";
+      const auto& value = fields[f].second;
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        os << '"' << escaped(*s) << '"';
+      } else if (const auto* d = std::get_if<double>(&value)) {
+        LD_REQUIRE(std::isfinite(*d),
+                   "non-finite value for \"" << fields[f].first << '"');
+        os << std::setprecision(17) << *d;
+      } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+        os << *i;
+      } else {
+        os << (std::get<bool>(value) ? "true" : "false");
+      }
+    }
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+void BenchJson::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  LD_ENSURE(out.good(), "cannot open " << path << " for writing");
+  out << to_string();
+  out.flush();
+  LD_ENSURE(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace leakydsp::util

@@ -1,0 +1,52 @@
+// Machine-readable bench reports. Every bench driver that is not built on
+// google-benchmark emits a flat BENCH_<name>.json next to its console
+// table, so sweep scripts can diff wall times and speedups across runs
+// without scraping stdout. The format is one object per measured
+// configuration, all values scalar:
+//
+//   {"bench": "campaign_scaling", "results": [{"threads": 8, ...}, ...]}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace leakydsp::util {
+
+/// One flat record of a bench report; set() returns *this for chaining.
+class BenchJsonRow {
+ public:
+  BenchJsonRow& set(std::string key, std::string value);
+  BenchJsonRow& set(std::string key, const char* value);
+  BenchJsonRow& set(std::string key, double value);
+  BenchJsonRow& set(std::string key, std::int64_t value);
+  BenchJsonRow& set(std::string key, std::uint64_t value);
+  BenchJsonRow& set(std::string key, bool value);
+
+ private:
+  friend class BenchJson;
+  using Value = std::variant<std::string, double, std::int64_t, bool>;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// A bench report: a name plus rows, serialized as pretty-printed JSON.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench);
+
+  /// Appends an empty row; fill it through the returned reference.
+  BenchJsonRow& row();
+
+  std::string to_string() const;
+
+  /// Writes to_string() to `path`; throws InvariantError on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<BenchJsonRow> rows_;
+};
+
+}  // namespace leakydsp::util

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace leakydsp::util {
 
@@ -102,6 +103,13 @@ std::uint64_t Cli::get_seed(const std::string& name,
                                   << "'");
   }
   return fallback;  // unreachable
+}
+
+std::size_t Cli::get_threads(const std::string& name) const {
+  const auto n = get_int(
+      name, static_cast<std::int64_t>(ThreadPool::hardware_threads()));
+  LD_REQUIRE(n >= 1, "option --" << name << " must be >= 1, got " << n);
+  return static_cast<std::size_t>(n);
 }
 
 bool Cli::get_flag(const std::string& name) const {

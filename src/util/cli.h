@@ -3,6 +3,7 @@
 // options throw, so typos in an experiment sweep fail loudly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -27,6 +28,10 @@ class Cli {
   std::uint64_t get_seed(const std::string& name,
                          std::uint64_t fallback) const;
   bool get_flag(const std::string& name) const;
+
+  /// Worker-thread count for parallel stages: `--threads N`, defaulting to
+  /// the hardware concurrency. N must be >= 1.
+  std::size_t get_threads(const std::string& name = "threads") const;
 
   const std::string& program() const { return program_; }
 

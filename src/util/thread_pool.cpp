@@ -1,0 +1,129 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "util/contracts.h"
+
+namespace leakydsp::util {
+
+/// One parallel_for invocation: an index space plus claim/completion state.
+/// Lives on the caller's stack; the Impl bookkeeping guarantees no worker
+/// still references it once parallel_for returns.
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;   // workers wait for a batch
+  std::condition_variable done_cv;   // the caller waits for completion
+  Batch* batch = nullptr;            // currently running batch, if any
+  std::uint64_t generation = 0;      // bumped per batch so workers join once
+  std::size_t active = 0;            // workers currently inside the batch
+  bool shutting_down = false;
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : size_(threads == 0 ? hardware_threads() : threads), impl_(new Impl) {
+  // The calling thread is executor #0; only size_ - 1 workers are spawned.
+  workers_.reserve(size_ - 1);
+  for (std::size_t i = 0; i + 1 < size_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : workers_) w.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::run_indices(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    batch.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->work_cv.wait(lock, [&] {
+        return impl_->shutting_down ||
+               (impl_->batch != nullptr && impl_->generation != seen);
+      });
+      if (impl_->shutting_down) return;
+      seen = impl_->generation;
+      batch = impl_->batch;
+      ++impl_->active;
+    }
+    run_indices(*batch);
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      --impl_->active;
+    }
+    impl_->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  LD_REQUIRE(fn != nullptr, "parallel_for needs a function");
+  if (count == 0) return;
+  Batch batch;
+  batch.count = count;
+  batch.fn = &fn;
+
+  if (workers_.empty() || count == 1) {
+    run_indices(batch);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      impl_->batch = &batch;
+      ++impl_->generation;
+    }
+    impl_->work_cv.notify_all();
+    run_indices(batch);  // the caller claims indices too
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      // Completion requires every index done AND every worker out of the
+      // batch — a worker that claimed its terminating index may still be
+      // about to read batch.next one last time.
+      impl_->done_cv.wait(lock, [&] {
+        return batch.done.load(std::memory_order_acquire) >= count &&
+               impl_->active == 0;
+      });
+      impl_->batch = nullptr;
+    }
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace leakydsp::util

@@ -1,0 +1,78 @@
+// Fixed-size thread pool with deterministic fan-out helpers.
+//
+// The pool deliberately has no work stealing and no futures: callers hand it
+// an index space, workers claim indices from a shared atomic counter, and
+// parallel_for returns once every index ran. Determinism in this codebase
+// never comes from the schedule (which indices land on which worker is
+// racy by nature) — it comes from the caller giving every index its own
+// forked RNG stream and merging per-index results in index order. See
+// parallel_reduce and DESIGN.md ("Threading model & determinism").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace leakydsp::util {
+
+/// Fixed-size pool of worker threads executing indexed task batches.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_threads(). The calling thread always
+  /// participates in parallel_for, so a pool of size 1 spawns no threads
+  /// and runs everything inline (the bit-identical "serial path").
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of concurrent executors (workers + the calling thread).
+  std::size_t size() const { return size_; }
+
+  /// Runs fn(i) for every i in [0, count), distributed over the pool. The
+  /// caller blocks until all indices completed. Exceptions thrown by fn are
+  /// captured and the first one rethrown here.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Batch;
+
+  static void run_indices(Batch& batch);
+  void worker_loop();
+
+  std::size_t size_;
+  std::vector<std::thread> workers_;
+  // Current batch, guarded by mutex_/cv_ in the implementation.
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Maps fn(i) -> T over [0, count) on the pool, then folds the results in
+/// index order with merge(acc, T&&). The fold order is fixed by the index
+/// space, never by the schedule, so floating-point reductions are
+/// bit-identical for every pool size. T does not need to be
+/// default-constructible.
+template <typename T, typename MapFn, typename MergeFn>
+std::optional<T> parallel_reduce(ThreadPool& pool, std::size_t count,
+                                 const MapFn& fn, const MergeFn& merge) {
+  std::vector<std::optional<T>> slots(count);
+  pool.parallel_for(count, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::optional<T> acc;
+  for (auto& slot : slots) {
+    if (!acc) {
+      acc = std::move(slot);
+    } else {
+      merge(*acc, std::move(*slot));
+    }
+  }
+  return acc;
+}
+
+}  // namespace leakydsp::util

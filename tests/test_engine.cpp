@@ -50,7 +50,9 @@ TEST_F(EngineTest, SingleSourceMatchesDirectRigSampling) {
 
   lcore::LeakyDspSensor sensor_b(scenario_.device(), {16, 20});
   lsim::SensorRig rig_b(scenario_.grid(), sensor_b);
-  lu::Rng rng_b(42);
+  // The engine's RNG contract: sources draw from rng.fork(0), rig r samples
+  // from rng.fork(r + 1). Reproduce rig 0's stream directly.
+  lu::Rng rng_b = lu::Rng(42).fork(1);
   const std::vector<lp::CurrentInjection> draws = {{node, 1.5}};
   const auto direct = rig_b.collect_constant(200, draws, rng_b);
   EXPECT_EQ(results[0].readouts, direct);

@@ -3,13 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "util/bench_json.h"
 #include "util/bitvec.h"
 #include "util/cli.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace lu = leakydsp::util;
@@ -268,6 +271,39 @@ TEST(Cli, ParsesValuesAndFlags) {
   EXPECT_EQ(cli.get_seed("seed", 0), 42u);
   EXPECT_TRUE(cli.get_flag("quick"));
   EXPECT_FALSE(cli.get_flag("missing_flag"));
+}
+
+TEST(Cli, ThreadsDefaultsToHardwareAndRejectsZero) {
+  const char* none[] = {"prog"};
+  EXPECT_EQ(lu::Cli(1, none, {"threads"}).get_threads(),
+            lu::ThreadPool::hardware_threads());
+  const char* four[] = {"prog", "--threads", "4"};
+  EXPECT_EQ(lu::Cli(3, four, {"threads"}).get_threads(), 4u);
+  const char* zero[] = {"prog", "--threads", "0"};
+  EXPECT_THROW(lu::Cli(3, zero, {"threads"}).get_threads(),
+               lu::PreconditionError);
+}
+
+TEST(BenchJson, RendersRowsInOrder) {
+  lu::BenchJson report("demo");
+  report.row()
+      .set("label", "run \"a\"")
+      .set("threads", std::int64_t{8})
+      .set("wall_seconds", 1.5)
+      .set("identical", true);
+  report.row().set("threads", std::int64_t{1});
+  const std::string json = report.to_string();
+  EXPECT_EQ(json,
+            "{\n  \"bench\": \"demo\",\n  \"results\": [\n"
+            "    {\"label\": \"run \\\"a\\\"\", \"threads\": 8, "
+            "\"wall_seconds\": 1.5, \"identical\": true},\n"
+            "    {\"threads\": 1}\n  ]\n}\n");
+}
+
+TEST(BenchJson, RejectsNonFiniteValues) {
+  lu::BenchJson report("demo");
+  report.row().set("speedup", std::numeric_limits<double>::infinity());
+  EXPECT_THROW(report.to_string(), lu::PreconditionError);
 }
 
 TEST(Cli, DefaultsWhenAbsent) {
