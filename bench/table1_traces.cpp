@@ -34,12 +34,22 @@
 using namespace leakydsp;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"seed", "max-traces", "threads", "quick!"});
+  const util::Cli cli(argc, argv, {"seed", "max-traces", "threads",
+                                   "checkpoint-dir", "quick!", "resume!"});
   const auto seed = cli.get_seed("seed", 7);
   const std::size_t threads = cli.get_threads();
   const bool quick = cli.get_flag("quick");
   const auto max_traces = static_cast<std::size_t>(
       cli.get_int("max-traces", quick ? 8000 : 90000));
+  // --checkpoint-dir DIR makes every campaign durable (one subdirectory
+  // per placement); --resume continues placements whose checkpoint exists
+  // instead of restarting them, with byte-identical results.
+  const auto checkpoint_dir = cli.get_string("checkpoint-dir", "");
+  const bool resume = cli.get_flag("resume");
+  if (resume && checkpoint_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint-dir\n";
+    return 1;
+  }
 
   const sim::Basys3Scenario scenario;
   util::Rng rng(seed);
@@ -60,11 +70,26 @@ int main(int argc, char** argv) {
   config.rank_stride = 5000;
   config.threads = threads;
 
+  // Per-placement campaign config: placements checkpoint independently, so
+  // a killed sweep resumes at the placement it died in.
+  const auto placement_config = [&](const std::string& label) {
+    attack::CampaignConfig c = config;
+    if (!checkpoint_dir.empty()) c.checkpoint_dir = checkpoint_dir + "/" + label;
+    return c;
+  };
+
   util::BenchJson report("table1_traces");
   const auto timed_run = [&](attack::TraceCampaign& campaign,
                              util::Rng& run_rng, const std::string& label) {
     const auto start = std::chrono::steady_clock::now();
-    const auto result = campaign.run(run_rng);
+    attack::CampaignResult result;
+    if (resume &&
+        attack::TraceCampaign::checkpoint_exists(checkpoint_dir + "/" + label)) {
+      std::cout << "[" << label << "] resuming from checkpoint\n";
+      result = campaign.resume();
+    } else {
+      result = campaign.run(run_rng);
+    }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -94,8 +119,9 @@ int main(int argc, char** argv) {
     core::LeakyDspSensor sensor(scenario.device(), site);
     sim::SensorRig rig(scenario.grid(), sensor);
     rig.calibrate(run_rng);
-    attack::TraceCampaign campaign(rig, aes, config);
-    const auto result = timed_run(campaign, run_rng, "P" + std::to_string(i + 1));
+    const std::string label = "P" + std::to_string(i + 1);
+    attack::TraceCampaign campaign(rig, aes, placement_config(label));
+    const auto result = timed_run(campaign, run_rng, label);
 
     const pdn::SensorCoupling coupling(scenario.grid(), site);
     table.row()
@@ -119,7 +145,7 @@ int main(int argc, char** argv) {
     sensors::TdcSensor tdc(scenario.device(), tdc_site);
     sim::SensorRig rig(scenario.grid(), tdc);
     rig.calibrate(run_rng);
-    attack::TraceCampaign campaign(rig, aes, config);
+    attack::TraceCampaign campaign(rig, aes, placement_config("TDC"));
     const auto result = timed_run(campaign, run_rng, "TDC");
     const pdn::SensorCoupling coupling(scenario.grid(), tdc_site);
     table.row()

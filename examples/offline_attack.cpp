@@ -20,9 +20,12 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv, {"in", "poi-begin", "poi-count"});
   const auto in = cli.get_string("in", "/tmp/leakydsp.ldtr");
 
-  const auto store = sim::TraceStore::load(in);
-  if (store.size() < 100) {
-    std::cerr << "too few traces in " << in << " (" << store.size() << ")\n";
+  // Stream the file one chunk at a time: CPA only needs the POI window of
+  // each trace, so even multi-gigabyte captures fit in bounded memory.
+  sim::TraceStoreReader reader(in);
+  if (reader.trace_count() < 100) {
+    std::cerr << "too few traces in " << in << " (" << reader.trace_count()
+              << ")\n";
     return 1;
   }
   // Default POI window: the last-round cycle of the 20 MHz victim at 15
@@ -31,21 +34,21 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("poi-begin", 150));
   const auto poi_count =
       static_cast<std::size_t>(cli.get_int("poi-count", 30));
-  if (poi_begin + poi_count > store.samples_per_trace()) {
+  if (poi_begin + poi_count > reader.samples_per_trace()) {
     std::cerr << "POI window outside the stored traces ("
-              << store.samples_per_trace() << " samples)\n";
+              << reader.samples_per_trace() << " samples)\n";
     return 1;
   }
 
-  std::cout << "loaded " << store.size() << " traces x "
-            << store.samples_per_trace() << " samples from " << in
-            << "; CPA on samples [" << poi_begin << ", "
-            << poi_begin + poi_count << ")\n\n";
+  std::cout << "loaded " << reader.trace_count() << " traces x "
+            << reader.samples_per_trace() << " samples from " << in
+            << " (format v" << reader.version() << "); CPA on samples ["
+            << poi_begin << ", " << poi_begin + poi_count << ")\n\n";
 
   attack::CpaAttack cpa(poi_count);
   std::vector<double> poi(poi_count);
-  for (std::size_t t = 0; t < store.size(); ++t) {
-    const auto& trace = store.trace(t);
+  sim::StoredTrace trace;
+  while (reader.next(trace)) {
     for (std::size_t k = 0; k < poi_count; ++k) {
       poi[k] = trace.samples[poi_begin + k];
     }

@@ -44,16 +44,19 @@ int main(int argc, char** argv) {
   config.threads = cli.get_threads();
   attack::TraceCampaign campaign(rig, aes, config);
 
+  // Stream straight into the v2 writer: memory stays bounded by one wave
+  // of blocks no matter how many traces are captured, and the file carries
+  // per-chunk CRCs so a killed capture is detected at load time.
   const std::size_t samples =
       (aes.cycles_per_encryption() + 2) * campaign.samples_per_cycle();
-  sim::TraceStore store(samples);
-  campaign.record(rng, traces, store);
-  store.save(out);
+  sim::TraceStoreWriter writer(out, samples);
+  campaign.record(rng, traces, writer);
+  writer.finish();
 
   std::ostringstream key_hex;
   key_hex << std::hex << std::setfill('0');
   for (const auto b : key) key_hex << std::setw(2) << static_cast<int>(b);
-  std::cout << "recorded " << store.size() << " traces x " << samples
+  std::cout << "recorded " << writer.size() << " traces x " << samples
             << " samples to " << out << "\n"
             << "victim's secret key (for checking the offline attack): "
             << key_hex.str() << "\n";

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
+#include "util/byte_io.h"
 #include "util/contracts.h"
+#include "util/crc32.h"
 #include "util/thread_pool.h"
 
 namespace leakydsp::attack {
@@ -124,6 +130,35 @@ void TraceCampaign::process_block(std::size_t first_trace,
   cpa.add_traces(ciphertexts, poi_rows);
 }
 
+// ------------------------------------------------------------- recording
+
+void TraceCampaign::record_blocks(
+    util::ThreadPool& pool, const util::Rng& trace_parent,
+    std::span<const crypto::Block> plaintexts, std::size_t first_block,
+    std::vector<std::vector<sim::StoredTrace>>& shards) const {
+  const std::size_t block = config_.block_traces;
+  const std::size_t n = plaintexts.size();
+  pool.parallel_for(shards.size(), [&](std::size_t w) {
+    const std::size_t lo = (first_block + w) * block;
+    const std::size_t hi = std::min(lo + block, n);
+    sim::SensorRig::Sampler sampler = rig_->make_sampler();
+    victim::AesCoreModel aes = *aes_;
+    std::vector<pdn::CurrentInjection> scratch;
+    auto& out = shards[w];
+    out.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      util::Rng trace_rng = trace_parent.fork(i + 1);
+      std::vector<double> samples;
+      samples.reserve(trace_samples_);
+      sample_trace(sampler, aes, plaintexts[i], trace_rng, scratch,
+                   [&](std::size_t, double readout) {
+                     samples.push_back(readout);
+                   });
+      out.push_back({aes.ciphertext(), std::move(samples)});
+    }
+  });
+}
+
 void TraceCampaign::record(util::Rng& rng, std::size_t n,
                            sim::TraceStore& store) const {
   LD_REQUIRE(n >= 1, "need at least one trace");
@@ -138,38 +173,62 @@ void TraceCampaign::record(util::Rng& rng, std::size_t n,
   const util::Rng trace_parent = rng;
   const std::vector<crypto::Block> plaintexts = plaintext_chain(plaintext, n);
 
-  struct Recorded {
-    crypto::Block ciphertext;
-    std::vector<double> samples;
-  };
   const std::size_t block = config_.block_traces;
   const std::size_t blocks = (n + block - 1) / block;
-  std::vector<std::vector<Recorded>> shards(blocks);
-  pool.parallel_for(blocks, [&](std::size_t blk) {
-    const std::size_t lo = blk * block;
-    const std::size_t hi = std::min(lo + block, n);
-    sim::SensorRig::Sampler sampler = rig_->make_sampler();
-    victim::AesCoreModel aes = *aes_;
-    std::vector<pdn::CurrentInjection> scratch;
-    auto& out = shards[blk];
-    out.reserve(hi - lo);
-    for (std::size_t i = lo; i < hi; ++i) {
-      util::Rng trace_rng = trace_parent.fork(i + 1);
-      std::vector<double> samples;
-      samples.reserve(trace_samples_);
-      sample_trace(sampler, aes, plaintexts[i], trace_rng, scratch,
-                   [&](std::size_t, double readout) {
-                     samples.push_back(readout);
-                   });
-      out.push_back({aes.ciphertext(), std::move(samples)});
-    }
-  });
+  std::vector<std::vector<sim::StoredTrace>> shards(blocks);
+  record_blocks(pool, trace_parent, plaintexts, 0, shards);
   for (auto& shard : shards) {
     for (auto& rec : shard) store.add(rec.ciphertext, std::move(rec.samples));
   }
 }
 
+void TraceCampaign::record(util::Rng& rng, std::size_t n,
+                           sim::TraceStoreWriter& writer) const {
+  LD_REQUIRE(n >= 1, "need at least one trace");
+  LD_REQUIRE(writer.samples_per_trace() == trace_samples_,
+             "writer expects " << writer.samples_per_trace()
+                               << " samples per trace, campaign produces "
+                               << trace_samples_);
+  util::ThreadPool pool(config_.threads);
+
+  crypto::Block plaintext;
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng() & 0xff);
+  const util::Rng trace_parent = rng;
+  const std::vector<crypto::Block> plaintexts = plaintext_chain(plaintext, n);
+
+  // Same fork discipline and block schedule as the in-memory overload,
+  // processed in bounded waves: only one wave of shards is ever resident,
+  // and each drains into the writer in block order, so the resulting file
+  // is byte-identical to record()-then-save() at every thread count.
+  const std::size_t block = config_.block_traces;
+  const std::size_t blocks = (n + block - 1) / block;
+  const std::size_t wave = std::max<std::size_t>(pool.size(), 1) * 4;
+  for (std::size_t b0 = 0; b0 < blocks; b0 += wave) {
+    std::vector<std::vector<sim::StoredTrace>> shards(
+        std::min(wave, blocks - b0));
+    record_blocks(pool, trace_parent, plaintexts, b0, shards);
+    for (auto& shard : shards) {
+      for (auto& rec : shard) writer.add(rec.ciphertext, rec.samples);
+    }
+  }
+}
+
+// ----------------------------------------------------------- checkpoints
+
 namespace {
+
+constexpr char kCheckpointMagic[4] = {'L', 'D', 'C', 'K'};
+constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint64_t kCheckpointOverhead = 20;  // magic+version+size+crc
+
+std::string checkpoint_path(const std::string& dir) {
+  return dir + "/campaign.ckpt";
+}
+
+[[noreturn]] void checkpoint_fail(const std::string& path,
+                                  const std::string& what) {
+  throw CheckpointError("campaign checkpoint '" + path + "': " + what);
+}
 
 /// Per-block accumulator a worker fills before the ordered merge.
 struct BlockShard {
@@ -185,39 +244,212 @@ std::size_t next_multiple(std::size_t t, std::size_t stride) {
 
 }  // namespace
 
+bool TraceCampaign::checkpoint_exists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(checkpoint_path(dir), ec);
+}
+
+void TraceCampaign::write_checkpoint(const RunState& state) const {
+  util::ByteWriter payload;
+  // Config fields that shape results: resume() refuses a checkpoint whose
+  // campaign was configured differently (threads excluded by design — the
+  // determinism contract makes it irrelevant).
+  payload.u32(static_cast<std::uint32_t>(poi_count_));
+  payload.u64(config_.block_traces);
+  payload.u64(config_.break_check_stride);
+  payload.u64(config_.rank_stride);
+  payload.u64(config_.stable_breaks);
+  payload.u64(config_.max_traces);
+  // Loop state.
+  payload.u8(state.completed ? 1 : 0);
+  payload.u64(state.t);
+  payload.f64(state.poi_sum);
+  payload.u64(state.consecutive_ok);
+  payload.bytes(state.plaintext);
+  for (const std::uint64_t w : state.trace_parent.serialize()) payload.u64(w);
+  // Result so far.
+  payload.u8(state.result.broken ? 1 : 0);
+  payload.u64(state.result.traces_to_break);
+  payload.u64(state.result.traces_run);
+  payload.f64(state.result.mean_poi_readout);
+  payload.u64(state.result.checkpoints.size());
+  for (const Checkpoint& cp : state.result.checkpoints) {
+    payload.u64(cp.traces);
+    payload.f64(cp.rank.log2_lower);
+    payload.f64(cp.rank.log2_upper);
+    payload.u32(static_cast<std::uint32_t>(cp.correct_bytes));
+    payload.u8(cp.full_key ? 1 : 0);
+  }
+  // CPA accumulators.
+  state.cpa.serialize(payload);
+
+  util::ByteWriter file;
+  file.bytes({reinterpret_cast<const std::uint8_t*>(kCheckpointMagic), 4});
+  file.u32(kCheckpointVersion);
+  file.u64(payload.size());
+  file.bytes(payload.span());
+  file.u32(util::crc32(payload.span()));
+
+  // Atomic replace: a crash mid-write leaves either the previous valid
+  // checkpoint or a stray .tmp — never a half-written campaign.ckpt.
+  std::error_code ec;
+  std::filesystem::create_directories(config_.checkpoint_dir, ec);
+  const std::string path = checkpoint_path(config_.checkpoint_dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    LD_ENSURE(os.is_open(), "cannot open '" << tmp << "' for writing");
+    os.write(reinterpret_cast<const char*>(file.span().data()),
+             static_cast<std::streamsize>(file.size()));
+    os.flush();
+    LD_ENSURE(os.good(), "write failure on '" << tmp << "'");
+  }
+  LD_ENSURE(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "cannot rename '" << tmp << "' to '" << path << "'");
+}
+
+TraceCampaign::RunState TraceCampaign::load_checkpoint() const {
+  const std::string path = checkpoint_path(config_.checkpoint_dir);
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) checkpoint_fail(path, "cannot open");
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0);
+  if (file_size < kCheckpointOverhead) {
+    checkpoint_fail(path, "too small to hold a checkpoint");
+  }
+  std::vector<std::uint8_t> bytes(file_size);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<std::uint64_t>(is.gcount()) != file_size || !is) {
+    checkpoint_fail(path, "truncated while reading");
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic, 4) != 0) {
+    checkpoint_fail(path, "bad magic");
+  }
+  util::ByteReader head({bytes.data() + 4, 12});
+  const std::uint32_t version = head.u32();
+  if (version != kCheckpointVersion) {
+    checkpoint_fail(path,
+                    "unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t payload_size = head.u64();
+  if (payload_size != file_size - kCheckpointOverhead) {
+    checkpoint_fail(path, "payload size field inconsistent with file size");
+  }
+  const std::span<const std::uint8_t> payload{bytes.data() + 16,
+                                              payload_size};
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + 16 + payload_size, 4);
+  if (util::crc32(payload) != stored_crc) {
+    checkpoint_fail(path, "payload CRC mismatch");
+  }
+
+  try {
+    util::ByteReader in(payload);
+    const std::uint32_t poi = in.u32();
+    const std::uint64_t block_traces = in.u64();
+    const std::uint64_t break_stride = in.u64();
+    const std::uint64_t rank_stride = in.u64();
+    const std::uint64_t stable_breaks = in.u64();
+    const std::uint64_t max_traces = in.u64();
+    if (poi != poi_count_ || block_traces != config_.block_traces ||
+        break_stride != config_.break_check_stride ||
+        rank_stride != config_.rank_stride ||
+        stable_breaks != config_.stable_breaks ||
+        max_traces != config_.max_traces) {
+      checkpoint_fail(path,
+                      "was written by a differently configured campaign");
+    }
+    RunState state(poi_count_);
+    state.completed = in.u8() != 0;
+    state.t = static_cast<std::size_t>(in.u64());
+    state.poi_sum = in.f64();
+    state.consecutive_ok = static_cast<std::size_t>(in.u64());
+    in.bytes(state.plaintext);
+    std::array<std::uint64_t, 6> rng_words{};
+    for (auto& w : rng_words) w = in.u64();
+    state.trace_parent = util::Rng::deserialize(rng_words);
+    state.result.broken = in.u8() != 0;
+    state.result.traces_to_break = static_cast<std::size_t>(in.u64());
+    state.result.traces_run = static_cast<std::size_t>(in.u64());
+    state.result.mean_poi_readout = in.f64();
+    const std::uint64_t n_checkpoints = in.u64();
+    // Each serialized checkpoint occupies 29 bytes; bound the vector by
+    // what the buffer can actually hold before reserving.
+    if (n_checkpoints > in.remaining() / 29) {
+      checkpoint_fail(path, "checkpoint list longer than the payload");
+    }
+    state.result.checkpoints.reserve(n_checkpoints);
+    for (std::uint64_t i = 0; i < n_checkpoints; ++i) {
+      Checkpoint cp;
+      cp.traces = static_cast<std::size_t>(in.u64());
+      cp.rank.log2_lower = in.f64();
+      cp.rank.log2_upper = in.f64();
+      cp.correct_bytes = static_cast<int>(in.u32());
+      cp.full_key = in.u8() != 0;
+      state.result.checkpoints.push_back(cp);
+    }
+    state.cpa = CpaAttack::deserialize(in);
+    if (!in.exhausted()) {
+      checkpoint_fail(path, "trailing bytes after the CPA state");
+    }
+    if (state.cpa.poi_count() != poi_count_ ||
+        state.cpa.trace_count() != state.t ||
+        state.result.traces_run != state.t) {
+      checkpoint_fail(path, "internal state inconsistent");
+    }
+    return state;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const util::PreconditionError& e) {
+    checkpoint_fail(path, e.what());
+  }
+}
+
+// --------------------------------------------------------------- running
+
 CampaignResult TraceCampaign::run(util::Rng& rng, bool stop_when_broken) {
+  RunState state(poi_count_);
+  for (auto& b : state.plaintext) b = static_cast<std::uint8_t>(rng() & 0xff);
+  // Every trace t forks its own noise stream from this snapshot, so the
+  // readouts depend only on the seed and t — never on which worker ran it.
+  state.trace_parent = rng;
+  return run_loop(state, stop_when_broken);
+}
+
+CampaignResult TraceCampaign::resume(bool stop_when_broken) {
+  LD_REQUIRE(!config_.checkpoint_dir.empty(),
+             "resume() requires config.checkpoint_dir");
+  RunState state = load_checkpoint();
+  if (state.completed) return state.result;
+  return run_loop(state, stop_when_broken);
+}
+
+CampaignResult TraceCampaign::run_loop(RunState& state,
+                                       bool stop_when_broken) {
   LD_REQUIRE(config_.block_traces >= 1, "bad block size");
+  const bool checkpointing = !config_.checkpoint_dir.empty();
   util::ThreadPool pool(config_.threads);
-  CpaAttack cpa(poi_count_);
-  CampaignResult result;
   const crypto::Key true_key = aes_->cipher().round_keys()[0];
   const crypto::RoundKey true_rk10 = aes_->cipher().round_keys()[10];
 
-  crypto::Block plaintext;
-  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng() & 0xff);
-  // Every trace t forks its own noise stream from this snapshot, so the
-  // readouts depend only on the seed and t — never on which worker ran it.
-  const util::Rng trace_parent = rng;
-
-  double poi_sum = 0.0;
-  std::size_t consecutive_ok = 0;
-  std::size_t t = 0;  // traces completed
-
-  while (t < config_.max_traces) {
+  while (state.t < config_.max_traces) {
     // Advance to the next checkpoint boundary: break checks while the key
     // is still unbroken, rank checkpoints always.
     std::size_t next = config_.max_traces;
-    if (!result.broken) {
-      next = std::min(next, next_multiple(t, config_.break_check_stride));
+    if (!state.result.broken) {
+      next = std::min(next,
+                      next_multiple(state.t, config_.break_check_stride));
     }
-    next = std::min(next, next_multiple(t, config_.rank_stride));
-    const std::size_t count = next - t;
+    next = std::min(next, next_multiple(state.t, config_.rank_stride));
+    const std::size_t count = next - state.t;
 
     // The paper chains plaintexts (p[t+1] = ciphertext of trace t); the
     // chain is pure AES, so materialize it before any PDN work and hand
     // each worker block its slice.
     const std::vector<crypto::Block> plaintexts =
-        plaintext_chain(plaintext, count);
+        plaintext_chain(state.plaintext, count);
 
     const std::size_t block = config_.block_traces;
     const std::size_t blocks = (count + block - 1) / block;
@@ -226,57 +458,68 @@ CampaignResult TraceCampaign::run(util::Rng& rng, bool stop_when_broken) {
       const std::size_t lo = blk * block;
       const std::size_t hi = std::min(lo + block, count);
       auto shard = std::make_unique<BlockShard>(poi_count_);
-      process_block(t + lo + 1, {plaintexts.data() + lo, hi - lo},
-                    trace_parent, shard->cpa, shard->poi_sum);
+      process_block(state.t + lo + 1, {plaintexts.data() + lo, hi - lo},
+                    state.trace_parent, shard->cpa, shard->poi_sum);
       shards[blk] = std::move(shard);
     });
     // Merge in block order: the reduction tree is fixed by the block size,
     // not by the schedule, so any thread count gives identical sums.
     for (const auto& shard : shards) {
-      cpa.merge(shard->cpa);
-      poi_sum += shard->poi_sum;
+      state.cpa.merge(shard->cpa);
+      state.poi_sum += shard->poi_sum;
     }
-    t = next;
-    result.traces_run = t;
+    state.t = next;
+    state.result.traces_run = state.t;
 
-    if (!result.broken && t % config_.break_check_stride == 0 && t >= 2) {
-      const bool ok = cpa.recovered_master_key() == true_key;
+    if (!state.result.broken &&
+        state.t % config_.break_check_stride == 0 && state.t >= 2) {
+      const bool ok = state.cpa.recovered_master_key() == true_key;
       if (ok) {
-        if (consecutive_ok == 0) {
-          result.traces_to_break = t;  // first stride of the stable run
+        if (state.consecutive_ok == 0) {
+          state.result.traces_to_break = state.t;  // first stable stride
         }
-        ++consecutive_ok;
+        ++state.consecutive_ok;
       } else {
-        consecutive_ok = 0;
-        result.traces_to_break = 0;
+        state.consecutive_ok = 0;
+        state.result.traces_to_break = 0;
       }
-      if (consecutive_ok >= config_.stable_breaks) {
-        result.broken = true;
+      if (state.consecutive_ok >= config_.stable_breaks) {
+        state.result.broken = true;
       }
     }
 
-    if (t % config_.rank_stride == 0 && t >= 2) {
-      const auto scores = cpa.snapshot();
+    bool stop = false;
+    if (state.t % config_.rank_stride == 0 && state.t >= 2) {
+      const auto scores = state.cpa.snapshot();
       Checkpoint cp;
-      cp.traces = t;
+      cp.traces = state.t;
       cp.rank = estimate_key_rank(scores, true_rk10, config_.rank_params);
-      const auto recovered = cpa.recovered_round_key();
+      const auto recovered = state.cpa.recovered_round_key();
       for (int b = 0; b < 16; ++b) {
         if (recovered[static_cast<std::size_t>(b)] ==
             true_rk10[static_cast<std::size_t>(b)]) {
           ++cp.correct_bytes;
         }
       }
-      cp.full_key = cpa.recovered_master_key() == true_key;
-      result.checkpoints.push_back(cp);
-      if (stop_when_broken && result.broken) break;
+      cp.full_key = state.cpa.recovered_master_key() == true_key;
+      state.result.checkpoints.push_back(cp);
+      stop = stop_when_broken && state.result.broken;
     }
+
+    // Durable progress: everything needed to continue from this boundary,
+    // replacing the previous checkpoint atomically. A kill at ANY moment
+    // loses at most the traces since the last boundary, and the resumed
+    // run re-derives them bit-identically from the forked RNG streams.
+    if (checkpointing) write_checkpoint(state);
+    if (stop) break;
   }
 
-  result.mean_poi_readout =
-      poi_sum / (static_cast<double>(result.traces_run) *
-                 static_cast<double>(poi_count_));
-  return result;
+  state.result.mean_poi_readout =
+      state.poi_sum / (static_cast<double>(state.result.traces_run) *
+                       static_cast<double>(poi_count_));
+  state.completed = true;
+  if (checkpointing) write_checkpoint(state);
+  return state.result;
 }
 
 }  // namespace leakydsp::attack

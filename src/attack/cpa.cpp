@@ -112,6 +112,47 @@ void CpaAttack::merge(const CpaAttack& other) {
   }
 }
 
+void CpaAttack::serialize(util::ByteWriter& out) const {
+  out.u64(poi_);
+  out.u64(traces_);
+  for (const double v : sum_t_) out.f64(v);
+  for (const double v : sum_t2_) out.f64(v);
+  for (const auto& per_byte : sum_h_) {
+    for (const double v : per_byte) out.f64(v);
+  }
+  for (const auto& per_byte : sum_h2_) {
+    for (const double v : per_byte) out.f64(v);
+  }
+  for (const auto& per_byte : sum_ht_) {
+    for (const double v : per_byte) out.f64(v);
+  }
+}
+
+CpaAttack CpaAttack::deserialize(util::ByteReader& in) {
+  const std::uint64_t poi = in.u64();
+  LD_REQUIRE(poi >= 1, "serialized CPA state has zero POI");
+  // Each POI contributes two trace sums and 16*256 cross sums of 8 bytes;
+  // checking against the buffer bounds the allocation below.
+  LD_REQUIRE(poi <= in.remaining() / ((2 + 16 * 256) * sizeof(double)),
+             "serialized CPA state truncated: " << poi
+                                                << " POI don't fit in "
+                                                << in.remaining() << " bytes");
+  CpaAttack cpa(static_cast<std::size_t>(poi));
+  cpa.traces_ = static_cast<std::size_t>(in.u64());
+  for (double& v : cpa.sum_t_) v = in.f64();
+  for (double& v : cpa.sum_t2_) v = in.f64();
+  for (auto& per_byte : cpa.sum_h_) {
+    for (double& v : per_byte) v = in.f64();
+  }
+  for (auto& per_byte : cpa.sum_h2_) {
+    for (double& v : per_byte) v = in.f64();
+  }
+  for (auto& per_byte : cpa.sum_ht_) {
+    for (double& v : per_byte) v = in.f64();
+  }
+  return cpa;
+}
+
 ByteScores CpaAttack::snapshot_byte(int byte_index) const {
   LD_REQUIRE(byte_index >= 0 && byte_index < 16, "bad byte index");
   LD_REQUIRE(traces_ >= 2, "need at least two traces to correlate");

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crypto/aes128.h"
+#include "util/byte_io.h"
 
 namespace leakydsp::attack {
 
@@ -65,6 +66,15 @@ class CpaAttack {
   /// Master key obtained by inverting the key schedule of the recovered
   /// round-10 key.
   crypto::Key recovered_master_key() const;
+
+  /// Appends the complete accumulator state — trace count, trace-side
+  /// sums, per-(byte, guess) hypothesis sums and cross sums — to `out`.
+  /// deserialize() reconstructs a bit-identical attack: snapshots of the
+  /// restored object equal the original's exactly, which is what makes
+  /// campaign resume byte-identical. Throws util::PreconditionError on a
+  /// truncated or inconsistent buffer.
+  void serialize(util::ByteWriter& out) const;
+  static CpaAttack deserialize(util::ByteReader& in);
 
  private:
   std::size_t poi_;

@@ -7,9 +7,20 @@ bool SampleDecimator::push(double readout) {
   acc_ += readout;
   ++count_;
   if (count_ < ratio_) return false;
+  emit_block();
+  return true;
+}
+
+bool SampleDecimator::flush() {
+  if (count_ == 0) return false;
+  emit_block();
+  return true;
+}
+
+void SampleDecimator::emit_block() {
   switch (mode_) {
     case Mode::kAverage:
-      output_ = acc_ / static_cast<double>(ratio_);
+      output_ = acc_ / static_cast<double>(count_);
       break;
     case Mode::kSum:
       output_ = acc_;
@@ -21,16 +32,18 @@ bool SampleDecimator::push(double readout) {
   has_output_ = true;
   acc_ = 0.0;
   count_ = 0;
-  return true;
 }
 
 std::vector<double> SampleDecimator::process(
     const std::vector<double>& readouts) {
+  acc_ = 0.0;
+  count_ = 0;
   std::vector<double> out;
-  out.reserve(readouts.size() / ratio_);
+  out.reserve((readouts.size() + ratio_ - 1) / ratio_);
   for (const double r : readouts) {
     if (push(r)) out.push_back(output());
   }
+  if (flush()) out.push_back(output());
   return out;
 }
 

@@ -32,7 +32,18 @@ class SampleDecimator {
 
   /// Pushes one readout; returns true when an output became available via
   /// output().
+  ///
+  /// Streaming contract: push() carries partial-block state across calls —
+  /// feeding the same readouts one at a time or in batches is equivalent.
+  /// A block completes on every ratio()-th push; the partial block at end
+  /// of stream is emitted by flush() (or discarded by reset()).
   bool push(double readout);
+
+  /// Completes the pending partial block, if any: emits it through
+  /// output() using `count` in place of `ratio` (so kAverage averages over
+  /// the samples actually seen) and clears the pending state. Returns true
+  /// when an output was produced, false when no samples were pending.
+  bool flush();
 
   /// The most recent completed block's output.
   double output() const {
@@ -43,12 +54,20 @@ class SampleDecimator {
   /// Pending (incomplete) block size.
   std::size_t pending() const { return count_; }
 
-  /// Convenience: decimates a whole vector, dropping any partial tail.
+  /// Convenience: decimates a whole vector as a self-contained stream.
+  /// Resets any pending state first (a batch call never inherits samples
+  /// from earlier push() calls), then emits ceil(size / ratio) outputs —
+  /// the trailing partial window is flushed, not dropped.
   std::vector<double> process(const std::vector<double>& readouts);
 
   void reset();
 
  private:
+  /// Emits the pending block (count_ samples) through output_ and clears
+  /// the accumulator. kAverage divides by the actual sample count, so
+  /// flushed partial blocks average over what they saw.
+  void emit_block();
+
   std::size_t ratio_;
   Mode mode_;
   double acc_ = 0.0;

@@ -56,7 +56,8 @@ BenchJsonRow& BenchJsonRow::set(std::string key, std::int64_t value) {
 }
 
 BenchJsonRow& BenchJsonRow::set(std::string key, std::uint64_t value) {
-  return set(std::move(key), static_cast<std::int64_t>(value));
+  fields_.emplace_back(std::move(key), Value(value));
+  return *this;
 }
 
 BenchJsonRow& BenchJsonRow::set(std::string key, bool value) {
@@ -84,11 +85,18 @@ std::string BenchJson::to_string() const {
       if (const auto* s = std::get_if<std::string>(&value)) {
         os << '"' << escaped(*s) << '"';
       } else if (const auto* d = std::get_if<double>(&value)) {
-        LD_REQUIRE(std::isfinite(*d),
-                   "non-finite value for \"" << fields[f].first << '"');
-        os << std::setprecision(17) << *d;
+        // JSON has no NaN/Inf literal; emitting them produces a file no
+        // parser accepts. Degrade those to null so a diverged bench run
+        // still yields a loadable report.
+        if (std::isfinite(*d)) {
+          os << std::setprecision(17) << *d;
+        } else {
+          os << "null";
+        }
       } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
         os << *i;
+      } else if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+        os << *u;
       } else {
         os << (std::get<bool>(value) ? "true" : "false");
       }

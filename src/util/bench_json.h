@@ -27,7 +27,8 @@ class BenchJsonRow {
 
  private:
   friend class BenchJson;
-  using Value = std::variant<std::string, double, std::int64_t, bool>;
+  using Value =
+      std::variant<std::string, double, std::int64_t, std::uint64_t, bool>;
   std::vector<std::pair<std::string, Value>> fields_;
 };
 

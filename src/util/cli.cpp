@@ -35,6 +35,10 @@ Cli::Cli(int argc, const char* const* argv,
       name = name.substr(0, eq);
       has_inline = true;
     }
+    // Repeating an option is always a mistake (a sweep script overriding
+    // itself); last-wins would hide it, so reject it outright.
+    LD_REQUIRE(!values_.contains(name) && !flags_.contains(name),
+               "duplicate option --" << name);
     if (flag_opts.contains(name)) {
       LD_REQUIRE(!has_inline, "flag --" << name << " takes no value");
       flags_[name] = true;
@@ -46,7 +50,11 @@ Cli::Cli(int argc, const char* const* argv,
         values_[name] = argv[++i];
       }
     } else {
-      LD_REQUIRE(false, "unknown option --" << name);
+      std::string known;
+      for (const auto& o : value_opts) known += " --" + o;
+      for (const auto& o : flag_opts) known += " --" + o + "(flag)";
+      LD_REQUIRE(false, "unknown option --" << name << "; valid options:"
+                                            << known);
     }
   }
 }

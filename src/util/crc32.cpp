@@ -21,12 +21,15 @@ std::array<std::uint32_t, 256> make_table() {
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return Crc32().update(data).value();
+}
+
+Crc32& Crc32::update(std::span<const std::uint8_t> data) {
   static const auto table = make_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
   for (const std::uint8_t byte : data) {
-    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+    crc_ = table[(crc_ ^ byte) & 0xFFu] ^ (crc_ >> 8);
   }
-  return crc ^ 0xFFFFFFFFu;
+  return *this;
 }
 
 }  // namespace leakydsp::util

@@ -1,4 +1,5 @@
-// CRC-32 (IEEE 802.3 polynomial, reflected) for bitstream integrity.
+// CRC-32 (IEEE 802.3 polynomial, reflected) for bitstream and trace-file
+// integrity.
 #pragma once
 
 #include <cstddef>
@@ -10,5 +11,18 @@ namespace leakydsp::util {
 /// CRC-32 of `data` (init 0xFFFFFFFF, final xor 0xFFFFFFFF — the zlib/PNG
 /// convention).
 std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental CRC-32 over data arriving in pieces; value() at any point
+/// equals crc32() of the concatenation fed so far. Used by the chunked
+/// trace format to checksum headers and payloads without buffering them
+/// into one span.
+class Crc32 {
+ public:
+  Crc32& update(std::span<const std::uint8_t> data);
+  std::uint32_t value() const { return crc_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t crc_ = 0xFFFFFFFFu;
+};
 
 }  // namespace leakydsp::util

@@ -1,5 +1,6 @@
 #include "util/rng.h"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -137,6 +138,20 @@ double Rng::student_t(double dof) {
 
 void Rng::fill_bytes(std::vector<std::uint8_t>& out) {
   for (auto& b : out) b = static_cast<std::uint8_t>((*this)() & 0xff);
+}
+
+std::array<std::uint64_t, 6> Rng::serialize() const {
+  return {state_[0], state_[1], state_[2], state_[3],
+          std::bit_cast<std::uint64_t>(cached_gaussian_),
+          has_cached_gaussian_ ? 1ULL : 0ULL};
+}
+
+Rng Rng::deserialize(const std::array<std::uint64_t, 6>& words) {
+  Rng rng;
+  for (std::size_t i = 0; i < 4; ++i) rng.state_[i] = words[i];
+  rng.cached_gaussian_ = std::bit_cast<double>(words[4]);
+  rng.has_cached_gaussian_ = words[5] != 0;
+  return rng;
 }
 
 Rng Rng::fork(std::uint64_t stream_index) const {

@@ -66,6 +66,13 @@ class Rng {
   /// decorrelated even for the same parent.
   Rng fork(std::uint64_t stream_index) const;
 
+  /// Opaque serialized state: the four xoshiro words plus the Box–Muller
+  /// cache. deserialize() reconstructs a generator whose entire future
+  /// stream is bit-identical to this one's — the campaign checkpoint
+  /// format stores exactly this to make resumed runs reproducible.
+  std::array<std::uint64_t, 6> serialize() const;
+  static Rng deserialize(const std::array<std::uint64_t, 6>& words);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_gaussian_ = 0.0;

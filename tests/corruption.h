@@ -1,0 +1,60 @@
+// File-corruption helpers shared by the fault-injection suite: read a
+// file into memory, mutate it (bit flips, truncation, zero fills), and
+// write it back. Header-only; included from test_*.cpp files.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace leakydsp::testing {
+
+inline std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(is.is_open()) << "cannot open " << path;
+  const auto size = static_cast<std::size_t>(is.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  EXPECT_TRUE(is.good()) << "cannot read " << path;
+  return bytes;
+}
+
+inline void write_file(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os.is_open()) << "cannot open " << path;
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  ASSERT_TRUE(os.good()) << "cannot write " << path;
+}
+
+inline std::vector<std::uint8_t> flip_bit(std::vector<std::uint8_t> bytes,
+                                          std::size_t byte_index,
+                                          unsigned bit) {
+  bytes.at(byte_index) ^= static_cast<std::uint8_t>(1u << (bit & 7u));
+  return bytes;
+}
+
+inline std::vector<std::uint8_t> truncate_to(std::vector<std::uint8_t> bytes,
+                                             std::size_t size) {
+  EXPECT_LE(size, bytes.size());
+  bytes.resize(size);
+  return bytes;
+}
+
+inline std::vector<std::uint8_t> zero_fill(std::vector<std::uint8_t> bytes,
+                                           std::size_t offset,
+                                           std::size_t count) {
+  for (std::size_t i = offset; i < offset + count && i < bytes.size(); ++i) {
+    bytes[i] = 0;
+  }
+  return bytes;
+}
+
+}  // namespace leakydsp::testing

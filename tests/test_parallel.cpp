@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "attack/campaign.h"
@@ -279,6 +283,49 @@ TEST_F(ParallelCampaignTest, RecordedTracesIndependentOfThreadCount) {
     ASSERT_EQ(serial.trace(t).ciphertext, parallel.trace(t).ciphertext);
     ASSERT_EQ(serial.trace(t).samples, parallel.trace(t).samples);
   }
+}
+
+TEST_F(ParallelCampaignTest, StreamedRecordingMatchesStoreByteForByte) {
+  // record()-into-a-writer must produce the exact file record()-into-a-
+  // store + save() produces, at every thread count: same fork discipline,
+  // same block schedule, chunks drained in block order.
+  const auto file_bytes = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto record_file = [&](std::size_t threads, bool streamed,
+                               const std::string& path) {
+    lu::Rng rng(219);
+    const lc::Key key = random_block(rng);
+    lv::AesCoreModel aes(key, scenario_.aes_site(), scenario_.grid());
+    lcore::LeakyDspSensor sensor(
+        scenario_.device(),
+        scenario_
+            .attack_placements()[lsim::Basys3Scenario::kBestPlacementIndex]);
+    lsim::SensorRig rig(scenario_.grid(), sensor);
+    rig.calibrate(rng);
+    la::CampaignConfig config;
+    config.threads = threads;
+    la::TraceCampaign campaign(rig, aes, config);
+    const std::size_t samples =
+        (aes.cycles_per_encryption() + 2) * campaign.samples_per_cycle();
+    if (streamed) {
+      lsim::TraceStoreWriter writer(path, samples);
+      campaign.record(rng, 150, writer);
+      writer.finish();
+    } else {
+      lsim::TraceStore store(samples);
+      campaign.record(rng, 150, store);
+      store.save(path);
+    }
+    return file_bytes(path);
+  };
+  const std::string path = "/tmp/leakydsp_test_streamed_record.ldtr";
+  const auto via_store = record_file(1, false, path);
+  EXPECT_EQ(record_file(1, true, path), via_store);
+  EXPECT_EQ(record_file(4, true, path), via_store);
+  std::remove(path.c_str());
 }
 
 // ----------------------------------------------- engine thread invariance

@@ -152,10 +152,11 @@ TEST(Decimator, AverageMode) {
   lsens::SampleDecimator dec(4);
   const std::vector<double> in = {1, 2, 3, 4, 10, 10, 10, 10, 7};
   const auto out = dec.process(in);
-  ASSERT_EQ(out.size(), 2u);
+  ASSERT_EQ(out.size(), 3u);
   EXPECT_DOUBLE_EQ(out[0], 2.5);
   EXPECT_DOUBLE_EQ(out[1], 10.0);
-  EXPECT_EQ(dec.pending(), 1u);  // the trailing 7
+  EXPECT_DOUBLE_EQ(out[2], 7.0);  // trailing partial window is flushed
+  EXPECT_EQ(dec.pending(), 0u);
 }
 
 TEST(Decimator, SumAndSubsampleModes) {
@@ -191,6 +192,49 @@ TEST(Decimator, Contracts) {
   EXPECT_THROW(dec.output(), lu::PreconditionError);  // nothing complete
   dec.push(1.0);
   dec.reset();
+  EXPECT_EQ(dec.pending(), 0u);
+}
+
+TEST(Decimator, FlushEmitsPartialBlockPerMode) {
+  lsens::SampleDecimator avg(4);
+  avg.push(2.0);
+  avg.push(4.0);
+  ASSERT_TRUE(avg.flush());
+  EXPECT_DOUBLE_EQ(avg.output(), 3.0);  // mean over the 2 samples seen
+  EXPECT_EQ(avg.pending(), 0u);
+  EXPECT_FALSE(avg.flush());  // nothing pending anymore
+
+  lsens::SampleDecimator sum(4, lsens::SampleDecimator::Mode::kSum);
+  sum.push(2.0);
+  sum.push(4.0);
+  ASSERT_TRUE(sum.flush());
+  EXPECT_DOUBLE_EQ(sum.output(), 6.0);
+
+  lsens::SampleDecimator sub(4, lsens::SampleDecimator::Mode::kSubsample);
+  sub.push(2.0);
+  sub.push(4.0);
+  ASSERT_TRUE(sub.flush());
+  EXPECT_DOUBLE_EQ(sub.output(), 2.0);
+}
+
+TEST(Decimator, ProcessIsSelfContained) {
+  // A batch call must not inherit the partial block left by earlier
+  // streaming pushes (it used to, silently skewing the first output).
+  lsens::SampleDecimator dec(2);
+  dec.push(1000.0);  // stale partial block
+  const auto out = dec.process({1.0, 3.0});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+}
+
+TEST(Decimator, PushCarriesStateAcrossCalls) {
+  // Streaming contract: one-at-a-time pushes equal a single batch.
+  lsens::SampleDecimator dec(3);
+  EXPECT_FALSE(dec.push(1.0));
+  EXPECT_EQ(dec.pending(), 1u);
+  EXPECT_FALSE(dec.push(2.0));
+  EXPECT_TRUE(dec.push(6.0));
+  EXPECT_DOUBLE_EQ(dec.output(), 3.0);
   EXPECT_EQ(dec.pending(), 0u);
 }
 

@@ -2,9 +2,12 @@
 // offline-CPA workflow (record once, attack from disk).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "attack/cpa.h"
 #include "crypto/aes128.h"
@@ -107,6 +110,111 @@ TEST(TraceStore, TruncatedFileRejected) {
 TEST(TraceStore, OutOfRangeAccessRejected) {
   lsim::TraceStore store(4);
   EXPECT_THROW(store.trace(0), lu::PreconditionError);
+}
+
+TEST(TraceStore, StreamingWriterReaderRoundTrip) {
+  lu::Rng rng(904);
+  const TempFile file("stream.ldtr");
+  std::vector<lc::Block> cts(8);
+  std::vector<std::vector<double>> samples(8, std::vector<double>(6));
+  {
+    // chunk_traces=3: exercises two full chunks plus a short final one.
+    lsim::TraceStoreWriter writer(file.path(), 6, 3);
+    for (std::size_t t = 0; t < 8; ++t) {
+      for (auto& b : cts[t]) b = static_cast<std::uint8_t>(rng() & 0xff);
+      for (auto& s : samples[t]) s = rng.gaussian();
+      writer.add(cts[t], samples[t]);
+      EXPECT_EQ(writer.size(), t + 1);
+    }
+    writer.finish();
+  }
+  lsim::TraceStoreReader reader(file.path());
+  EXPECT_EQ(reader.version(), 2u);
+  EXPECT_EQ(reader.samples_per_trace(), 6u);
+  ASSERT_EQ(reader.trace_count(), 8u);  // known before streaming starts
+  lsim::StoredTrace trace;
+  for (std::size_t t = 0; t < 8; ++t) {
+    ASSERT_TRUE(reader.next(trace));
+    EXPECT_EQ(trace.ciphertext, cts[t]);
+    EXPECT_EQ(trace.samples, samples[t]);
+  }
+  EXPECT_FALSE(reader.next(trace));
+}
+
+TEST(TraceStore, WriterRejectsDoubleFinishAndLateAdds) {
+  const TempFile file("finish.ldtr");
+  lsim::TraceStoreWriter writer(file.path(), 4);
+  writer.add(lc::Block{}, std::vector<double>(4, 0.0));
+  writer.finish();
+  EXPECT_THROW(writer.finish(), lu::PreconditionError);
+  EXPECT_THROW(writer.add(lc::Block{}, std::vector<double>(4, 0.0)),
+               lu::PreconditionError);
+}
+
+TEST(TraceStore, WriterRejectsSamplesPerTraceBeyondU32) {
+  // The header field is u32; oversized values used to be silently
+  // truncated into a header describing a different geometry.
+  const TempFile file("wide.ldtr");
+  EXPECT_THROW(lsim::TraceStoreWriter(file.path(), std::size_t{1} << 33),
+               lu::PreconditionError);
+}
+
+TEST(TraceStore, LoadsV1FormatFiles) {
+  // Hand-written v1 file (pre-CRC format): header + raw records.
+  const TempFile file("v1.ldtr");
+  lu::Rng rng(905);
+  std::vector<double> samples(3);
+  for (auto& s : samples) s = rng.gaussian();
+  {
+    std::ofstream os(file.path(), std::ios::binary);
+    const char magic[4] = {'L', 'D', 'T', 'R'};
+    const std::uint32_t version = 1;
+    const std::uint32_t spt = 3;
+    const std::uint64_t count = 1;
+    os.write(magic, 4);
+    os.write(reinterpret_cast<const char*>(&version), 4);
+    os.write(reinterpret_cast<const char*>(&spt), 4);
+    os.write(reinterpret_cast<const char*>(&count), 8);
+    const lc::Block ct{};
+    os.write(reinterpret_cast<const char*>(ct.data()), 16);
+    os.write(reinterpret_cast<const char*>(samples.data()), 3 * 8);
+  }
+  const auto loaded = lsim::TraceStore::load(file.path());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.samples_per_trace(), 3u);
+  EXPECT_EQ(loaded.trace(0).samples, samples);
+  EXPECT_EQ(lsim::TraceStoreReader(file.path()).version(), 1u);
+}
+
+TEST(TraceStore, V1AdversarialTraceCountRejected) {
+  // A 44-byte file whose header declares 2^61 traces: must be rejected
+  // by validating against the real file size, not by allocating.
+  const TempFile file("v1huge.ldtr");
+  {
+    std::ofstream os(file.path(), std::ios::binary);
+    const char magic[4] = {'L', 'D', 'T', 'R'};
+    const std::uint32_t version = 1;
+    const std::uint32_t spt = 1;
+    const std::uint64_t count = std::uint64_t{1} << 61;
+    os.write(magic, 4);
+    os.write(reinterpret_cast<const char*>(&version), 4);
+    os.write(reinterpret_cast<const char*>(&spt), 4);
+    os.write(reinterpret_cast<const char*>(&count), 8);
+    const std::array<char, 24> record{};
+    os.write(record.data(), record.size());
+  }
+  EXPECT_THROW(lsim::TraceStore::load(file.path()), lsim::TraceFormatError);
+}
+
+TEST(TraceStore, CorruptFilesThrowTypedTraceFormatError) {
+  // The generic PreconditionError assertions elsewhere in this file stay
+  // valid because TraceFormatError derives from it; new call sites can
+  // catch the precise type.
+  const TempFile file("typed.ldtr");
+  std::ofstream os(file.path(), std::ios::binary);
+  os << "NOPE";
+  os.close();
+  EXPECT_THROW(lsim::TraceStore::load(file.path()), lsim::TraceFormatError);
 }
 
 TEST(TraceStore, OfflineCpaFromDiskRecoversKey) {

@@ -158,6 +158,19 @@ TEST(Rng, ForkedStreamsAreIndependent) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, SerializeRoundTripContinuesStreamExactly) {
+  lu::Rng rng(77);
+  // Warm up past a gaussian() so the cached Box-Muller draw is live —
+  // the round trip must preserve it, not just the state words.
+  for (int i = 0; i < 17; ++i) rng();
+  (void)rng.gaussian();
+  lu::Rng copy = lu::Rng::deserialize(rng.serialize());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(copy(), rng());
+    ASSERT_EQ(copy.gaussian(), rng.gaussian());
+  }
+}
+
 TEST(BitVec, ConstructAndTest) {
   lu::BitVec v(100);
   EXPECT_EQ(v.size(), 100u);
@@ -300,10 +313,31 @@ TEST(BenchJson, RendersRowsInOrder) {
             "    {\"threads\": 1}\n  ]\n}\n");
 }
 
-TEST(BenchJson, RejectsNonFiniteValues) {
+TEST(BenchJson, NonFiniteDoublesSerializeAsNull) {
+  // JSON has no NaN/Inf literal; a diverged bench must still produce a
+  // parseable report instead of an invalid token (or, before the fix, an
+  // exception that loses the whole report).
   lu::BenchJson report("demo");
-  report.row().set("speedup", std::numeric_limits<double>::infinity());
-  EXPECT_THROW(report.to_string(), lu::PreconditionError);
+  report.row()
+      .set("speedup", std::numeric_limits<double>::infinity())
+      .set("ratio", std::numeric_limits<double>::quiet_NaN())
+      .set("ok", 2.0);
+  const std::string json = report.to_string();
+  EXPECT_NE(json.find("\"speedup\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": 2"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(BenchJson, LargeUint64RendersUnsigned) {
+  // Values above INT64_MAX used to be cast through int64 and render as
+  // negative numbers.
+  lu::BenchJson report("demo");
+  report.row().set("big", std::uint64_t{18446744073709551615ull});
+  const std::string json = report.to_string();
+  EXPECT_NE(json.find("\"big\": 18446744073709551615"), std::string::npos);
+  EXPECT_EQ(json.find('-'), std::string::npos);
 }
 
 TEST(Cli, DefaultsWhenAbsent) {
@@ -317,6 +351,30 @@ TEST(Cli, DefaultsWhenAbsent) {
 TEST(Cli, UnknownOptionThrows) {
   const char* argv[] = {"prog", "--bogus", "1"};
   EXPECT_THROW(lu::Cli(3, argv, {"traces"}), lu::PreconditionError);
+}
+
+TEST(Cli, UnknownOptionMessageListsValidOptions) {
+  const char* argv[] = {"prog", "--bogus", "1"};
+  try {
+    lu::Cli cli(3, argv, {"traces", "seed", "quick!"});
+    FAIL() << "unknown option accepted";
+  } catch (const lu::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--bogus"), std::string::npos);
+    EXPECT_NE(what.find("--traces"), std::string::npos);
+    EXPECT_NE(what.find("--seed"), std::string::npos);
+    EXPECT_NE(what.find("--quick"), std::string::npos);
+  }
+}
+
+TEST(Cli, DuplicateOptionIsAHardError) {
+  // Last-wins would silently drop half of a sweep command line.
+  const char* twice[] = {"prog", "--traces", "10", "--traces", "20"};
+  EXPECT_THROW(lu::Cli(5, twice, {"traces"}), lu::PreconditionError);
+  const char* flag_twice[] = {"prog", "--quick", "--quick"};
+  EXPECT_THROW(lu::Cli(3, flag_twice, {"quick!"}), lu::PreconditionError);
+  const char* mixed[] = {"prog", "--traces=10", "--traces", "20"};
+  EXPECT_THROW(lu::Cli(4, mixed, {"traces"}), lu::PreconditionError);
 }
 
 TEST(Cli, BadIntegerThrows) {
