@@ -107,8 +107,12 @@ int main(int argc, char** argv) {
             << " traces, seed " << seed << " ===\n\n";
 
   util::BenchJson report("campaign_scaling");
+  // A thread count above the machine's hardware concurrency cannot speed
+  // anything up — flag those rows so a sweep configured for a bigger box
+  // is never read as a scaling regression here.
+  const std::uint32_t hw_threads = report.host().hardware_threads;
   util::Table table(
-      {"threads", "wall [s]", "traces/s", "speedup", "identical"});
+      {"threads", "wall [s]", "traces/s", "speedup", "identical", "oversub"});
   TimedRun serial;
   bool all_identical = true;
   for (const std::size_t c : counts) {
@@ -116,6 +120,7 @@ int main(int argc, char** argv) {
     if (c == 1) serial = timed;
     const bool same = identical(timed.result, serial.result);
     all_identical = all_identical && same;
+    const bool oversubscribed = hw_threads > 0 && c > hw_threads;
     const double speedup = serial.seconds / timed.seconds;
     const double rate =
         static_cast<double>(timed.result.traces_run) / timed.seconds;
@@ -124,7 +129,8 @@ int main(int argc, char** argv) {
         .add(timed.seconds, 2)
         .add(rate, 0)
         .add(speedup, 2)
-        .add(same ? "yes" : "NO");
+        .add(same ? "yes" : "NO")
+        .add(oversubscribed ? "yes" : "no");
     report.row()
         .set("threads", static_cast<std::int64_t>(c))
         .set("traces", static_cast<std::int64_t>(timed.result.traces_run))
@@ -132,6 +138,7 @@ int main(int argc, char** argv) {
         .set("traces_per_second", rate)
         .set("speedup_vs_1_thread", speedup)
         .set("identical_to_serial", same)
+        .set("oversubscribed", oversubscribed)
         .set("broken", timed.result.broken)
         .set("traces_to_break",
              static_cast<std::int64_t>(timed.result.traces_to_break));

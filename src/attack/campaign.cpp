@@ -74,24 +74,39 @@ std::vector<double> TraceCampaign::generate_trace(
   return samples;
 }
 
-template <typename Emit>
 void TraceCampaign::sample_trace(sim::SensorRig::Sampler& sampler,
                                  victim::AesCoreModel& aes,
-                                 const crypto::Block& plaintext, util::Rng& rng,
-                                 std::vector<pdn::CurrentInjection>& scratch,
-                                 Emit&& emit) const {
+                                 const crypto::Block& plaintext, double gain,
+                                 util::Rng& rng, TraceScratch& scratch,
+                                 std::span<double> out) const {
+  LD_REQUIRE(out.size() >= trace_samples_,
+             "trace buffer too small: " << out.size() << " < "
+                                        << trace_samples_);
   sampler.settle();  // idle between encryptions, as on the board
   aes.start_encryption(plaintext);
-  const double gain = rig_->coupling().gain_at_node(aes.pdn_node());
-  const double dt = rig_->params().sample_period_ns;
-  for (std::size_t s = 0; s < trace_samples_; ++s) {
-    const std::size_t cycle = s / spc_;
-    const double droop =
-        gain * aes.current_at_cycle(cycle) +
-        interference_droop(static_cast<double>(s) * dt, rng, scratch);
-    const double v = sampler.supply_for_droop(droop, rng);
-    emit(s, sampler.sample_supply(v, rng));
+  scratch.droops.resize(trace_samples_);
+  scratch.supplies.resize(trace_samples_);
+
+  // Stage 1 (SoA): static droop per sensor sample. The victim current is
+  // constant within a cycle, so evaluate it once per cycle and broadcast.
+  for (std::size_t s = 0; s < trace_samples_; s += spc_) {
+    const double d = gain * aes.current_at_cycle(s / spc_);
+    const std::size_t hi = std::min(s + spc_, trace_samples_);
+    for (std::size_t k = s; k < hi; ++k) scratch.droops[k] = d;
   }
+  if (!interferers_.empty()) {
+    const double dt = rig_->params().sample_period_ns;
+    for (std::size_t s = 0; s < trace_samples_; ++s) {
+      scratch.droops[s] += interference_droop(static_cast<double>(s) * dt, rng,
+                                              scratch.injections);
+    }
+  }
+
+  // Stage 2: droop dynamics + ambient noise -> supply voltages.
+  sampler.supply_batch(scratch.droops, scratch.supplies, rng);
+
+  // Stage 3: the sensor's batched digitization kernel.
+  sampler.sensor().sample_batch(scratch.supplies, out, rng);
 }
 
 std::vector<crypto::Block> TraceCampaign::plaintext_chain(
@@ -110,21 +125,21 @@ void TraceCampaign::process_block(std::size_t first_trace,
                                   double& poi_sum) const {
   sim::SensorRig::Sampler sampler = rig_->make_sampler();
   victim::AesCoreModel aes = *aes_;  // thread-private encryption state
+  const double gain = rig_->coupling().gain_at_node(aes.pdn_node());
   const std::size_t n = plaintexts.size();
   std::vector<crypto::Block> ciphertexts(n);
   std::vector<double> poi_rows(n * poi_count_);
-  std::vector<pdn::CurrentInjection> scratch;
+  std::vector<double> trace(trace_samples_);
+  TraceScratch scratch;
 
   for (std::size_t i = 0; i < n; ++i) {
     util::Rng rng = trace_parent.fork(first_trace + i);
+    sample_trace(sampler, aes, plaintexts[i], gain, rng, scratch, trace);
     double* poi = poi_rows.data() + i * poi_count_;
-    sample_trace(sampler, aes, plaintexts[i], rng, scratch,
-                 [&](std::size_t s, double readout) {
-                   if (s >= poi_begin_ && s < poi_begin_ + poi_count_) {
-                     poi[s - poi_begin_] = readout;
-                     poi_sum += readout;
-                   }
-                 });
+    for (std::size_t k = 0; k < poi_count_; ++k) {
+      poi[k] = trace[poi_begin_ + k];
+      poi_sum += poi[k];
+    }
     ciphertexts[i] = aes.ciphertext();
   }
   cpa.add_traces(ciphertexts, poi_rows);
@@ -143,17 +158,15 @@ void TraceCampaign::record_blocks(
     const std::size_t hi = std::min(lo + block, n);
     sim::SensorRig::Sampler sampler = rig_->make_sampler();
     victim::AesCoreModel aes = *aes_;
-    std::vector<pdn::CurrentInjection> scratch;
+    const double gain = rig_->coupling().gain_at_node(aes.pdn_node());
+    TraceScratch scratch;
     auto& out = shards[w];
     out.reserve(hi - lo);
     for (std::size_t i = lo; i < hi; ++i) {
       util::Rng trace_rng = trace_parent.fork(i + 1);
-      std::vector<double> samples;
-      samples.reserve(trace_samples_);
-      sample_trace(sampler, aes, plaintexts[i], trace_rng, scratch,
-                   [&](std::size_t, double readout) {
-                     samples.push_back(readout);
-                   });
+      std::vector<double> samples(trace_samples_);
+      sample_trace(sampler, aes, plaintexts[i], gain, trace_rng, scratch,
+                   samples);
       out.push_back({aes.ciphertext(), std::move(samples)});
     }
   });

@@ -8,7 +8,8 @@
 
 namespace leakydsp::attack {
 
-CpaAttack::CpaAttack(std::size_t poi_count) : poi_(poi_count) {
+CpaAttack::CpaAttack(std::size_t poi_count, CpaKernel kernel)
+    : poi_(poi_count), kernel_(kernel) {
   LD_REQUIRE(poi_ >= 1, "need at least one point of interest");
   sum_t_.assign(poi_, 0.0);
   sum_t2_.assign(poi_, 0.0);
@@ -17,30 +18,10 @@ CpaAttack::CpaAttack(std::size_t poi_count) : poi_(poi_count) {
 
 void CpaAttack::add_trace(const crypto::Block& ciphertext,
                           std::span<const double> poi_samples) {
-  LD_REQUIRE(poi_samples.size() == poi_,
-             "expected " << poi_ << " POI samples, got "
-                         << poi_samples.size());
-  ++traces_;
-  for (std::size_t k = 0; k < poi_; ++k) {
-    sum_t_[k] += poi_samples[k];
-    sum_t2_[k] += poi_samples[k] * poi_samples[k];
-  }
-  for (int b = 0; b < 16; ++b) {
-    const auto row = last_round_hd_row(ciphertext, b);
-    auto& h_sums = sum_h_[static_cast<std::size_t>(b)];
-    auto& h2_sums = sum_h2_[static_cast<std::size_t>(b)];
-    auto& ht = sum_ht_[static_cast<std::size_t>(b)];
-    for (int g = 0; g < 256; ++g) {
-      const double h = row[static_cast<std::size_t>(g)];
-      h_sums[static_cast<std::size_t>(g)] += h;
-      h2_sums[static_cast<std::size_t>(g)] += h * h;
-      double* dst = ht.data() + static_cast<std::size_t>(g) * poi_;
-      // Hot loop: axpy over the POI window (vectorizes).
-      for (std::size_t k = 0; k < poi_; ++k) {
-        dst[k] += h * poi_samples[k];
-      }
-    }
-  }
+  // A batch of one accumulates identically under either kernel (the class
+  // kernel's per-class sums reduce to the row itself), so this is exactly
+  // the historical per-trace accumulation.
+  add_traces({&ciphertext, 1}, poi_samples);
 }
 
 void CpaAttack::add_traces(std::span<const crypto::Block> ciphertexts,
@@ -57,6 +38,64 @@ void CpaAttack::add_traces(std::span<const crypto::Block> ciphertexts,
       sum_t2_[k] += row[k] * row[k];
     }
   }
+  if (kernel_ == CpaKernel::kClassAccum) {
+    add_traces_class(ciphertexts, poi_matrix);
+  } else {
+    add_traces_gemm(ciphertexts, poi_matrix);
+  }
+}
+
+void CpaAttack::add_traces_class(std::span<const crypto::Block> ciphertexts,
+                                 std::span<const double> poi_matrix) {
+  const std::size_t n = ciphertexts.size();
+  row_scratch_.resize(n);
+  class_scratch_.resize(9 * poi_);
+  for (int b = 0; b < 16; ++b) {
+    // One shared-table row per trace covers all 256 guesses of this byte.
+    const int sr = crypto::Aes128::shift_rows_map(b);
+    for (std::size_t t = 0; t < n; ++t) {
+      row_scratch_[t] = last_round_hd_pair_row(
+          ciphertexts[t][b], ciphertexts[t][static_cast<std::size_t>(sr)]);
+    }
+    auto& h_sums = sum_h_[static_cast<std::size_t>(b)];
+    auto& h2_sums = sum_h2_[static_cast<std::size_t>(b)];
+    auto& ht = sum_ht_[static_cast<std::size_t>(b)];
+    for (std::size_t g = 0; g < 256; ++g) {
+      // Bucket pass: pure adds into the 9 Hamming-class sums (resident in
+      // L1), lazily zeroed on first touch.
+      std::array<std::uint32_t, 9> cnt{};
+      for (std::size_t t = 0; t < n; ++t) {
+        const std::size_t h = row_scratch_[t][g];
+        double* cs = class_scratch_.data() + h * poi_;
+        const double* src = poi_matrix.data() + t * poi_;
+        if (cnt[h]++ == 0) {
+          for (std::size_t k = 0; k < poi_; ++k) cs[k] = src[k];
+        } else {
+          for (std::size_t k = 0; k < poi_; ++k) cs[k] += src[k];
+        }
+      }
+      // Fold: one multiply per occupied class; hypothesis sums stay exact
+      // integers (h <= 8, so no overflow for any feasible trace count).
+      double* dst = ht.data() + g * poi_;
+      std::uint64_t hs = 0;
+      std::uint64_t h2s = 0;
+      for (std::size_t h = 1; h < 9; ++h) {
+        if (cnt[h] == 0) continue;
+        hs += h * cnt[h];
+        h2s += h * h * cnt[h];
+        const double hd = static_cast<double>(h);
+        const double* cs = class_scratch_.data() + h * poi_;
+        for (std::size_t k = 0; k < poi_; ++k) dst[k] += hd * cs[k];
+      }
+      h_sums[g] += static_cast<double>(hs);
+      h2_sums[g] += static_cast<double>(h2s);
+    }
+  }
+}
+
+void CpaAttack::add_traces_gemm(std::span<const crypto::Block> ciphertexts,
+                                std::span<const double> poi_matrix) {
+  const std::size_t n = ciphertexts.size();
   // Hypothesis rows for the whole batch, [t * 256 + g] per byte, so the
   // guess loop below streams them column-wise without re-deriving SBox
   // inversions inside the hot kernel.

@@ -27,25 +27,41 @@ struct ByteScores {
   double runner_up_score = 0.0;
 };
 
+/// Batch-accumulation kernel of CpaAttack::add_traces.
+enum class CpaKernel {
+  /// Integer class kernel: hypothesis rows come from the shared
+  /// 256x256x256 pair table, each trace's POI row is bucketed into its
+  /// Hamming class (h in 0..8) and the 9 class sums fold into the
+  /// accumulators with one multiply per class — hypothesis sums stay exact
+  /// integers. Default. Reorders the per-guess additions relative to
+  /// trace order (same values up to fp associativity; identical for n=1).
+  kClassAccum,
+  /// GEMM-style kernel: per-(guess, POI) additions happen in trace order,
+  /// bit-identical to calling add_trace per trace.
+  kGemm,
+};
+
 /// Online last-round CPA over a fixed number of points of interest.
 class CpaAttack {
  public:
-  explicit CpaAttack(std::size_t poi_count);
+  explicit CpaAttack(std::size_t poi_count,
+                     CpaKernel kernel = CpaKernel::kClassAccum);
 
   std::size_t poi_count() const { return poi_; }
   std::size_t trace_count() const { return traces_; }
+  CpaKernel kernel() const { return kernel_; }
 
   /// Accumulates one trace: its ciphertext and the sensor readouts at the
-  /// POI window (size must equal poi_count()).
+  /// POI window (size must equal poi_count()). Routed through add_traces
+  /// with a batch of one, which both kernels accumulate identically.
   void add_trace(const crypto::Block& ciphertext,
                  std::span<const double> poi_samples);
 
   /// Accumulates a batch of traces at once: `poi_matrix` holds the POI rows
   /// of `ciphertexts.size()` traces back to back (row t at offset
-  /// t * poi_count()). Bit-identical to calling add_trace per trace in order
-  /// — the per-(guess, POI) additions happen in the same trace order — but
-  /// the guess x POI accumulator block is walked once per batch instead of
-  /// once per trace, which keeps each 256-guess row hot in cache.
+  /// t * poi_count()), dispatched to the configured CpaKernel. Deterministic
+  /// for a given kernel and batch split; the kernels differ from each other
+  /// only in fp summation order.
   void add_traces(std::span<const crypto::Block> ciphertexts,
                   std::span<const double> poi_matrix);
 
@@ -77,8 +93,19 @@ class CpaAttack {
   static CpaAttack deserialize(util::ByteReader& in);
 
  private:
+  void add_traces_class(std::span<const crypto::Block> ciphertexts,
+                        std::span<const double> poi_matrix);
+  void add_traces_gemm(std::span<const crypto::Block> ciphertexts,
+                       std::span<const double> poi_matrix);
+
   std::size_t poi_;
   std::size_t traces_ = 0;
+  CpaKernel kernel_ = CpaKernel::kClassAccum;  // not serialized
+
+  // Kernel scratch, reused across batches (not part of the accumulator
+  // state; never serialized or merged).
+  std::vector<const std::uint8_t*> row_scratch_;  // per-trace pair rows
+  std::vector<double> class_scratch_;             // [9 * poi] class sums
 
   // Trace-side sums (shared across guesses).
   std::vector<double> sum_t_;   // [poi]

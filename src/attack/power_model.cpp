@@ -1,6 +1,8 @@
 #include "attack/power_model.h"
 
 #include <bit>
+#include <cstddef>
+#include <vector>
 
 #include "util/contracts.h"
 
@@ -35,6 +37,34 @@ std::array<std::uint8_t, 256> last_round_hd_row(const crypto::Block& ct,
         last_round_hd(ct, byte_index, static_cast<std::uint8_t>(g)));
   }
   return row;
+}
+
+const std::uint8_t* last_round_hd_pair_row(std::uint8_t ct_byte,
+                                           std::uint8_t reg_byte) {
+  // Magic-static initialization is thread-safe; after the first call the
+  // lookup is a single pointer offset.
+  static const std::vector<std::uint8_t> table = [] {
+    std::vector<std::uint8_t> t(256u * 256u * 256u);
+    std::array<std::uint8_t, 256> s9{};
+    for (unsigned a = 0; a < 256; ++a) {
+      // InvSbox(a ^ g) is independent of c; derive the row once per a.
+      for (unsigned g = 0; g < 256; ++g) {
+        s9[g] = crypto::Aes128::inv_sbox(static_cast<std::uint8_t>(a ^ g));
+      }
+      for (unsigned c = 0; c < 256; ++c) {
+        std::uint8_t* row = t.data() + ((a << 8 | c) << 8);
+        for (unsigned g = 0; g < 256; ++g) {
+          row[g] = static_cast<std::uint8_t>(
+              std::popcount(static_cast<unsigned>(s9[g] ^ c)));
+        }
+      }
+    }
+    return t;
+  }();
+  return table.data() +
+         ((static_cast<std::size_t>(ct_byte) << 8 |
+           static_cast<std::size_t>(reg_byte))
+          << 8);
 }
 
 }  // namespace leakydsp::attack

@@ -27,6 +27,16 @@ int last_round_hd(const crypto::Block& ciphertext, int byte_index,
 std::array<std::uint8_t, 256> last_round_hd_row(const crypto::Block& ct,
                                                 int byte_index);
 
+/// The 256-guess hypothesis row for the byte pair the model actually
+/// depends on: `ct_byte` = CT[i] and `reg_byte` = CT[sr(i)]. Entry g is
+/// HW(InvSbox(ct_byte ^ g) ^ reg_byte) — identical to
+/// last_round_hd_row(ct, i) when the pair is taken from `ct`, but byte-
+/// position free, so one 256x256x256 table covers all 16 key bytes. The
+/// table (16 MiB) is built lazily on first call and shared process-wide;
+/// the returned pointer stays valid for the program's lifetime.
+const std::uint8_t* last_round_hd_pair_row(std::uint8_t ct_byte,
+                                           std::uint8_t reg_byte);
+
 /// Hamming weight model of a single byte value (used by tests and as an
 /// alternative, weaker model).
 int hamming_weight_byte(std::uint8_t value);

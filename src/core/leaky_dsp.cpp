@@ -1,5 +1,6 @@
 #include "core/leaky_dsp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -11,7 +12,10 @@ namespace leakydsp::core {
 
 LeakyDspSensor::LeakyDspSensor(const fabric::Device& device,
                                fabric::SiteCoord site, LeakyDspParams params)
-    : arch_(device.architecture()), site_(site), params_(params) {
+    : arch_(device.architecture()),
+      site_(site),
+      params_(params),
+      scale_lut_(params.law) {
   LD_REQUIRE(params_.n_dsp >= 1, "need at least one DSP block");
   LD_REQUIRE(params_.clock_mhz > 0.0, "clock must be positive");
   LD_REQUIRE(params_.bit_spread_ns > 0.0, "bit spread must be positive");
@@ -110,6 +114,41 @@ double LeakyDspSensor::sample(double supply_v, util::Rng& rng) {
   }
   input_phase_ = !input_phase_;
   return settled;
+}
+
+void LeakyDspSensor::sample_batch(std::span<const double> supply_v,
+                                  std::span<double> out, util::Rng& rng) {
+  LD_REQUIRE(out.size() >= supply_v.size(),
+             "output span too small: " << out.size() << " < "
+                                       << supply_v.size());
+  const double t_capture = sampling_time_ns();
+  const double sigma = params_.jitter_sigma_ns;
+  const auto begin = settle_ns_.begin();
+  const auto end = settle_ns_.end();
+  for (std::size_t s = 0; s < supply_v.size(); ++s) {
+    const double scale = scale_lut_(supply_v[s]);
+    std::size_t count = 0;
+    if (sigma <= 0.0) {
+      // Jitter-free: bit i settles iff settle_ns_[i] * scale <= t_capture,
+      // and settle_ns_ ascends strictly, so the count is an upper_bound.
+      count = static_cast<std::size_t>(
+          std::upper_bound(begin, end, t_capture / scale) - begin);
+    } else {
+      // Bits whose nominal arrival sits more than kJitterCutSigma jitter
+      // sigmas before (after) the capture edge always (never) settle; only
+      // the narrow uncertain window needs Gaussian draws. With the default
+      // geometry that is ~2-4 of the 48 bits per sample.
+      const double cut = kJitterCutSigma * sigma;
+      const auto first = std::upper_bound(begin, end, (t_capture - cut) / scale);
+      const auto last = std::upper_bound(first, end, (t_capture + cut) / scale);
+      count = static_cast<std::size_t>(first - begin);
+      for (auto it = first; it != last; ++it) {
+        if (*it * scale + sigma * rng.gaussian_zig() <= t_capture) ++count;
+      }
+    }
+    input_phase_ = !input_phase_;
+    out[s] = static_cast<double>(count);
+  }
 }
 
 util::BitVec LeakyDspSensor::sample_word(double supply_v, util::Rng& rng) {

@@ -83,6 +83,20 @@ class LeakyDspSensor : public sensors::VoltageSensor {
   /// One readout at supply `supply_v`: number of unflipped output bits.
   double sample(double supply_v, util::Rng& rng) override;
 
+  /// Batched readouts through the hot-path kernel: per sample, the voltage
+  /// scale comes from a precomputed timing::ScaleTable instead of std::pow,
+  /// and per-bit jitter is drawn with the ziggurat sampler — only for the
+  /// bits whose settle time lies within kJitterCutSigma of the capture
+  /// edge; bits further out are counted deterministically (a per-bit
+  /// truncation that perturbs each flip probability by < 7e-16). Same
+  /// distribution as sample(), different rng consumption.
+  void sample_batch(std::span<const double> supply_v, std::span<double> out,
+                    util::Rng& rng) override;
+
+  /// Jitter truncation radius of the batched kernel, in units of
+  /// jitter_sigma_ns: P(|N(0,1)| > 8) < 1.3e-15.
+  static constexpr double kJitterCutSigma = 8.0;
+
   /// Raw captured word: settled bits carry the expected value, unsettled
   /// bits still hold the previous (complementary) word.
   util::BitVec sample_word(double supply_v, util::Rng& rng);
@@ -115,6 +129,7 @@ class LeakyDspSensor : public sensors::VoltageSensor {
   fabric::Architecture arch_;
   fabric::SiteCoord site_;
   LeakyDspParams params_;
+  timing::ScaleTable scale_lut_;  // LUT over the operational supply range
   std::vector<fabric::Dsp48Config> configs_;
   std::vector<double> settle_ns_;  // per-bit nominal settle times
   int a_taps_ = 0;

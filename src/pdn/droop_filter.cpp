@@ -57,4 +57,9 @@ double AmbientNoise::step(util::Rng& rng) {
   return state_;
 }
 
+double AmbientNoise::step_zig(util::Rng& rng) {
+  state_ = rho_ * state_ + innovation_sigma_ * rng.gaussian_zig();
+  return state_;
+}
+
 }  // namespace leakydsp::pdn

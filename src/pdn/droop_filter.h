@@ -53,6 +53,13 @@ class AmbientNoise {
   AmbientNoise(double sigma_v, double correlation_ns, double sample_period_ns);
 
   double step(util::Rng& rng);
+
+  /// step() with the innovation drawn by the ziggurat sampler instead of
+  /// Box–Muller — same AR(1) process, different rng consumption. Batched
+  /// campaign paths use this; anything that pins the serialized rng stream
+  /// stays on step().
+  double step_zig(util::Rng& rng);
+
   void reset() { state_ = 0.0; }
 
   double sigma() const { return sigma_; }

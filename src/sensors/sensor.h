@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "fabric/geometry.h"
@@ -39,6 +40,21 @@ class VoltageSensor {
   /// One sample: digitizes the instantaneous supply `supply_v` [V] into a
   /// readout (number of unflipped bits / traversed stages).
   virtual double sample(double supply_v, util::Rng& rng) = 0;
+
+  /// Batched sampling: digitizes supply_v[i] into out[i] for every i, in
+  /// order. The base implementation loops sample(); sensors with a hot
+  /// campaign path override it with an allocation-free kernel (LUT delay
+  /// scaling, ziggurat jitter). Batched readouts follow the same
+  /// distribution as the scalar path but may consume the rng stream
+  /// differently (documented per sensor), so a given experiment must pick
+  /// one path and stay on it — the trace campaign batches, the generic rig
+  /// loop stays scalar.
+  virtual void sample_batch(std::span<const double> supply_v,
+                            std::span<double> out, util::Rng& rng) {
+    for (std::size_t i = 0; i < supply_v.size(); ++i) {
+      out[i] = sample(supply_v[i], rng);
+    }
+  }
 
   /// Post-deployment calibration at the given idle supply voltage, following
   /// the paper's procedure: sweep the adjustable delay and keep the setting

@@ -18,7 +18,8 @@ TdcSensor::TdcSensor(const fabric::Device& device, fabric::SiteCoord site,
     : arch_(device.architecture()),
       site_(site),
       params_(params),
-      chain_(stage_delays(params), params.law) {
+      chain_(stage_delays(params), params.law),
+      scale_lut_(params.law) {
   LD_REQUIRE(params_.stages >= 4, "TDC needs a useful number of stages");
   LD_REQUIRE(params_.clock_mhz > 0.0, "clock must be positive");
   LD_REQUIRE(device.site_type(site) == fabric::SiteType::kClb,
@@ -60,6 +61,21 @@ double TdcSensor::sample(double supply_v, util::Rng& rng) {
   const double budget =
       sampling_time_ns() - params_.init_delay_ns * scale + jitter;
   return static_cast<double>(chain_.stages_within(budget, supply_v));
+}
+
+void TdcSensor::sample_batch(std::span<const double> supply_v,
+                             std::span<double> out, util::Rng& rng) {
+  LD_REQUIRE(out.size() >= supply_v.size(),
+             "output span too small: " << out.size() << " < "
+                                       << supply_v.size());
+  const double t_capture = sampling_time_ns();
+  const double sigma = params_.jitter_sigma_ns;
+  for (std::size_t s = 0; s < supply_v.size(); ++s) {
+    const double scale = scale_lut_(supply_v[s]);
+    const double jitter = sigma > 0.0 ? sigma * rng.gaussian_zig() : 0.0;
+    const double budget = t_capture - params_.init_delay_ns * scale + jitter;
+    out[s] = static_cast<double>(chain_.stages_within_scaled(budget, scale));
+  }
 }
 
 sensors::CalibrationResult TdcSensor::calibrate(

@@ -53,6 +53,13 @@ class TdcSensor : public VoltageSensor {
   /// One readout: number of carry stages the edge traversed.
   double sample(double supply_v, util::Rng& rng) override;
 
+  /// Batched readouts: voltage scale via a precomputed timing::ScaleTable,
+  /// jitter via the ziggurat sampler, and the O(1) uniform-chain traversal
+  /// count in DelayChain::stages_within_scaled. Same distribution as
+  /// sample(), different rng consumption.
+  void sample_batch(std::span<const double> supply_v, std::span<double> out,
+                    util::Rng& rng) override;
+
   sensors::CalibrationResult calibrate(
       double idle_v, util::Rng& rng,
       std::size_t samples_per_setting = 64) override;
@@ -69,6 +76,7 @@ class TdcSensor : public VoltageSensor {
   fabric::SiteCoord site_;
   TdcParams params_;
   timing::DelayChain chain_;
+  timing::ScaleTable scale_lut_;  // LUT over the operational supply range
   int offset_taps_ = 0;
   int capture_cycles_ = 0;
 };

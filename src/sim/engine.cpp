@@ -26,7 +26,11 @@ void Engine::add_source(std::unique_ptr<CurrentSource> source) {
 }
 
 void Engine::add_rig(SensorRig& rig) {
-  LD_REQUIRE(&rig.coupling() != nullptr, "rig not initialized");
+  // Each rig steps its own dynamics state during run(); registering the
+  // same one twice would make two "tenants" share mutable state (and race
+  // in the parallel stage).
+  LD_REQUIRE(std::find(rigs_.begin(), rigs_.end(), &rig) == rigs_.end(),
+             "rig already registered with this engine");
   rigs_.push_back(&rig);
 }
 

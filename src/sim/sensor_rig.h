@@ -78,6 +78,21 @@ class SensorRig {
       return sensor_->sample(supply_v, rng);
     }
 
+    /// The cloned sensor (batched paths call its sample_batch directly).
+    sensors::VoltageSensor& sensor() { return *sensor_; }
+
+    /// Batched supply_for_droop: turns a whole trace of static droops into
+    /// supply voltages in one pass, drawing ambient innovations with the
+    /// ziggurat sampler. Same filter/noise state evolution as the scalar
+    /// path, different rng consumption.
+    void supply_batch(std::span<const double> static_droops_v,
+                      std::span<double> out, util::Rng& rng) {
+      for (std::size_t i = 0; i < static_droops_v.size(); ++i) {
+        out[i] =
+            vnom_ - filter_.step(static_droops_v[i]) - ambient_.step_zig(rng);
+      }
+    }
+
     /// Clears filter and noise state (between traces).
     void settle() {
       filter_.reset();

@@ -22,6 +22,31 @@ double AlphaPowerLaw::sensitivity_at_nominal() const {
   return 1.0 / vnom - alpha / (vnom - vth);
 }
 
+ScaleTable::ScaleTable(AlphaPowerLaw law, double v_lo, double v_hi,
+                       std::size_t knots)
+    : law_(law), v_lo_(v_lo), v_hi_(v_hi) {
+  LD_REQUIRE(knots >= 2, "scale table needs at least two knots");
+  LD_REQUIRE(v_lo > law.vth,
+             "table range [" << v_lo << ", " << v_hi
+                             << "] must sit above the threshold " << law.vth);
+  LD_REQUIRE(v_lo < v_hi, "empty table range");
+  h_ = (v_hi_ - v_lo_) / static_cast<double>(knots - 1);
+  inv_h_ = 1.0 / h_;
+  f_.reserve(knots);
+  d_.reserve(knots);
+  for (std::size_t i = 0; i < knots; ++i) {
+    const double v = v_lo_ + static_cast<double>(i) * h_;
+    const double s = law_.scale(v);
+    f_.push_back(s);
+    // d/dV [ v/vnom * ((vnom-vth)/(v-vth))^alpha ] = scale * (1/v - a/(v-vth))
+    d_.push_back(s * (1.0 / v - law_.alpha / (v - law_.vth)));
+  }
+}
+
+ScaleTable::ScaleTable(AlphaPowerLaw law)
+    : ScaleTable(law, law.vth + 0.25 * (law.vnom - law.vth),
+                 law.vnom + 0.5 * (law.vnom - law.vth)) {}
+
 DelayChain::DelayChain(std::vector<double> stage_delays_ns, AlphaPowerLaw law)
     : stage_delays_(std::move(stage_delays_ns)), law_(law) {
   LD_REQUIRE(!stage_delays_.empty(), "delay chain needs at least one stage");
@@ -33,6 +58,9 @@ DelayChain::DelayChain(std::vector<double> stage_delays_ns, AlphaPowerLaw law)
     cumulative_.push_back(sum);
   }
   nominal_total_ = sum;
+  uniform_stage_ = stage_delays_.front();
+  uniform_ = std::all_of(stage_delays_.begin(), stage_delays_.end(),
+                         [&](double d) { return d == uniform_stage_; });
 }
 
 double DelayChain::total_delay(double v) const {
@@ -45,9 +73,28 @@ double DelayChain::arrival(std::size_t i, double v) const {
 }
 
 std::size_t DelayChain::stages_within(double budget_ns, double v) const {
-  const double scale = law_.scale(v);
+  return stages_within_scaled(budget_ns, law_.scale(v));
+}
+
+std::size_t DelayChain::stages_within_scaled(double budget_ns,
+                                             double scale) const {
   if (budget_ns <= 0.0) return 0;
   const double normalized = budget_ns / scale;
+  const std::size_t n = cumulative_.size();
+  if (uniform_) {
+    // TDC chains have one common stage delay, so the traversal count is a
+    // divide away. The prefix sums carry accumulated rounding the quotient
+    // does not, so nudge the candidate until it matches the exact
+    // upper_bound semantics (at most a step or two).
+    const double q = normalized / uniform_stage_;
+    std::size_t i =
+        q <= 0.0 ? 0
+                 : static_cast<std::size_t>(std::min(
+                       q, static_cast<double>(n)));
+    while (i < n && cumulative_[i] <= normalized) ++i;
+    while (i > 0 && cumulative_[i - 1] > normalized) --i;
+    return i;
+  }
   // First cumulative value strictly greater than the budget marks the end.
   const auto it =
       std::upper_bound(cumulative_.begin(), cumulative_.end(), normalized);

@@ -32,6 +32,66 @@ struct AlphaPowerLaw {
   double sensitivity_at_nominal() const;
 };
 
+/// Precomputed cubic-Hermite interpolation table of AlphaPowerLaw::scale
+/// over a supply interval, with the exact std::pow evaluation as fallback
+/// outside it. scale() costs one std::pow per call and sensor hot paths
+/// evaluate it once per sample (hundreds of millions of times per
+/// campaign); the table replaces that with a floor + two fused cubics.
+///
+/// Error budget: cubic Hermite interpolation with exact endpoint
+/// derivatives has max error (h^4 / 384) * max|f''''| per knot interval.
+/// The law's fourth derivative is bounded by
+///   f''''(v) <= scale(v) * alpha(alpha+1)(alpha+2)(alpha+3) / (v - vth)^4,
+/// so for the default operational range and kKnots below the worst-case
+/// absolute error is under kMaxAbsError = 1e-9 — four orders of magnitude
+/// below the mV-scale supply noise that dominates every readout. A test
+/// sweeps the full table range against the exact law and pins the bound.
+class ScaleTable {
+ public:
+  /// Documented interpolation error bound on [v_lo, v_hi] (absolute).
+  static constexpr double kMaxAbsError = 1e-9;
+  /// Default knot count; see the error budget above.
+  static constexpr std::size_t kKnots = 1024;
+
+  /// Table over [v_lo, v_hi]; requires vth < v_lo < v_hi.
+  ScaleTable(AlphaPowerLaw law, double v_lo, double v_hi,
+             std::size_t knots = kKnots);
+
+  /// Default operational range: vth + 0.25 (vnom - vth) up to
+  /// vnom + 0.5 (vnom - vth) — every supply a rig can realistically
+  /// produce; collapses beyond it hit the exact fallback (which still
+  /// enforces the law's v > vth validity requirement).
+  explicit ScaleTable(AlphaPowerLaw law);
+
+  const AlphaPowerLaw& law() const { return law_; }
+  double v_lo() const { return v_lo_; }
+  double v_hi() const { return v_hi_; }
+
+  /// Delay scale factor at supply `v`: interpolated inside [v_lo, v_hi],
+  /// exact (and validity-checked) outside.
+  double operator()(double v) const {
+    if (v < v_lo_ || v > v_hi_) return law_.scale(v);
+    const double s = (v - v_lo_) * inv_h_;
+    std::size_t i = static_cast<std::size_t>(s);
+    if (i >= f_.size() - 1) i = f_.size() - 2;  // v == v_hi
+    const double t = s - static_cast<double>(i);
+    const double t2 = t * t;
+    const double t3 = t2 * t;
+    return (2.0 * t3 - 3.0 * t2 + 1.0) * f_[i] +
+           (t3 - 2.0 * t2 + t) * h_ * d_[i] +
+           (-2.0 * t3 + 3.0 * t2) * f_[i + 1] + (t3 - t2) * h_ * d_[i + 1];
+  }
+
+ private:
+  AlphaPowerLaw law_;
+  double v_lo_ = 0.0;
+  double v_hi_ = 0.0;
+  double h_ = 0.0;      // knot spacing
+  double inv_h_ = 0.0;
+  std::vector<double> f_;  // scale at knots
+  std::vector<double> d_;  // d(scale)/dV at knots
+};
+
 /// A chain of combinational delay stages (e.g. 128 CARRY4 mux stages, or the
 /// sub-component path of a DSP48). All stage delays stretch by the same
 /// voltage scale factor because they share the supply rail.
@@ -41,6 +101,10 @@ class DelayChain {
 
   std::size_t stages() const { return stage_delays_.size(); }
   const AlphaPowerLaw& law() const { return law_; }
+
+  /// True when every stage has the same (bitwise) nominal delay — the TDC
+  /// configuration. Enables the O(1) stages_within fast path.
+  bool uniform_stages() const { return uniform_; }
 
   /// Total propagation delay at supply `v` [ns].
   double total_delay(double v) const;
@@ -52,6 +116,12 @@ class DelayChain {
   /// supply `v` — the thermometer-code observable of a TDC.
   std::size_t stages_within(double budget_ns, double v) const;
 
+  /// stages_within with the voltage scale factor already evaluated (batched
+  /// sensor paths compute it once per sample through a ScaleTable). Uniform
+  /// chains take an O(1) divide instead of a binary search; the result is
+  /// bit-identical to the search in either case.
+  std::size_t stages_within_scaled(double budget_ns, double scale) const;
+
   double nominal_total() const { return nominal_total_; }
 
  private:
@@ -59,6 +129,8 @@ class DelayChain {
   std::vector<double> cumulative_;  // prefix sums of nominal stage delays
   AlphaPowerLaw law_;
   double nominal_total_ = 0.0;
+  double uniform_stage_ = 0.0;  // the common stage delay when uniform_
+  bool uniform_ = false;
 };
 
 /// Gaussian sampling jitter on a capture clock edge [ns rms].

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
 #include "util/contracts.h"
 
@@ -35,6 +36,25 @@ std::string escaped(const std::string& s) {
 }
 
 }  // namespace
+
+HostInfo HostInfo::current() {
+  HostInfo info;
+  info.hardware_threads = std::thread::hardware_concurrency();
+#if defined(__clang_version__)
+  info.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+  info.compiler = std::string("gcc ") + __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+#ifdef LEAKYDSP_CXX_FLAGS
+  info.cxx_flags = LEAKYDSP_CXX_FLAGS;
+#endif
+#ifdef LEAKYDSP_BUILD_TYPE
+  info.build_type = LEAKYDSP_BUILD_TYPE;
+#endif
+  return info;
+}
 
 BenchJsonRow& BenchJsonRow::set(std::string key, std::string value) {
   fields_.emplace_back(std::move(key), Value(std::move(value)));
@@ -74,7 +94,12 @@ BenchJsonRow& BenchJson::row() {
 
 std::string BenchJson::to_string() const {
   std::ostringstream os;
-  os << "{\n  \"bench\": \"" << escaped(bench_) << "\",\n  \"results\": [";
+  os << "{\n  \"bench\": \"" << escaped(bench_) << "\",\n  \"host\": {"
+     << "\"hardware_threads\": " << host_.hardware_threads
+     << ", \"compiler\": \"" << escaped(host_.compiler)
+     << "\", \"cxx_flags\": \"" << escaped(host_.cxx_flags)
+     << "\", \"build_type\": \"" << escaped(host_.build_type)
+     << "\"},\n  \"results\": [";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     os << (r == 0 ? "\n" : ",\n") << "    {";
     const auto& fields = rows_[r].fields_;

@@ -4,7 +4,11 @@
 // without scraping stdout. The format is one object per measured
 // configuration, all values scalar:
 //
-//   {"bench": "campaign_scaling", "results": [{"threads": 8, ...}, ...]}
+//   {"bench": "campaign_scaling", "host": {...}, "results": [...]}
+//
+// The host object records where the numbers came from (hardware threads,
+// compiler, flags, build type), so reports from different machines or
+// build configurations are never compared as like for like by accident.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +18,17 @@
 #include <vector>
 
 namespace leakydsp::util {
+
+/// Provenance of a bench report: the machine and build that produced it.
+struct HostInfo {
+  std::uint32_t hardware_threads = 0;  ///< std::thread::hardware_concurrency
+  std::string compiler;                ///< compiler id + version
+  std::string cxx_flags;               ///< flags the library was built with
+  std::string build_type;              ///< CMake build type
+
+  /// The current process's host/build information.
+  static HostInfo current();
+};
 
 /// One flat record of a bench report; set() returns *this for chaining.
 class BenchJsonRow {
@@ -40,6 +55,9 @@ class BenchJson {
   /// Appends an empty row; fill it through the returned reference.
   BenchJsonRow& row();
 
+  /// Host metadata embedded in the report (captured at construction).
+  const HostInfo& host() const { return host_; }
+
   std::string to_string() const;
 
   /// Writes to_string() to `path`; throws InvariantError on I/O failure.
@@ -47,6 +65,7 @@ class BenchJson {
 
  private:
   std::string bench_;
+  HostInfo host_ = HostInfo::current();
   std::vector<BenchJsonRow> rows_;
 };
 

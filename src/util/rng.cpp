@@ -22,6 +22,37 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
+/// Layer tables of the 256-layer ziggurat for the standard normal
+/// (Marsaglia & Tsang 2000). x_ holds the layer abscissae in descending
+/// order (x_[0] = V/f(R) > x_[1] = R > ... > x_[256] = 0), y_ the density
+/// f(x) = exp(-x^2/2) at each abscissa.
+struct ZigguratTables {
+  static constexpr double kR = 3.6541528853610088;       // rightmost layer edge
+  static constexpr double kV = 0.00492867323399;         // per-layer area
+  std::array<double, 257> x{};
+  std::array<double, 257> y{};
+
+  ZigguratTables() {
+    const auto f = [](double t) { return std::exp(-0.5 * t * t); };
+    x[0] = kV / f(kR);
+    x[1] = kR;
+    x[256] = 0.0;
+    for (int i = 2; i < 256; ++i) {
+      x[static_cast<std::size_t>(i)] = std::sqrt(
+          -2.0 * std::log(kV / x[static_cast<std::size_t>(i - 1)] +
+                          f(x[static_cast<std::size_t>(i - 1)])));
+    }
+    for (int i = 0; i <= 256; ++i) {
+      y[static_cast<std::size_t>(i)] = f(x[static_cast<std::size_t>(i)]);
+    }
+  }
+};
+
+const ZigguratTables& ziggurat() {
+  static const ZigguratTables tables;
+  return tables;
+}
+
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -81,6 +112,50 @@ double Rng::gaussian() {
 double Rng::gaussian(double mean, double stddev) {
   LD_REQUIRE(stddev >= 0.0, "negative stddev " << stddev);
   return mean + stddev * gaussian();
+}
+
+double Rng::gaussian_zig() {
+  const ZigguratTables& t = ziggurat();
+  for (;;) {
+    // One raw draw carries everything the common path needs: 8 layer bits,
+    // 1 sign bit, and 53 mantissa bits for the uniform abscissa.
+    const std::uint64_t bits = (*this)();
+    const std::size_t i = static_cast<std::size_t>(bits & 0xff);
+    const bool negative = (bits & 0x100) != 0;
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    const double x = u * t.x[i];
+    if (x < t.x[i + 1]) return negative ? -x : x;
+    if (i == 0) {
+      // Tail beyond R: Marsaglia's exponential-rejection sampler.
+      double xx = 0.0;
+      double yy = 0.0;
+      do {
+        double u1 = 0.0;
+        do {
+          u1 = uniform();
+        } while (u1 <= 0.0);
+        double u2 = 0.0;
+        do {
+          u2 = uniform();
+        } while (u2 <= 0.0);
+        xx = -std::log(u1) / ZigguratTables::kR;
+        yy = -std::log(u2);
+      } while (yy + yy < xx * xx);
+      const double v = ZigguratTables::kR + xx;
+      return negative ? -v : v;
+    }
+    // Wedge: accept under the true density. Layer i's slab spans densities
+    // [y[i], y[i + 1]] (x descends with i, so y ascends; i + 1 <= 256).
+    if (t.y[i] + uniform() * (t.y[i + 1] - t.y[i]) <
+        std::exp(-0.5 * x * x)) {
+      return negative ? -x : x;
+    }
+  }
+}
+
+double Rng::gaussian_zig(double mean, double stddev) {
+  LD_REQUIRE(stddev >= 0.0, "negative stddev " << stddev);
+  return mean + stddev * gaussian_zig();
 }
 
 bool Rng::bernoulli(double p) {

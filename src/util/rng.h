@@ -45,6 +45,17 @@ class Rng {
   /// Normal with the given mean and standard deviation.
   double gaussian(double mean, double stddev);
 
+  /// Standard normal via a 256-layer ziggurat (Marsaglia & Tsang 2000):
+  /// one raw draw plus a compare in ~98.9% of calls, no transcendentals on
+  /// the common path — several times faster than gaussian(). Kept separate
+  /// from gaussian() on purpose: it neither reads nor writes the Box–Muller
+  /// cache, so code (and tests) pinned to the gaussian() stream and the
+  /// serialized RNG state stay bit-compatible. Batched hot paths use this.
+  double gaussian_zig();
+
+  /// Ziggurat normal with the given mean and standard deviation.
+  double gaussian_zig(double mean, double stddev);
+
   /// Bernoulli trial with probability p of true.
   bool bernoulli(double p);
 

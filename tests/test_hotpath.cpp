@@ -1,0 +1,475 @@
+// Tests for the single-core hot-path kernels (DESIGN.md, "Hot-path kernels
+// & approximation bounds"): the ScaleTable LUT against the exact
+// alpha-power law, the O(1) uniform-chain stages_within fast path, the
+// ziggurat Gaussian sampler, the class-accumulator CPA kernel against the
+// GEMM kernel, and the batched sensor sampling path against the scalar one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "attack/cpa.h"
+#include "attack/power_model.h"
+#include "core/leaky_dsp.h"
+#include "crypto/aes128.h"
+#include "sensors/tdc.h"
+#include "sim/scenarios.h"
+#include "timing/delay_model.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace la = leakydsp::attack;
+namespace lc = leakydsp::crypto;
+namespace lcore = leakydsp::core;
+namespace lsens = leakydsp::sensors;
+namespace lsim = leakydsp::sim;
+namespace lt = leakydsp::timing;
+namespace lu = leakydsp::util;
+
+namespace {
+
+lc::Block random_block(lu::Rng& rng) {
+  lc::Block b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng() & 0xff);
+  return b;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- ScaleTable LUT
+
+TEST(ScaleTable, SweepStaysUnderDocumentedErrorBound) {
+  const lt::AlphaPowerLaw law{};
+  const lt::ScaleTable table(law);
+  // Dense sweep of the full table range, deliberately incommensurate with
+  // the knot spacing so mid-interval points (where cubic Hermite error
+  // peaks) are covered.
+  const std::size_t kPoints = 200003;
+  const double span = table.v_hi() - table.v_lo();
+  double max_err = 0.0;
+  for (std::size_t i = 0; i <= kPoints; ++i) {
+    const double v =
+        table.v_lo() + span * static_cast<double>(i) / kPoints;
+    max_err = std::max(max_err, std::abs(table(v) - law.scale(v)));
+  }
+  EXPECT_LT(max_err, lt::ScaleTable::kMaxAbsError);
+  EXPECT_GT(max_err, 0.0);  // it is an approximation, not a copy
+}
+
+TEST(ScaleTable, ExactAtEndpointsAndFallsBackOutsideRange) {
+  const lt::AlphaPowerLaw law{};
+  const lt::ScaleTable table(law);
+  // Knots store the exact law value, and the endpoints are knots.
+  EXPECT_DOUBLE_EQ(table(table.v_lo()), law.scale(table.v_lo()));
+  EXPECT_DOUBLE_EQ(table(table.v_hi()), law.scale(table.v_hi()));
+  // Outside the range the exact law runs, bit for bit.
+  for (const double v : {table.v_lo() - 0.01, table.v_hi() + 0.01, 2.0}) {
+    EXPECT_EQ(table(v), law.scale(v));
+  }
+  // The fallback keeps enforcing the law's validity requirement.
+  EXPECT_THROW(table(law.vth), lu::PreconditionError);
+}
+
+TEST(ScaleTable, CustomRangeAndValidation) {
+  const lt::AlphaPowerLaw law{};
+  const lt::ScaleTable table(law, 0.9, 1.1, 4096);
+  for (const double v : {0.9, 0.95, 1.0, 1.05, 1.1}) {
+    EXPECT_NEAR(table(v), law.scale(v), lt::ScaleTable::kMaxAbsError);
+  }
+  EXPECT_THROW(lt::ScaleTable(law, law.vth, 1.0), lu::PreconditionError);
+  EXPECT_THROW(lt::ScaleTable(law, 1.0, 0.9), lu::PreconditionError);
+  EXPECT_THROW(lt::ScaleTable(law, 0.9, 1.1, 1), lu::PreconditionError);
+}
+
+// --------------------------------------- O(1) uniform-chain stages_within
+
+TEST(DelayChain, UniformChainDetected) {
+  const lt::AlphaPowerLaw law{};
+  const lt::DelayChain uniform(std::vector<double>(128, 0.015), law);
+  EXPECT_TRUE(uniform.uniform_stages());
+  std::vector<double> perturbed(128, 0.015);
+  perturbed[64] = 0.0151;
+  const lt::DelayChain nonuniform(perturbed, law);
+  EXPECT_FALSE(nonuniform.uniform_stages());
+}
+
+TEST(DelayChain, UniformFastPathMatchesBinarySearchSemantics) {
+  const lt::AlphaPowerLaw law{};
+  const std::size_t kStages = 128;
+  const double kStage = 0.015;
+  const lt::DelayChain chain(std::vector<double>(kStages, kStage), law);
+  ASSERT_TRUE(chain.uniform_stages());
+
+  // Reference: upper_bound over independently built prefix sums — the
+  // semantics the binary-search path implements.
+  std::vector<double> cumulative(kStages);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kStages; ++i) {
+    sum += kStage;
+    cumulative[i] = sum;
+  }
+  const auto reference = [&](double budget, double scale) {
+    if (budget <= 0.0) return std::size_t{0};
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(),
+                                     budget / scale);
+    return static_cast<std::size_t>(it - cumulative.begin());
+  };
+
+  for (const double scale : {0.85, 1.0, 1.0734, 1.3}) {
+    // Boundaries: exactly at each stage's cumulative arrival (inclusive,
+    // so the stage counts), one ulp around it, and far outside the chain.
+    for (std::size_t i = 0; i < kStages; ++i) {
+      const double at = cumulative[i] * scale;
+      for (const double budget :
+           {at, std::nextafter(at, 0.0), std::nextafter(at, 1e9)}) {
+        ASSERT_EQ(chain.stages_within_scaled(budget, scale),
+                  reference(budget, scale))
+            << "stage " << i << " scale " << scale << " budget " << budget;
+      }
+    }
+    EXPECT_EQ(chain.stages_within_scaled(-1.0, scale), 0u);
+    EXPECT_EQ(chain.stages_within_scaled(0.0, scale), 0u);
+    EXPECT_EQ(chain.stages_within_scaled(1e9, scale), kStages);
+  }
+  // Dense random sweep.
+  lu::Rng rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    const double budget = rng.uniform(-0.1, chain.nominal_total() * 1.6);
+    const double scale = rng.uniform(0.8, 1.4);
+    ASSERT_EQ(chain.stages_within_scaled(budget, scale),
+              reference(budget, scale));
+  }
+}
+
+TEST(DelayChain, NonUniformChainAgreesWithUniformOnSameDelays) {
+  // A chain whose stages are equal except one split into the same total:
+  // both chains have identical cumulative arrivals at every shared stage
+  // boundary, so their counts agree wherever the boundaries align.
+  const lt::AlphaPowerLaw law{};
+  const lt::DelayChain uniform(std::vector<double>(64, 0.015), law);
+  std::vector<double> jittered(64, 0.015);
+  jittered[10] = 0.0151;
+  jittered[11] = 0.0149;  // same prefix sum from stage 12 on
+  const lt::DelayChain nonuniform(jittered, law);
+  ASSERT_FALSE(nonuniform.uniform_stages());
+  lu::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const double budget = rng.uniform(0.2, 1.0);  // past the perturbation
+    const double scale = rng.uniform(0.9, 1.2);
+    ASSERT_EQ(uniform.stages_within_scaled(budget, scale),
+              nonuniform.stages_within_scaled(budget, scale));
+  }
+}
+
+TEST(DelayChain, StagesWithinDelegatesToScaled) {
+  const lt::AlphaPowerLaw law{};
+  const lt::DelayChain chain(std::vector<double>(128, 0.015), law);
+  lu::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double budget = rng.uniform(0.0, 2.5);
+    const double v = rng.uniform(0.9, 1.05);
+    ASSERT_EQ(chain.stages_within(budget, v),
+              chain.stages_within_scaled(budget, law.scale(v)));
+  }
+}
+
+// ------------------------------------------------------ ziggurat Gaussian
+
+TEST(Ziggurat, MomentsMatchStandardNormal) {
+  lu::Rng rng(42);
+  const std::size_t kN = 2000000;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0, sum4 = 0.0;
+  std::size_t beyond3 = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double x = rng.gaussian_zig();
+    sum += x;
+    sum2 += x * x;
+    sum3 += x * x * x;
+    sum4 += x * x * x * x;
+    if (std::abs(x) > 3.0) ++beyond3;
+  }
+  const double n = static_cast<double>(kN);
+  EXPECT_NEAR(sum / n, 0.0, 3e-3);          // mean (se ~ 7e-4)
+  EXPECT_NEAR(sum2 / n, 1.0, 5e-3);         // variance (se ~ 1e-3)
+  EXPECT_NEAR(sum3 / n, 0.0, 1.5e-2);       // skewness numerator
+  EXPECT_NEAR(sum4 / n, 3.0, 5e-2);         // kurtosis numerator
+  // Tail mass: P(|X| > 3) = 2.6998e-3; the wedge/tail layers must not
+  // clip it (se of the count ~ 73).
+  EXPECT_NEAR(static_cast<double>(beyond3), 2.6998e-3 * n, 5.0 * 73.0);
+}
+
+TEST(Ziggurat, ProducesTailValuesBeyondR) {
+  // The tail sampler beyond R = 3.654 must fire with 2M draws
+  // (P(|X| > R) ~ 2.6e-4, expected ~ 520 hits).
+  lu::Rng rng(7);
+  std::size_t beyond_r = 0;
+  for (std::size_t i = 0; i < 2000000; ++i) {
+    if (std::abs(rng.gaussian_zig()) > 3.6541528853610088) ++beyond_r;
+  }
+  EXPECT_GT(beyond_r, 300u);
+  EXPECT_LT(beyond_r, 800u);
+}
+
+TEST(Ziggurat, DeterministicAndSeparateFromBoxMullerCache) {
+  lu::Rng a(77);
+  lu::Rng b(77);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.gaussian_zig(), b.gaussian_zig());
+  }
+  // gaussian() caches its second Box-Muller variate; gaussian_zig() must
+  // not consume or invalidate it. Draw the first variate, detour through
+  // the ziggurat on a serialized copy, and check the cached value appears.
+  lu::Rng c(123);
+  (void)c.gaussian();
+  lu::Rng d = lu::Rng::deserialize(c.serialize());
+  const double zig = d.gaussian_zig();
+  (void)zig;
+  // Both rngs now return c's cached second variate first.
+  EXPECT_EQ(c.serialize()[4], d.serialize()[4]);  // cache word untouched
+  const double expected_cached = c.gaussian();
+  EXPECT_EQ(d.gaussian(), expected_cached);
+}
+
+TEST(Ziggurat, MeanAndStddevOverloadScales) {
+  lu::Rng rng(9);
+  double sum = 0.0, sum2 = 0.0;
+  const std::size_t kN = 500000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double x = rng.gaussian_zig(5.0, 0.25);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double n = static_cast<double>(kN);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 2e-3);
+  EXPECT_NEAR(sum2 / n - mean * mean, 0.0625, 1e-3);
+  EXPECT_THROW(rng.gaussian_zig(0.0, -1.0), lu::PreconditionError);
+}
+
+// ------------------------------------------------- class-accum CPA kernel
+
+TEST(CpaKernels, PairTableMatchesPerByteRows) {
+  lu::Rng rng(321);
+  for (int trial = 0; trial < 50; ++trial) {
+    const lc::Block ct = random_block(rng);
+    for (int b = 0; b < 16; ++b) {
+      const auto row = la::last_round_hd_row(ct, b);
+      const std::uint8_t* pair_row = la::last_round_hd_pair_row(
+          ct[static_cast<std::size_t>(b)],
+          ct[static_cast<std::size_t>(lc::Aes128::shift_rows_map(b))]);
+      for (int g = 0; g < 256; ++g) {
+        ASSERT_EQ(pair_row[g], row[static_cast<std::size_t>(g)]);
+      }
+    }
+  }
+}
+
+TEST(CpaKernels, SingleTraceBatchIsBitIdenticalAcrossKernels) {
+  // add_trace routes through add_traces with n = 1, where the class
+  // kernel's bucket pass degenerates to the row itself — identical
+  // floating-point operations, identical results.
+  constexpr std::size_t kPoi = 9;
+  lu::Rng rng(606);
+  la::CpaAttack cls(kPoi, la::CpaKernel::kClassAccum);
+  la::CpaAttack gemm(kPoi, la::CpaKernel::kGemm);
+  std::vector<double> row(kPoi);
+  for (int t = 0; t < 40; ++t) {
+    const lc::Block ct = random_block(rng);
+    for (auto& s : row) s = 40.0 + rng.gaussian();
+    cls.add_trace(ct, row);
+    gemm.add_trace(ct, row);
+  }
+  const auto a = cls.snapshot();
+  const auto b = gemm.snapshot();
+  for (std::size_t byte = 0; byte < 16; ++byte) {
+    for (std::size_t g = 0; g < 256; ++g) {
+      ASSERT_EQ(a[byte].score[g], b[byte].score[g]);
+    }
+  }
+}
+
+TEST(CpaKernels, ClassKernelMatchesGemmOnBatches) {
+  constexpr std::size_t kPoi = 12;
+  constexpr std::size_t kTraces = 512;
+  constexpr std::size_t kBatch = 64;
+  lu::Rng rng(707);
+  std::vector<lc::Block> cts(kTraces);
+  std::vector<double> rows(kTraces * kPoi);
+  for (auto& ct : cts) ct = random_block(rng);
+  for (auto& s : rows) s = 40.0 + rng.gaussian();
+
+  la::CpaAttack cls(kPoi, la::CpaKernel::kClassAccum);
+  la::CpaAttack gemm(kPoi, la::CpaKernel::kGemm);
+  for (std::size_t lo = 0; lo < kTraces; lo += kBatch) {
+    cls.add_traces({cts.data() + lo, kBatch}, {rows.data() + lo * kPoi,
+                                               kBatch * kPoi});
+    gemm.add_traces({cts.data() + lo, kBatch}, {rows.data() + lo * kPoi,
+                                                kBatch * kPoi});
+  }
+  EXPECT_EQ(cls.trace_count(), gemm.trace_count());
+  // The kernels reorder additions, so scores agree to fp-reassociation
+  // accuracy — and the decisions (argmax per byte) agree exactly.
+  const auto a = cls.snapshot();
+  const auto b = gemm.snapshot();
+  for (std::size_t byte = 0; byte < 16; ++byte) {
+    for (std::size_t g = 0; g < 256; ++g) {
+      ASSERT_NEAR(a[byte].score[g], b[byte].score[g], 1e-9);
+    }
+  }
+  EXPECT_EQ(cls.recovered_round_key(), gemm.recovered_round_key());
+  EXPECT_EQ(cls.recovered_master_key(), gemm.recovered_master_key());
+}
+
+TEST(CpaKernels, HypothesisSumsAreExactIntegers) {
+  // The class kernel accumulates hypothesis sums as integers; every
+  // partial sum is therefore exactly representable and equal to the
+  // brute-force integer total.
+  constexpr std::size_t kPoi = 3;
+  constexpr std::size_t kTraces = 257;  // odd, spans several batches
+  lu::Rng rng(808);
+  std::vector<lc::Block> cts(kTraces);
+  std::vector<double> rows(kTraces * kPoi, 1.0);
+  for (auto& ct : cts) ct = random_block(rng);
+
+  la::CpaAttack cls(kPoi, la::CpaKernel::kClassAccum);
+  cls.add_traces(cts, rows);
+
+  // Recover sum_h via the serialized state-free route: correlate against
+  // constant traces => use snapshot internals indirectly. Simpler: check
+  // through a fresh GEMM accumulator fed integer-exact values.
+  la::CpaAttack gemm(kPoi, la::CpaKernel::kGemm);
+  gemm.add_traces(cts, rows);
+  lu::ByteWriter wc, wg;
+  cls.serialize(wc);
+  gemm.serialize(wg);
+  // Layout: u64 poi, u64 traces, sum_t[poi], sum_t2[poi], sum_h[16][256]...
+  lu::ByteReader rc(wc.span()), rg(wg.span());
+  (void)rc.u64(); (void)rc.u64();
+  (void)rg.u64(); (void)rg.u64();
+  for (std::size_t k = 0; k < 2 * kPoi; ++k) {
+    (void)rc.f64();
+    (void)rg.f64();
+  }
+  for (std::size_t i = 0; i < 2 * 16 * 256; ++i) {
+    const double h_cls = rc.f64();
+    const double h_gemm = rg.f64();
+    ASSERT_EQ(h_cls, h_gemm);                      // integers agree exactly
+    ASSERT_EQ(h_cls, std::floor(h_cls));           // and are whole numbers
+  }
+}
+
+// ------------------------------------------------- batched sensor sampling
+
+TEST(SampleBatch, LeakyDspJitterFreeBatchMatchesScalarExactly) {
+  const lsim::Basys3Scenario scenario;
+  lcore::LeakyDspParams params;
+  params.jitter_sigma_ns = 0.0;
+  lcore::LeakyDspSensor scalar(scenario.device(), scenario.fig3_dsp_site(),
+                               params);
+  lcore::LeakyDspSensor batched(scenario.device(), scenario.fig3_dsp_site(),
+                                params);
+  lu::Rng rng_a(1);
+  lu::Rng rng_b(1);
+  std::vector<double> supplies;
+  lu::Rng vr(22);
+  for (int i = 0; i < 512; ++i) supplies.push_back(vr.uniform(0.93, 1.0));
+  std::vector<double> out(supplies.size());
+  batched.sample_batch(supplies, out, rng_b);
+  for (std::size_t i = 0; i < supplies.size(); ++i) {
+    ASSERT_EQ(out[i], scalar.sample(supplies[i], rng_a)) << "sample " << i;
+  }
+}
+
+TEST(SampleBatch, LeakyDspBatchMatchesScalarDistribution) {
+  const lsim::Basys3Scenario scenario;
+  lcore::LeakyDspSensor scalar(scenario.device(), scenario.fig3_dsp_site());
+  lcore::LeakyDspSensor batched(scenario.device(), scenario.fig3_dsp_site());
+  // Calibrate identically so the capture edge sits in the sensitive zone.
+  lu::Rng cal(3);
+  scalar.calibrate(1.0, cal);
+  batched.set_taps(scalar.a_taps(), scalar.clk_taps());
+  batched.set_fine_phase(scalar.fine_phase());
+
+  const double v = 0.9965;  // a few mV of droop
+  const std::size_t kN = 40000;
+  lu::Rng rng_a(10);
+  lu::Rng rng_b(11);  // independent stream: the paths consume differently
+  double sum_a = 0.0, sum2_a = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double x = scalar.sample(v, rng_a);
+    sum_a += x;
+    sum2_a += x * x;
+  }
+  std::vector<double> supplies(kN, v);
+  std::vector<double> out(kN);
+  batched.sample_batch(supplies, out, rng_b);
+  double sum_b = 0.0, sum2_b = 0.0;
+  for (const double x : out) {
+    sum_b += x;
+    sum2_b += x * x;
+  }
+  const double n = static_cast<double>(kN);
+  const double mean_a = sum_a / n, mean_b = sum_b / n;
+  const double var_a = sum2_a / n - mean_a * mean_a;
+  const double var_b = sum2_b / n - mean_b * mean_b;
+  // Same distribution: means within 5 combined standard errors, variances
+  // within 15 percent of each other.
+  const double se = std::sqrt((var_a + var_b) / n);
+  EXPECT_NEAR(mean_a, mean_b, 5.0 * se + 1e-12);
+  EXPECT_LT(std::abs(var_a - var_b), 0.15 * std::max(var_a, var_b) + 1e-9);
+}
+
+TEST(SampleBatch, TdcBatchMatchesScalarDistribution) {
+  const lsim::Basys3Scenario scenario;
+  lsens::TdcSensor scalar(scenario.device(), scenario.fig3_clb_site());
+  lsens::TdcSensor batched(scenario.device(), scenario.fig3_clb_site());
+  lu::Rng cal(3);
+  scalar.calibrate(1.0, cal);
+  batched.set_offset_taps(scalar.offset_taps());
+
+  const double v = 0.9965;
+  const std::size_t kN = 40000;
+  lu::Rng rng_a(20);
+  lu::Rng rng_b(21);
+  double sum_a = 0.0, sum2_a = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double x = scalar.sample(v, rng_a);
+    sum_a += x;
+    sum2_a += x * x;
+  }
+  std::vector<double> supplies(kN, v);
+  std::vector<double> out(kN);
+  batched.sample_batch(supplies, out, rng_b);
+  double sum_b = 0.0, sum2_b = 0.0;
+  for (const double x : out) {
+    sum_b += x;
+    sum2_b += x * x;
+  }
+  const double n = static_cast<double>(kN);
+  const double mean_a = sum_a / n, mean_b = sum_b / n;
+  const double var_a = sum2_a / n - mean_a * mean_a;
+  const double var_b = sum2_b / n - mean_b * mean_b;
+  const double se = std::sqrt((var_a + var_b) / n);
+  EXPECT_NEAR(mean_a, mean_b, 5.0 * se + 1e-12);
+  EXPECT_LT(std::abs(var_a - var_b), 0.15 * std::max(var_a, var_b) + 1e-9);
+}
+
+TEST(SampleBatch, DefaultBaseImplementationLoopsScalar) {
+  // A sensor without an override must get the scalar-equivalent default.
+  const lsim::Basys3Scenario scenario;
+  lcore::LeakyDspSensor sensor(scenario.device(), scenario.fig3_dsp_site());
+  // Call through the base pointer with a span of one: both paths exist on
+  // LeakyDSP, so just verify the batch API handles empty and tiny spans.
+  lsens::VoltageSensor& base = sensor;
+  lu::Rng rng(1);
+  std::vector<double> out;
+  base.sample_batch({}, out, rng);  // empty: no-op, no crash
+  std::vector<double> one_supply{1.0};
+  std::vector<double> one_out(1);
+  base.sample_batch(one_supply, one_out, rng);
+  EXPECT_GE(one_out[0], 0.0);
+  EXPECT_LE(one_out[0], 48.0);
+}

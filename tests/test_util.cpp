@@ -306,8 +306,18 @@ TEST(BenchJson, RendersRowsInOrder) {
       .set("identical", true);
   report.row().set("threads", std::int64_t{1});
   const std::string json = report.to_string();
-  EXPECT_EQ(json,
-            "{\n  \"bench\": \"demo\",\n  \"results\": [\n"
+  // Header plus the host provenance block (machine-dependent values, so
+  // only the keys are pinned).
+  EXPECT_EQ(json.rfind("{\n  \"bench\": \"demo\",\n  \"host\": {", 0), 0u);
+  EXPECT_NE(json.find("\"hardware_threads\": "), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"cxx_flags\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\": \""), std::string::npos);
+  // The results array renders rows and fields in insertion order, exactly.
+  const std::size_t results = json.find("\"results\": [");
+  ASSERT_NE(results, std::string::npos);
+  EXPECT_EQ(json.substr(results),
+            "\"results\": [\n"
             "    {\"label\": \"run \\\"a\\\"\", \"threads\": 8, "
             "\"wall_seconds\": 1.5, \"identical\": true},\n"
             "    {\"threads\": 1}\n  ]\n}\n");
@@ -336,8 +346,13 @@ TEST(BenchJson, LargeUint64RendersUnsigned) {
   lu::BenchJson report("demo");
   report.row().set("big", std::uint64_t{18446744073709551615ull});
   const std::string json = report.to_string();
-  EXPECT_NE(json.find("\"big\": 18446744073709551615"), std::string::npos);
-  EXPECT_EQ(json.find('-'), std::string::npos);
+  // Restrict the minus-sign check to the results array: the host block's
+  // compiler flags legitimately contain dashes.
+  const std::size_t start = json.find("\"results\"");
+  ASSERT_NE(start, std::string::npos);
+  const std::string results = json.substr(start);
+  EXPECT_NE(results.find("\"big\": 18446744073709551615"), std::string::npos);
+  EXPECT_EQ(results.find('-'), std::string::npos);
 }
 
 TEST(Cli, DefaultsWhenAbsent) {
