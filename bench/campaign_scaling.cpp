@@ -15,6 +15,7 @@
 
 #include "attack/campaign.h"
 #include "core/leaky_dsp.h"
+#include "obs/obs.h"
 #include "sim/scenarios.h"
 #include "sim/sensor_rig.h"
 #include "util/bench_json.h"
@@ -56,7 +57,10 @@ bool identical(const attack::CampaignResult& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"traces", "seed", "threads", "sweep!"});
+  const util::Cli cli(argc, argv, {"traces", "seed", "threads", "sweep!"},
+                      obs::cli_options());
+  const std::string trace_out = obs::apply_cli(cli);
+  const bool progress = cli.get_flag("progress");
   const auto max_traces =
       static_cast<std::size_t>(cli.get_int("traces", 60000));
   const auto seed = cli.get_seed("seed", 7);
@@ -86,12 +90,17 @@ int main(int argc, char** argv) {
     attack::CampaignConfig run_config = config;
     run_config.threads = run_threads;
     attack::TraceCampaign campaign(rig, aes, run_config);
+    if (progress) {
+      obs::Progress::start("threads " + std::to_string(run_threads),
+                           max_traces, "campaign.traces_sampled", "");
+    }
     TimedRun timed;
     const auto start = std::chrono::steady_clock::now();
     timed.result = campaign.run(rng, /*stop_when_broken=*/false);
     timed.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    if (progress) obs::Progress::finish();
     return timed;
   };
 
@@ -144,7 +153,9 @@ int main(int argc, char** argv) {
              static_cast<std::int64_t>(timed.result.traces_to_break));
   }
   table.print(std::cout);
+  obs::fill_bench_metrics(report.metrics());
   report.write("BENCH_campaign_scaling.json");
+  obs::write_trace_out(trace_out);
   std::cout << "\nwrote BENCH_campaign_scaling.json\n";
   if (!all_identical) {
     std::cout << "ERROR: thread counts disagreed — determinism contract "

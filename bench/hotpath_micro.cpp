@@ -21,6 +21,7 @@
 #include "attack/cpa.h"
 #include "core/leaky_dsp.h"
 #include "crypto/aes128.h"
+#include "obs/obs.h"
 #include "sensors/tdc.h"
 #include "sim/scenarios.h"
 #include "timing/delay_model.h"
@@ -57,7 +58,8 @@ BenchResult run_bench(std::size_t iterations, Body&& body) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"quick!"});
+  const util::Cli cli(argc, argv, {"quick!"}, obs::cli_options());
+  const std::string trace_out = obs::apply_cli(cli);
   const bool quick = cli.get_flag("quick");
   const std::size_t kScale = quick ? 1 : 10;
 
@@ -253,7 +255,9 @@ int main(int argc, char** argv) {
   std::cout << "=== hot-path microbenchmarks"
             << (quick ? " (--quick)" : "") << " ===\n\n";
   table.print(std::cout);
+  obs::fill_bench_metrics(report.metrics());
   report.write("BENCH_hotpath.json");
+  obs::write_trace_out(trace_out);
   std::cout << "\nwrote BENCH_hotpath.json\n";
   return 0;
 }

@@ -21,6 +21,7 @@
 
 #include "attack/campaign.h"
 #include "core/leaky_dsp.h"
+#include "obs/obs.h"
 #include "pdn/coupling.h"
 #include "sensors/tdc.h"
 #include "sim/scenarios.h"
@@ -34,8 +35,12 @@
 using namespace leakydsp;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"seed", "max-traces", "threads",
-                                   "checkpoint-dir", "quick!", "resume!"});
+  const util::Cli cli(argc, argv,
+                      {"seed", "max-traces", "threads", "checkpoint-dir",
+                       "quick!", "resume!"},
+                      obs::cli_options());
+  const std::string trace_out = obs::apply_cli(cli);
+  const bool progress = cli.get_flag("progress");
   const auto seed = cli.get_seed("seed", 7);
   const std::size_t threads = cli.get_threads();
   const bool quick = cli.get_flag("quick");
@@ -81,6 +86,10 @@ int main(int argc, char** argv) {
   util::BenchJson report("table1_traces");
   const auto timed_run = [&](attack::TraceCampaign& campaign,
                              util::Rng& run_rng, const std::string& label) {
+    if (progress) {
+      obs::Progress::start(label, max_traces, "campaign.traces_sampled",
+                           "campaign.checkpoint.traces");
+    }
     const auto start = std::chrono::steady_clock::now();
     attack::CampaignResult result;
     if (resume &&
@@ -90,6 +99,7 @@ int main(int argc, char** argv) {
     } else {
       result = campaign.run(run_rng);
     }
+    if (progress) obs::Progress::finish();
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -160,7 +170,9 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+  obs::fill_bench_metrics(report.metrics());
   report.write("BENCH_table1_traces.json");
+  obs::write_trace_out(trace_out);
   std::cout << "\nwrote BENCH_table1_traces.json (" << threads
             << " thread(s))\n";
   std::cout << "\nNote: per-placement cells of the paper's Table I are only "

@@ -1,6 +1,7 @@
 #include "attack/campaign.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -8,6 +9,10 @@
 #include <fstream>
 #include <memory>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/span.h"
 #include "util/byte_io.h"
 #include "util/contracts.h"
 #include "util/crc32.h"
@@ -102,11 +107,16 @@ void TraceCampaign::sample_trace(sim::SensorRig::Sampler& sampler,
     }
   }
 
-  // Stage 2: droop dynamics + ambient noise -> supply voltages.
-  sampler.supply_batch(scratch.droops, scratch.supplies, rng);
-
-  // Stage 3: the sensor's batched digitization kernel.
-  sampler.sensor().sample_batch(scratch.supplies, out, rng);
+  {
+    // Stage 2: droop dynamics + ambient noise -> supply voltages.
+    OBS_SPAN("pdn.supply_solve");
+    sampler.supply_batch(scratch.droops, scratch.supplies, rng);
+  }
+  {
+    // Stage 3: the sensor's batched digitization kernel.
+    OBS_SPAN("sensor.sample");
+    sampler.sensor().sample_batch(scratch.supplies, out, rng);
+  }
 }
 
 std::vector<crypto::Block> TraceCampaign::plaintext_chain(
@@ -123,6 +133,7 @@ void TraceCampaign::process_block(std::size_t first_trace,
                                   std::span<const crypto::Block> plaintexts,
                                   const util::Rng& trace_parent, CpaAttack& cpa,
                                   double& poi_sum) const {
+  OBS_SCOPED_HISTO_MS("campaign.block_ms", ({1, 5, 10, 50, 100, 500, 1000}));
   sim::SensorRig::Sampler sampler = rig_->make_sampler();
   victim::AesCoreModel aes = *aes_;  // thread-private encryption state
   const double gain = rig_->coupling().gain_at_node(aes.pdn_node());
@@ -132,9 +143,15 @@ void TraceCampaign::process_block(std::size_t first_trace,
   std::vector<double> trace(trace_samples_);
   TraceScratch scratch;
 
+#if defined(LEAKYDSP_OBS)
+  std::uint64_t rng_draws = 0;
+#endif
   for (std::size_t i = 0; i < n; ++i) {
     util::Rng rng = trace_parent.fork(first_trace + i);
     sample_trace(sampler, aes, plaintexts[i], gain, rng, scratch, trace);
+#if defined(LEAKYDSP_OBS)
+    rng_draws += rng.draws();
+#endif
     double* poi = poi_rows.data() + i * poi_count_;
     for (std::size_t k = 0; k < poi_count_; ++k) {
       poi[k] = trace[poi_begin_ + k];
@@ -142,7 +159,13 @@ void TraceCampaign::process_block(std::size_t first_trace,
     }
     ciphertexts[i] = aes.ciphertext();
   }
-  cpa.add_traces(ciphertexts, poi_rows);
+  OBS_COUNT("campaign.traces_sampled", n);
+  OBS_COUNT("rng.draws", rng_draws);
+  {
+    OBS_SPAN("cpa.accumulate");
+    cpa.add_traces(ciphertexts, poi_rows);
+  }
+  OBS_PROGRESS_TICK();
 }
 
 // ------------------------------------------------------------- recording
@@ -162,13 +185,22 @@ void TraceCampaign::record_blocks(
     TraceScratch scratch;
     auto& out = shards[w];
     out.reserve(hi - lo);
+#if defined(LEAKYDSP_OBS)
+    std::uint64_t rng_draws = 0;
+#endif
     for (std::size_t i = lo; i < hi; ++i) {
       util::Rng trace_rng = trace_parent.fork(i + 1);
       std::vector<double> samples(trace_samples_);
       sample_trace(sampler, aes, plaintexts[i], gain, trace_rng, scratch,
                    samples);
+#if defined(LEAKYDSP_OBS)
+      rng_draws += trace_rng.draws();
+#endif
       out.push_back({aes.ciphertext(), std::move(samples)});
     }
+    OBS_COUNT("campaign.traces_sampled", hi - lo);
+    OBS_COUNT("rng.draws", rng_draws);
+    OBS_PROGRESS_TICK();
   });
 }
 
@@ -240,6 +272,8 @@ std::string checkpoint_path(const std::string& dir) {
 
 [[noreturn]] void checkpoint_fail(const std::string& path,
                                   const std::string& what) {
+  OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint load failed",
+          obs::f("path", path), obs::f("reason", what));
   throw CheckpointError("campaign checkpoint '" + path + "': " + what);
 }
 
@@ -263,6 +297,7 @@ bool TraceCampaign::checkpoint_exists(const std::string& dir) {
 }
 
 void TraceCampaign::write_checkpoint(const RunState& state) const {
+  OBS_SPAN("campaign.checkpoint");
   util::ByteWriter payload;
   // Config fields that shape results: resume() refuses a checkpoint whose
   // campaign was configured differently (threads excluded by design — the
@@ -310,15 +345,37 @@ void TraceCampaign::write_checkpoint(const RunState& state) const {
   const std::string path = checkpoint_path(config_.checkpoint_dir);
   const std::string tmp = path + ".tmp";
   {
+    errno = 0;
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    LD_ENSURE(os.is_open(), "cannot open '" << tmp << "' for writing");
+    if (!os.is_open()) {
+      OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint open failed",
+              obs::f("path", tmp), obs::f("traces", state.t),
+              obs::f("errno", errno));
+      LD_ENSURE(false, "cannot open '" << tmp << "' for writing");
+    }
     os.write(reinterpret_cast<const char*>(file.span().data()),
              static_cast<std::streamsize>(file.size()));
     os.flush();
-    LD_ENSURE(os.good(), "write failure on '" << tmp << "'");
+    if (!os.good()) {
+      OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint write failed",
+              obs::f("path", tmp), obs::f("bytes", file.size()),
+              obs::f("traces", state.t), obs::f("errno", errno));
+      LD_ENSURE(false, "write failure on '" << tmp << "'");
+    }
   }
-  LD_ENSURE(std::rename(tmp.c_str(), path.c_str()) == 0,
-            "cannot rename '" << tmp << "' to '" << path << "'");
+  errno = 0;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint rename failed",
+            obs::f("from", tmp), obs::f("to", path), obs::f("errno", errno));
+    LD_ENSURE(false, "cannot rename '" << tmp << "' to '" << path << "'");
+  }
+  OBS_COUNT("campaign.checkpoint.writes", 1);
+  OBS_COUNT("campaign.checkpoint.bytes", file.size());
+  OBS_GAUGE_SET("campaign.checkpoint.traces", state.t);
+  OBS_LOG(obs::LogLevel::kDebug, "campaign", "checkpoint written",
+          obs::f("path", path), obs::f("traces", state.t),
+          obs::f("bytes", file.size()),
+          obs::f("completed", state.completed));
 }
 
 TraceCampaign::RunState TraceCampaign::load_checkpoint() const {
@@ -435,6 +492,9 @@ CampaignResult TraceCampaign::resume(bool stop_when_broken) {
   LD_REQUIRE(!config_.checkpoint_dir.empty(),
              "resume() requires config.checkpoint_dir");
   RunState state = load_checkpoint();
+  OBS_LOG(obs::LogLevel::kInfo, "campaign", "resumed from checkpoint",
+          obs::f("dir", config_.checkpoint_dir), obs::f("traces", state.t),
+          obs::f("completed", state.completed));
   if (state.completed) return state.result;
   return run_loop(state, stop_when_broken);
 }
@@ -444,6 +504,12 @@ CampaignResult TraceCampaign::run_loop(RunState& state,
   LD_REQUIRE(config_.block_traces >= 1, "bad block size");
   const bool checkpointing = !config_.checkpoint_dir.empty();
   util::ThreadPool pool(config_.threads);
+  OBS_LOG(obs::LogLevel::kInfo, "campaign", "run loop started",
+          obs::f("from_trace", state.t),
+          obs::f("max_traces", config_.max_traces),
+          obs::f("block_traces", config_.block_traces),
+          obs::f("threads", pool.size()),
+          obs::f("checkpointing", checkpointing));
   const crypto::Key true_key = aes_->cipher().round_keys()[0];
   const crypto::RoundKey true_rk10 = aes_->cipher().round_keys()[10];
 
@@ -524,6 +590,7 @@ CampaignResult TraceCampaign::run_loop(RunState& state,
     // loses at most the traces since the last boundary, and the resumed
     // run re-derives them bit-identically from the forked RNG streams.
     if (checkpointing) write_checkpoint(state);
+    OBS_PROGRESS_TICK();
     if (stop) break;
   }
 
@@ -532,6 +599,10 @@ CampaignResult TraceCampaign::run_loop(RunState& state,
                        static_cast<double>(poi_count_));
   state.completed = true;
   if (checkpointing) write_checkpoint(state);
+  OBS_LOG(obs::LogLevel::kInfo, "campaign", "run loop finished",
+          obs::f("traces_run", state.result.traces_run),
+          obs::f("broken", state.result.broken),
+          obs::f("traces_to_break", state.result.traces_to_break));
   return state.result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "attack/power_model.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace leakydsp::attack {
@@ -30,6 +31,9 @@ void CpaAttack::add_traces(std::span<const crypto::Block> ciphertexts,
   LD_REQUIRE(poi_matrix.size() == n * poi_,
              "expected " << n * poi_ << " POI samples for " << n
                          << " traces, got " << poi_matrix.size());
+  OBS_COUNT("cpa.add_traces.calls", 1);
+  OBS_COUNT("cpa.traces_accumulated", n);
+  OBS_HISTO("cpa.batch_traces", ({1, 8, 16, 32, 64, 128, 256, 512}), n);
   traces_ += n;
   for (std::size_t t = 0; t < n; ++t) {
     const double* row = poi_matrix.data() + t * poi_;

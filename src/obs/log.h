@@ -1,0 +1,126 @@
+// Leveled, thread-safe structured logging. One global obs::Logger with a
+// human-readable or JSON-lines sink (stderr by default, or a file), driven
+// through the OBS_LOG macro so every call site carries a component tag and
+// typed key=value fields. The level check is a single relaxed atomic load;
+// with -DLEAKYDSP_OBS=OFF the macro (and its argument expressions) compile
+// away entirely, so instrumented hot paths cost nothing.
+//
+// The logger writes to stderr / a side file only — it never touches
+// simulation state or RNG streams, so enabling it cannot perturb the
+// byte-identical determinism contract (pinned by tests/test_obs.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace leakydsp::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Lower-case level name ("trace" .. "error", "off").
+const char* log_level_name(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; throws
+/// util::PreconditionError on anything else.
+LogLevel parse_log_level(const std::string& name);
+
+/// One structured field of a log event, preformatted at the call site.
+/// `quoted` distinguishes strings (quoted in the JSON sink) from numbers
+/// and booleans (emitted verbatim).
+struct Field {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+Field f(std::string key, std::string value);
+Field f(std::string key, const char* value);
+Field f(std::string key, double value);
+Field f(std::string key, bool value);
+
+template <typename T>
+  requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+Field f(std::string key, T value) {
+  return Field{std::move(key), std::to_string(value), /*quoted=*/false};
+}
+
+/// The process-wide logger. All sink writes serialize on one mutex; the
+/// enabled() fast path is lock-free.
+class Logger {
+ public:
+  static Logger& global();
+
+  /// Events below `level` are dropped at the call site. Default: kOff —
+  /// the library is silent unless a driver opts in (--log-level).
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// JSON-lines sink instead of the human-readable one.
+  void set_json(bool json);
+
+  /// Redirects output to `path` (append is false: truncate); "" restores
+  /// stderr. Throws util::InvariantError when the file cannot be opened.
+  void set_file(const std::string& path);
+
+  /// Emits one event. Call through OBS_LOG so disabled levels cost one
+  /// atomic load and stripped builds cost nothing.
+  void log(LogLevel level, const char* component, std::string_view message,
+           std::initializer_list<Field> fields);
+
+  /// Events actually written (post level filter) since process start.
+  std::uint64_t lines_logged() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: stderr sink, human format, level kOff.
+  void reset();
+
+ private:
+  Logger() = default;
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kOff)};
+  std::atomic<std::uint64_t> lines_{0};
+  std::mutex mutex_;            // guards sink state + writes
+  std::ofstream file_;          // open when logging to a file
+  bool json_ = false;
+};
+
+}  // namespace leakydsp::obs
+
+// Instrumentation macro: OBS_LOG(level, component, message, fields...).
+// Fields are obs::f("key", value) — evaluated only when the level is
+// enabled, and not at all when observability is compiled out.
+#if defined(LEAKYDSP_OBS)
+#define OBS_LOG(level, component, message, ...)                         \
+  do {                                                                  \
+    if (::leakydsp::obs::Logger::global().enabled(level)) {             \
+      ::leakydsp::obs::Logger::global().log(                            \
+          level, component, message,                                    \
+          std::initializer_list<::leakydsp::obs::Field>{__VA_ARGS__});  \
+    }                                                                   \
+  } while (false)
+#else
+#define OBS_LOG(level, component, message, ...) \
+  do {                                          \
+  } while (false)
+#endif

@@ -1,0 +1,132 @@
+#include "obs/progress.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace leakydsp::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr auto kMinRedrawInterval = std::chrono::milliseconds(500);  // ~2 Hz
+
+struct MeterState {
+  std::mutex mutex;
+  std::string label;
+  std::string counter;
+  std::string checkpoint_gauge;
+  std::uint64_t total = 0;
+  std::uint64_t base = 0;  ///< counter value when the meter started
+  Clock::time_point started;
+  Clock::time_point last_draw;
+  std::size_t last_width = 0;
+};
+
+std::atomic<bool> g_active{false};
+MeterState& state() {
+  static MeterState s;
+  return s;
+}
+
+void erase_line(MeterState& s) {
+  if (s.last_width == 0) return;
+  std::fputc('\r', stderr);
+  for (std::size_t i = 0; i < s.last_width; ++i) std::fputc(' ', stderr);
+  std::fputc('\r', stderr);
+  std::fflush(stderr);
+  s.last_width = 0;
+}
+
+}  // namespace
+
+bool Progress::stderr_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stderr)) == 1;
+#else
+  return false;
+#endif
+}
+
+void Progress::start(std::string label, std::uint64_t total,
+                     std::string counter, std::string checkpoint_gauge) {
+  if (!stderr_is_tty()) return;
+  MeterState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.label = std::move(label);
+  s.counter = std::move(counter);
+  s.checkpoint_gauge = std::move(checkpoint_gauge);
+  s.total = total;
+  // Counters are process-cumulative; the meter shows progress relative to
+  // where the counter stood when this run started.
+  s.base = Registry::global().counter_value(s.counter);
+  s.started = Clock::now();
+  s.last_draw = s.started - kMinRedrawInterval;  // first tick draws
+  s.last_width = 0;
+  g_active.store(true, std::memory_order_relaxed);
+}
+
+void Progress::finish() {
+  if (!g_active.exchange(false, std::memory_order_relaxed)) return;
+  MeterState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  erase_line(s);
+}
+
+bool Progress::active() { return g_active.load(std::memory_order_relaxed); }
+
+void Progress::tick() {
+  if (!active()) return;
+  MeterState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto now = Clock::now();
+  if (now - s.last_draw < kMinRedrawInterval) return;
+  s.last_draw = now;
+
+  const Registry::Snapshot snap = Registry::global().snapshot();
+  std::uint64_t done = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == s.counter) done = value >= s.base ? value - s.base : 0;
+  }
+  std::int64_t last_ckpt = -1;
+  if (!s.checkpoint_gauge.empty()) {
+    for (const auto& [name, value] : snap.gauges) {
+      if (name == s.checkpoint_gauge) last_ckpt = value;
+    }
+  }
+
+  const double elapsed =
+      std::chrono::duration<double>(now - s.started).count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  char line[256];
+  int n = std::snprintf(line, sizeof(line), "[%s] %llu/%llu traces  %.0f/s",
+                        s.label.c_str(),
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(s.total), rate);
+  if (rate > 0.0 && done < s.total) {
+    n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                       "  ETA %.0fs",
+                       static_cast<double>(s.total - done) / rate);
+  }
+  if (last_ckpt >= 0) {
+    n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                       "  ckpt @%lld", static_cast<long long>(last_ckpt));
+  }
+  // Redraw in place, blank-padding any leftover of the previous line.
+  std::fputc('\r', stderr);
+  std::fputs(line, stderr);
+  const auto width = static_cast<std::size_t>(n);
+  for (std::size_t i = width; i < s.last_width; ++i) std::fputc(' ', stderr);
+  std::fflush(stderr);
+  s.last_width = width;
+}
+
+}  // namespace leakydsp::obs

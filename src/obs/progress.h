@@ -1,0 +1,50 @@
+// Rate-limited stderr progress line for long campaign runs, driven by the
+// metrics registry: the campaign increments its counters/gauges as blocks
+// retire, and the meter renders done-count, throughput, ETA and the last
+// checkpoint from those on a ~2 Hz cadence.
+//
+// The meter is only active when a driver installs it (--progress) AND
+// stderr is a TTY — redirected runs and CI logs never see control
+// characters. Ticks from instrumented code go through OBS_PROGRESS_TICK,
+// which costs one relaxed atomic load while inactive and compiles away
+// with -DLEAKYDSP_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace leakydsp::obs {
+
+class Progress {
+ public:
+  /// Installs the global meter: `label` prefixes the line, `total` is the
+  /// expected number of units, `counter` names the registry counter that
+  /// tracks completed units and `checkpoint_gauge` (may be "") the gauge
+  /// holding the unit count of the last durable checkpoint. No-op (meter
+  /// stays inactive) when stderr is not a TTY.
+  static void start(std::string label, std::uint64_t total,
+                    std::string counter, std::string checkpoint_gauge);
+
+  /// Erases the progress line and deactivates the meter.
+  static void finish();
+
+  static bool active();
+
+  /// Hot-path poke from instrumented code (use OBS_PROGRESS_TICK): redraws
+  /// the line if the meter is active and >= 1/2 s has passed since the
+  /// last draw.
+  static void tick();
+
+  /// Whether stderr is attached to a terminal.
+  static bool stderr_is_tty();
+};
+
+}  // namespace leakydsp::obs
+
+#if defined(LEAKYDSP_OBS)
+#define OBS_PROGRESS_TICK() ::leakydsp::obs::Progress::tick()
+#else
+#define OBS_PROGRESS_TICK() \
+  do {                      \
+  } while (false)
+#endif

@@ -1,0 +1,135 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "util/contracts.h"
+
+namespace leakydsp::obs {
+
+namespace {
+
+/// Thread-local ring cache, invalidated when the sink's generation moves
+/// (enable() with a new capacity, clear()).
+struct TlsRingCache {
+  std::uint64_t generation = 0;
+  void* ring = nullptr;
+};
+thread_local TlsRingCache tls_ring;
+
+}  // namespace
+
+SpanSink& SpanSink::global() {
+  static SpanSink* sink = new SpanSink();  // immortal: threads may outlive
+  return *sink;                            // static teardown
+}
+
+std::uint64_t SpanSink::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SpanSink::enable(std::size_t capacity_per_thread) {
+  LD_REQUIRE(capacity_per_thread >= 1, "span ring needs capacity");
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity_per_thread;
+  // Threads pick up fresh rings at the new capacity.
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SpanSink::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+SpanSink::Ring& SpanSink::local_ring() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (tls_ring.generation == gen && tls_ring.ring != nullptr) {
+    return *static_cast<Ring*>(tls_ring.ring);
+  }
+  rings_.push_back(std::make_unique<Ring>(
+      capacity_, static_cast<std::uint32_t>(rings_.size() + 1)));
+  tls_ring.generation = gen;
+  tls_ring.ring = rings_.back().get();
+  return *rings_.back();
+}
+
+void SpanSink::record(const char* name, std::uint64_t start_ns,
+                      std::uint64_t end_ns) {
+  // Fast path: the cached ring, validated with one relaxed load — no lock
+  // once the thread has a ring of the current generation.
+  Ring* ring = nullptr;
+  if (tls_ring.ring != nullptr &&
+      tls_ring.generation == generation_.load(std::memory_order_relaxed)) {
+    ring = static_cast<Ring*>(tls_ring.ring);
+  }
+  if (ring == nullptr) ring = &local_ring();
+  const std::size_t n = ring->count.load(std::memory_order_relaxed);
+  if (n >= ring->events.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->events[n] = SpanEvent{name, ring->tid, start_ns,
+                              end_ns >= start_ns ? end_ns - start_ns : 0};
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+std::size_t SpanSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::vector<SpanEvent> SpanSink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanEvent> out;
+  for (const auto& ring : rings_) {
+    const std::size_t n = ring->count.load(std::memory_order_acquire);
+    out.insert(out.end(), ring->events.begin(),
+               ring->events.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return out;
+}
+
+void SpanSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.clear();
+  ++generation_;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void SpanSink::write_chrome_trace(const std::string& path) const {
+  const std::vector<SpanEvent> all = events();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  LD_ENSURE(os.is_open(), "cannot open '" << path << "' for writing");
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Name the rows so per-thread phases read as "sampler-N" in the viewer.
+  std::uint32_t max_tid = 0;
+  for (const SpanEvent& e : all) max_tid = std::max(max_tid, e.tid);
+  for (std::uint32_t tid = 1; tid <= max_tid; ++tid) {
+    os << (first ? "\n" : ",\n") << "{\"name\":\"thread_name\",\"ph\":\"M\","
+       << "\"pid\":1,\"tid\":" << tid << ",\"args\":{\"name\":\"sampler-"
+       << tid << "\"}}";
+    first = false;
+  }
+  os.precision(3);
+  os << std::fixed;
+  for (const SpanEvent& e : all) {
+    os << (first ? "\n" : ",\n") << "{\"name\":\"" << e.name
+       << "\",\"cat\":\"leakydsp\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << static_cast<double>(e.start_ns) / 1000.0
+       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0 << '}';
+    first = false;
+  }
+  os << "\n]}\n";
+  os.flush();
+  LD_ENSURE(os.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace leakydsp::obs

@@ -1,0 +1,139 @@
+// RAII trace spans recording per-thread begin/end events into lock-free
+// ring buffers, exportable as Chrome-tracing JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Each thread owns one ring: the recording thread is the only writer, so a
+// push is two plain stores plus one release store of the count — no locks,
+// no contention. When tracing is disabled (the default) a span costs a
+// single relaxed atomic load; with -DLEAKYDSP_OBS=OFF the OBS_SPAN macro
+// compiles away entirely. Span names must be string literals (the buffer
+// stores the pointer, never a copy).
+//
+// Overflow policy: a full ring drops new events (drop-newest) and counts
+// them in dropped() — the already-recorded prefix stays intact, which is
+// the useful half of a trace that outgrew its buffer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace leakydsp::obs {
+
+/// One completed span. `name` points at the call site's string literal.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;        ///< ring registration order (1-based)
+  std::uint64_t start_ns = 0;   ///< steady-clock, process-relative
+  std::uint64_t dur_ns = 0;
+};
+
+/// The process-wide span collector.
+class SpanSink {
+ public:
+  static SpanSink& global();
+
+  SpanSink(const SpanSink&) = delete;
+  SpanSink& operator=(const SpanSink&) = delete;
+
+  /// Starts collecting. Rings are allocated lazily per thread at
+  /// `capacity_per_thread` events (32 B each); enabling again with a
+  /// different capacity retires existing rings' future writes to fresh
+  /// rings. Call clear() first to also discard recorded events.
+  void enable(std::size_t capacity_per_thread = kDefaultCapacity);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Monotonic timestamp for Span begin/end.
+  static std::uint64_t now_ns();
+
+  /// Records one completed span into the calling thread's ring.
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns);
+
+  /// Events dropped because a ring was full.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Total recorded events across all rings.
+  std::size_t size() const;
+
+  /// Merged copy of all recorded events (ring registration order). Only
+  /// meaningful while no thread is concurrently recording.
+  std::vector<SpanEvent> events() const;
+
+  /// Discards all rings and the dropped count. Only call while quiescent.
+  void clear();
+
+  /// Writes all recorded events as Chrome-tracing JSON ("X" duration
+  /// events, one row per recording thread). Throws util::InvariantError on
+  /// I/O failure.
+  void write_chrome_trace(const std::string& path) const;
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+ private:
+  SpanSink() = default;
+
+  /// Single-writer ring: the owning thread stores the event then bumps
+  /// `count` with release order; readers load `count` acquire and read the
+  /// prefix. The events vector never resizes after construction.
+  struct Ring {
+    Ring(std::size_t capacity, std::uint32_t tid_in)
+        : events(capacity), tid(tid_in) {}
+    std::vector<SpanEvent> events;
+    std::atomic<std::size_t> count{0};
+    std::uint32_t tid;
+  };
+
+  Ring& local_ring();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;  ///< ring list + configuration
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_ = kDefaultCapacity;
+  /// Bumped (under the mutex) by enable()/clear(); read lock-free by the
+  /// record() fast path to validate its thread-local ring cache.
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// RAII span: records [construction, destruction) under `name` when the
+/// sink is enabled. Use through OBS_SPAN.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (SpanSink::global().enabled()) {
+      name_ = name;
+      start_ns_ = SpanSink::now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      SpanSink::global().record(name_, start_ns_, SpanSink::now_ns());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace leakydsp::obs
+
+#if defined(LEAKYDSP_OBS)
+#define OBS_SPAN_DETAIL_CONCAT2(a, b) a##b
+#define OBS_SPAN_DETAIL_CONCAT(a, b) OBS_SPAN_DETAIL_CONCAT2(a, b)
+/// Traces the rest of the enclosing scope under `name` (string literal).
+#define OBS_SPAN(name) \
+  const ::leakydsp::obs::Span OBS_SPAN_DETAIL_CONCAT(obs_span_, __LINE__)(name)
+#else
+#define OBS_SPAN(name) \
+  do {                 \
+  } while (false)
+#endif

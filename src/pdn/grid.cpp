@@ -1,5 +1,6 @@
 #include "pdn/grid.h"
 
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace leakydsp::pdn {
@@ -102,6 +103,8 @@ std::vector<double> PdnGrid::dc_droop(
   }
   std::vector<double> droop(node_count(), 0.0);
   const auto result = conjugate_gradient(g_, rhs, droop, 1e-12);
+  OBS_COUNT("pdn.solve.calls", 1);
+  OBS_COUNT("pdn.solve.iterations", result.iterations);
   LD_ENSURE(result.converged, "PDN DC solve did not converge (residual "
                                   << result.residual_norm << ")");
   return droop;
@@ -114,6 +117,8 @@ std::vector<double> PdnGrid::transfer_gains(std::size_t sensor_node) const {
   rhs[sensor_node] = 1.0;
   std::vector<double> gains(node_count(), 0.0);
   const auto result = conjugate_gradient(g_, rhs, gains, 1e-12);
+  OBS_COUNT("pdn.solve.calls", 1);
+  OBS_COUNT("pdn.solve.iterations", result.iterations);
   LD_ENSURE(result.converged, "PDN transfer solve did not converge");
   return gains;
 }

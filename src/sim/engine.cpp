@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <span>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/contracts.h"
 #include "util/thread_pool.h"
 
@@ -37,6 +40,9 @@ void Engine::add_rig(SensorRig& rig) {
 std::vector<SensorTraceResult> Engine::run(std::size_t samples,
                                            util::Rng& rng) {
   LD_REQUIRE(!rigs_.empty(), "engine has no sensor rigs");
+  OBS_LOG(obs::LogLevel::kInfo, "engine", "run started",
+          obs::f("samples", samples), obs::f("rigs", rigs_.size()),
+          obs::f("sources", sources_.size()));
   std::vector<SensorTraceResult> results;
   results.reserve(rigs_.size());
   for (auto* rig : rigs_) {
@@ -54,13 +60,16 @@ std::vector<SensorTraceResult> Engine::run(std::size_t samples,
   util::Rng source_rng = rng.fork(0);
   std::vector<pdn::CurrentInjection> draws;
   std::vector<std::size_t> offsets(samples + 1, 0);
-  for (std::size_t s = 0; s < samples; ++s) {
-    // All rigs share the sample clock of the first rig (the paper's setup:
-    // one attacker tenant, one sample domain).
-    const double t_ns =
-        static_cast<double>(s) * rigs_.front()->params().sample_period_ns;
-    for (auto& src : sources_) src->draws_at(t_ns, source_rng, draws);
-    offsets[s + 1] = draws.size();
+  {
+    OBS_SPAN("engine.schedule");
+    for (std::size_t s = 0; s < samples; ++s) {
+      // All rigs share the sample clock of the first rig (the paper's
+      // setup: one attacker tenant, one sample domain).
+      const double t_ns =
+          static_cast<double>(s) * rigs_.front()->params().sample_period_ns;
+      for (auto& src : sources_) src->draws_at(t_ns, source_rng, draws);
+      offsets[s + 1] = draws.size();
+    }
   }
 
   // Stage 2 (parallel): every rig consumes the shared schedule with its own
@@ -70,6 +79,7 @@ std::vector<SensorTraceResult> Engine::run(std::size_t samples,
       threads_ == 0 ? util::ThreadPool::hardware_threads() : threads_,
       rigs_.size()));
   pool.parallel_for(rigs_.size(), [&](std::size_t r) {
+    OBS_SPAN("engine.rig");
     util::Rng rig_rng = rng.fork(r + 1);
     for (std::size_t s = 0; s < samples; ++s) {
       const std::span<const pdn::CurrentInjection> sample_draws{
@@ -77,6 +87,7 @@ std::vector<SensorTraceResult> Engine::run(std::size_t samples,
       results[r].readouts.push_back(rigs_[r]->sample(sample_draws, rig_rng));
     }
   });
+  OBS_COUNT("engine.samples", samples * rigs_.size());
   return results;
 }
 

@@ -1,9 +1,13 @@
 #include "sim/trace_store.h"
 
+#include <cerrno>
 #include <cstring>
 #include <limits>
 #include <sstream>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/byte_io.h"
 #include "util/crc32.h"
 
@@ -56,8 +60,13 @@ TraceStoreWriter::TraceStoreWriter(const std::string& path,
              "samples_per_trace " << samples_per_trace_
                                   << " exceeds the format's u32 field");
   LD_REQUIRE(chunk_traces_ >= 1, "chunk size must be >= 1");
+  errno = 0;
   os_.open(path_, std::ios::binary | std::ios::trunc);
-  LD_ENSURE(os_.is_open(), "cannot open '" << path_ << "' for writing");
+  if (!os_.is_open()) {
+    OBS_LOG(obs::LogLevel::kError, "trace_store", "open for write failed",
+            obs::f("path", path_), obs::f("errno", errno));
+    LD_ENSURE(false, "cannot open '" << path_ << "' for writing");
+  }
 
   util::ByteWriter header;
   header.bytes({reinterpret_cast<const std::uint8_t*>(kMagic), 4});
@@ -86,16 +95,26 @@ void TraceStoreWriter::add(const crypto::Block& ciphertext,
 
 void TraceStoreWriter::flush_chunk() {
   if (chunk_count_ == 0) return;
+  OBS_SPAN("store.write_chunk");
   util::ByteWriter header;
   header.bytes({reinterpret_cast<const std::uint8_t*>(kChunkMagic), 4});
   header.u32(static_cast<std::uint32_t>(chunk_count_));
   header.u32(util::crc32(chunk_));
   header.u32(util::crc32(header.span()));
+  errno = 0;
   os_.write(reinterpret_cast<const char*>(header.span().data()),
             static_cast<std::streamsize>(header.size()));
   os_.write(reinterpret_cast<const char*>(chunk_.data()),
             static_cast<std::streamsize>(chunk_.size()));
-  LD_ENSURE(os_.good(), "write failure on '" << path_ << "'");
+  if (!os_.good()) {
+    OBS_LOG(obs::LogLevel::kError, "trace_store", "chunk short write",
+            obs::f("path", path_), obs::f("chunk_traces", chunk_count_),
+            obs::f("chunk_bytes", header.size() + chunk_.size()),
+            obs::f("errno", errno));
+    LD_ENSURE(false, "write failure on '" << path_ << "'");
+  }
+  OBS_COUNT("store.chunks_written", 1);
+  OBS_COUNT("store.bytes_written", header.size() + chunk_.size());
   chunk_.clear();
   chunk_count_ = 0;
 }
@@ -107,10 +126,17 @@ void TraceStoreWriter::finish() {
   footer.bytes({reinterpret_cast<const std::uint8_t*>(kFooterMagic), 4});
   footer.u64(total_);
   footer.u32(util::crc32(footer.span()));
+  errno = 0;
   os_.write(reinterpret_cast<const char*>(footer.span().data()),
             static_cast<std::streamsize>(footer.size()));
   os_.flush();
-  LD_ENSURE(os_.good(), "write failure on '" << path_ << "'");
+  if (!os_.good()) {
+    OBS_LOG(obs::LogLevel::kError, "trace_store", "footer short write",
+            obs::f("path", path_), obs::f("total_traces", total_),
+            obs::f("errno", errno));
+    LD_ENSURE(false, "write failure on '" << path_ << "'");
+  }
+  OBS_COUNT("store.bytes_written", footer.size());
   os_.close();
   finished_ = true;
 }
@@ -118,6 +144,9 @@ void TraceStoreWriter::finish() {
 // ---------------------------------------------------------------- reader
 
 void TraceStoreReader::fail(const std::string& what) const {
+  OBS_LOG(obs::LogLevel::kError, "trace_store", "read failed",
+          obs::f("path", path_), obs::f("offset", offset_),
+          obs::f("reason", what));
   throw TraceFormatError("trace file '" + path_ + "': " + what);
 }
 
@@ -127,6 +156,7 @@ void TraceStoreReader::read_exact(void* dst, std::size_t n, const char* what) {
     fail(std::string("truncated while reading ") + what);
   }
   offset_ += n;
+  OBS_COUNT("store.bytes_read", n);
 }
 
 TraceStoreReader::TraceStoreReader(const std::string& path) : path_(path) {

@@ -40,10 +40,11 @@ class BenchJsonRow {
   BenchJsonRow& set(std::string key, std::uint64_t value);
   BenchJsonRow& set(std::string key, bool value);
 
- private:
-  friend class BenchJson;
   using Value =
       std::variant<std::string, double, std::int64_t, std::uint64_t, bool>;
+
+ private:
+  friend class BenchJson;
   std::vector<std::pair<std::string, Value>> fields_;
 };
 
@@ -54,6 +55,13 @@ class BenchJson {
 
   /// Appends an empty row; fill it through the returned reference.
   BenchJsonRow& row();
+
+  /// The report's run-wide `metrics` object (created on first call):
+  /// runtime observability captured alongside the wall times — peak RSS,
+  /// RNG draws, kernel invocation counts, histogram summaries
+  /// (obs::fill_bench_metrics populates it). Serialized as a top-level
+  /// sibling of `host` and `results`.
+  BenchJsonRow& metrics();
 
   /// Host metadata embedded in the report (captured at construction).
   const HostInfo& host() const { return host_; }
@@ -67,6 +75,11 @@ class BenchJson {
   std::string bench_;
   HostInfo host_ = HostInfo::current();
   std::vector<BenchJsonRow> rows_;
+  std::vector<BenchJsonRow> metrics_;  ///< empty or one row
 };
+
+/// Peak resident set size of the current process in kB (VmHWM from
+/// /proc/self/status); 0 when the platform does not expose it.
+std::uint64_t peak_rss_kb();
 
 }  // namespace leakydsp::util

@@ -59,6 +59,22 @@ Cli::Cli(int argc, const char* const* argv,
   }
 }
 
+namespace {
+
+std::vector<std::string> concat_specs(const std::vector<std::string>& spec,
+                                      const std::vector<std::string>& extra) {
+  std::vector<std::string> merged = spec;
+  merged.insert(merged.end(), extra.begin(), extra.end());
+  return merged;
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv,
+         const std::vector<std::string>& spec,
+         const std::vector<std::string>& extra)
+    : Cli(argc, argv, concat_specs(spec, extra)) {}
+
 bool Cli::has(const std::string& name) const {
   return values_.contains(name) || flags_.contains(name);
 }

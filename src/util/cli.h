@@ -19,6 +19,12 @@ class Cli {
   /// ending in '!' marks a boolean flag that takes no value.
   Cli(int argc, const char* const* argv, const std::vector<std::string>& spec);
 
+  /// As above, accepting `spec` plus an `extra` spec list — the way
+  /// drivers append a shared option block (e.g. obs::cli_options()) to
+  /// their own options without concatenating by hand.
+  Cli(int argc, const char* const* argv, const std::vector<std::string>& spec,
+      const std::vector<std::string>& extra);
+
   bool has(const std::string& name) const;
 
   std::string get_string(const std::string& name,

@@ -61,6 +61,7 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 std::uint64_t Rng::operator()() {
+  ++draws_;
   const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];

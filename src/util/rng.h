@@ -30,6 +30,12 @@ class Rng {
   /// Next raw 64-bit value.
   std::uint64_t operator()();
 
+  /// Number of raw 64-bit draws this generator has produced since
+  /// construction. Observability bookkeeping only: not part of
+  /// serialize()/deserialize() state (a resumed generator restarts at 0),
+  /// and fork() children start at 0.
+  std::uint64_t draws() const { return draws_; }
+
   /// Uniform double in [0, 1).
   double uniform();
 
@@ -88,6 +94,7 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;
+  std::uint64_t draws_ = 0;
 };
 
 }  // namespace leakydsp::util

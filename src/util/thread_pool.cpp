@@ -31,12 +31,34 @@ struct ThreadPool::Impl {
   bool shutting_down = false;
 };
 
+namespace {
+
+// Process-wide thread-start hook; a snapshot is taken per spawned worker
+// under the mutex so concurrent set_thread_start_hook calls stay safe.
+std::mutex g_start_hook_mutex;
+std::function<void(std::size_t)> g_start_hook;
+
+std::function<void(std::size_t)> start_hook_snapshot() {
+  std::lock_guard<std::mutex> lock(g_start_hook_mutex);
+  return g_start_hook;
+}
+
+}  // namespace
+
+void ThreadPool::set_thread_start_hook(std::function<void(std::size_t)> hook) {
+  std::lock_guard<std::mutex> lock(g_start_hook_mutex);
+  g_start_hook = std::move(hook);
+}
+
 ThreadPool::ThreadPool(std::size_t threads)
     : size_(threads == 0 ? hardware_threads() : threads), impl_(new Impl) {
   // The calling thread is executor #0; only size_ - 1 workers are spawned.
   workers_.reserve(size_ - 1);
   for (std::size_t i = 0; i + 1 < size_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      if (auto hook = start_hook_snapshot()) hook(i + 1);
+      worker_loop();
+    });
   }
 }
 

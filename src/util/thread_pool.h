@@ -41,6 +41,14 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   static std::size_t hardware_threads();
 
+  /// Installs a process-wide hook that every subsequently spawned worker
+  /// runs once on startup, before entering its work loop; the argument is
+  /// the worker's index within its pool (1-based — the calling thread is
+  /// executor #0 and never runs the hook). Used by the observability layer
+  /// to register per-thread metric shards eagerly; pass nullptr to clear.
+  /// Pools constructed before the call are unaffected.
+  static void set_thread_start_hook(std::function<void(std::size_t)> hook);
+
  private:
   struct Batch;
 
