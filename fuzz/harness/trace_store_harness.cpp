@@ -1,0 +1,48 @@
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "harness/harness.h"
+#include "sim/trace_store.h"
+
+namespace leakydsp::fuzz {
+
+namespace {
+
+/// Writes the input to a scratch file the parser can open. The reader's
+/// API is path-based (it streams chunks from disk), so the harness pays
+/// one temp-file round trip per input.
+std::string scratch_file(const std::uint8_t* data, std::size_t size,
+                         const char* tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("leakydsp_fuzz_" + std::string(tag) + "_" +
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed))))
+          .string();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(size));
+  return path;
+}
+
+}  // namespace
+
+int fuzz_trace_store(const std::uint8_t* data, std::size_t size) {
+  const std::string path = scratch_file(data, size, "trace");
+  try {
+    sim::TraceStoreReader reader(path);
+    sim::StoredTrace trace;
+    while (reader.next(trace)) {
+      // Drain every record: next() validates chunk CRCs lazily.
+    }
+  } catch (const sim::TraceFormatError&) {
+    // The contract: corruption surfaces as the typed error, nothing else.
+  }
+  std::remove(path.c_str());
+  return 0;
+}
+
+}  // namespace leakydsp::fuzz

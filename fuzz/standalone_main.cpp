@@ -1,0 +1,32 @@
+// File-replay driver for toolchains without libFuzzer (gcc): each argv is
+// a corpus file fed once through LLVMFuzzerTestOneInput, matching
+// libFuzzer's own replay convention (`fuzz_target corpus/dir/*`). Linked
+// into the fuzz executables when the compiler cannot provide
+// -fsanitize=fuzzer, so `-DLEAKYDSP_FUZZ=ON` builds and replays the
+// committed corpus on every supported toolchain.
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in.good()) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    const std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                          std::istreambuf_iterator<char>()};
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::cout << "replayed " << replayed << " inputs\n";
+  return 0;
+}

@@ -23,7 +23,10 @@ namespace leakydsp::attack {
 TraceCampaign::TraceCampaign(sim::SensorRig& rig, victim::AesCoreModel& aes,
                              CampaignConfig config)
     : rig_(&rig), aes_(&aes), config_(config) {
-  LD_REQUIRE(config_.max_traces >= 2, "campaign needs traces");
+  // A single-trace campaign is a valid degenerate shape: it generates its
+  // one trace and reports no break (the CPA needs two traces to
+  // correlate, and every break/rank check already guards on t >= 2).
+  LD_REQUIRE(config_.max_traces >= 1, "campaign needs traces");
   LD_REQUIRE(config_.break_check_stride >= 1, "bad break stride");
   LD_REQUIRE(config_.rank_stride >= 1, "bad rank stride");
 

@@ -1,0 +1,229 @@
+// Deterministic property-testing harness: generators over the model
+// parameter space, seeded from util::Rng, with integrated shrinking.
+//
+// A Property<Config> owns four functions: generate a Config from an Rng,
+// propose smaller Configs (shrink candidates), render a Config for humans,
+// and check the property. run_property() drives N iterations from a fixed
+// seed; iteration i draws its Config from Rng(seed).fork(i), so any failing
+// case is replayable from the printed (seed, case index) pair alone, on any
+// machine, regardless of how many iterations ran before it. On failure the
+// harness greedily walks the shrink lattice — it keeps the first candidate
+// that still fails — and reports the fully shrunk Config.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace leakydsp::verify {
+
+/// Outcome of one property check.
+struct CheckOutcome {
+  bool ok = true;
+  std::string message;  ///< why the check failed (empty when ok)
+};
+
+inline CheckOutcome pass() { return {true, {}}; }
+inline CheckOutcome fail(std::string message) {
+  return {false, std::move(message)};
+}
+
+/// A property over a generated configuration space.
+template <typename Config>
+struct Property {
+  std::string name;
+  std::function<Config(util::Rng&)> generate;
+  /// Shrink candidates for a failing config, most aggressive first. An
+  /// empty vector means the config is fully shrunk. Candidates must stay
+  /// inside the generator's domain.
+  std::function<std::vector<Config>(const Config&)> shrink =
+      [](const Config&) { return std::vector<Config>{}; };
+  std::function<std::string(const Config&)> describe =
+      [](const Config&) { return std::string("<config>"); };
+  std::function<CheckOutcome(const Config&)> check;
+};
+
+/// Result of a run_property() sweep. When passed() is false, `failure`
+/// holds the replay seed, the failing case index, the shrunk config and
+/// the check's message — everything needed to reproduce the bug.
+struct PropertyResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::size_t iterations = 0;    ///< cases executed
+  std::size_t failures = 0;      ///< cases that failed (before shrinking)
+  std::size_t shrink_steps = 0;  ///< accepted shrink moves on the first failure
+  std::size_t failing_case = 0;  ///< index of the first failing case
+  std::string failure;           ///< replay + shrunk config + message
+
+  bool passed() const { return failures == 0; }
+};
+
+/// Cap on accepted shrink moves; guards against shrink cycles.
+inline constexpr std::size_t kMaxShrinkSteps = 1000;
+
+namespace detail {
+
+/// Runs a property check, converting a thrown exception into a failing
+/// outcome — a generated config that trips a contract macro is a
+/// counterexample to shrink, not a reason to abort the sweep.
+template <typename Config>
+CheckOutcome checked(const Property<Config>& prop, const Config& config) {
+  try {
+    return prop.check(config);
+  } catch (const std::exception& e) {
+    return fail(std::string("check threw: ") + e.what());
+  }
+}
+
+/// Shrinks a failing config greedily and fills the failure report fields
+/// of `result`. Shared by the sweep and single-case replay drivers.
+template <typename Config>
+void shrink_and_report(const Property<Config>& prop, std::uint64_t seed,
+                       std::size_t case_index, Config config,
+                       CheckOutcome outcome, PropertyResult& result) {
+  result.failing_case = case_index;
+  std::size_t steps = 0;
+  bool moved = true;
+  while (moved && steps < kMaxShrinkSteps) {
+    moved = false;
+    for (Config& candidate : prop.shrink(config)) {
+      CheckOutcome candidate_outcome = checked(prop, candidate);
+      if (!candidate_outcome.ok) {
+        config = std::move(candidate);
+        outcome = std::move(candidate_outcome);
+        ++steps;
+        moved = true;
+        break;
+      }
+    }
+  }
+  result.shrink_steps = steps;
+
+  std::ostringstream oss;
+  oss << "property '" << prop.name << "' failed at case " << case_index
+      << " (replay: --seed " << seed << " --only-case " << case_index
+      << ")\n"
+      << "  shrunk config (" << steps << " shrink steps): "
+      << prop.describe(config) << "\n  " << outcome.message;
+  result.failure = oss.str();
+}
+
+}  // namespace detail
+
+/// Runs `iterations` cases of `prop` from `seed`. Deterministic: the same
+/// (seed, iterations) always visits the same configs in the same order.
+/// Every case after the first failure still runs (failures are counted),
+/// but only the first failure is shrunk and reported.
+template <typename Config>
+PropertyResult run_property(const Property<Config>& prop, std::uint64_t seed,
+                            std::size_t iterations) {
+  LD_REQUIRE(prop.generate != nullptr, "property '" << prop.name
+                                                    << "' has no generator");
+  LD_REQUIRE(prop.check != nullptr, "property '" << prop.name
+                                                 << "' has no check");
+  PropertyResult result;
+  result.name = prop.name;
+  result.seed = seed;
+  const util::Rng root(seed);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    util::Rng case_rng = root.fork(i);
+    Config config = prop.generate(case_rng);
+    CheckOutcome outcome = detail::checked(prop, config);
+    ++result.iterations;
+    if (outcome.ok) continue;
+    ++result.failures;
+    if (result.failures > 1) continue;  // only the first failure is shrunk
+    detail::shrink_and_report(prop, seed, i, std::move(config),
+                              std::move(outcome), result);
+  }
+  return result;
+}
+
+/// Replays exactly one case of the deterministic sweep: the config that
+/// run_property(prop, seed, n > case_index) would have generated for
+/// iteration `case_index`. This is the "--only-case" path a failure report
+/// points at.
+template <typename Config>
+PropertyResult run_property_case(const Property<Config>& prop,
+                                 std::uint64_t seed, std::size_t case_index) {
+  LD_REQUIRE(prop.generate != nullptr, "property '" << prop.name
+                                                    << "' has no generator");
+  LD_REQUIRE(prop.check != nullptr, "property '" << prop.name
+                                                 << "' has no check");
+  PropertyResult result;
+  result.name = prop.name;
+  result.seed = seed;
+  util::Rng case_rng = util::Rng(seed).fork(case_index);
+  Config config = prop.generate(case_rng);
+  CheckOutcome outcome = detail::checked(prop, config);
+  result.iterations = 1;
+  if (!outcome.ok) {
+    result.failures = 1;
+    detail::shrink_and_report(prop, seed, case_index, std::move(config),
+                              std::move(outcome), result);
+  }
+  return result;
+}
+
+// ------------------------------------------------------------- generators
+//
+// Scalar draws plus matching shrink-candidate builders. Generators draw
+// from the case Rng; shrinkers propose values strictly closer to the
+// domain's simplest point (the lower bound), halving the distance first so
+// large counterexamples collapse in O(log n) accepted moves.
+
+/// Uniform integer in [lo, hi].
+inline std::int64_t gen_int(util::Rng& rng, std::int64_t lo, std::int64_t hi) {
+  LD_REQUIRE(lo <= hi, "gen_int: empty range [" << lo << ", " << hi << "]");
+  return lo + static_cast<std::int64_t>(
+                  rng.uniform_u64(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+/// Uniform double in [lo, hi).
+inline double gen_real(util::Rng& rng, double lo, double hi) {
+  LD_REQUIRE(lo <= hi, "gen_real: empty range [" << lo << ", " << hi << ")");
+  return rng.uniform(lo, hi);
+}
+
+/// Shrink candidates for an integer toward `lo`: lo itself, then the
+/// halving ladder between lo and v.
+inline std::vector<std::int64_t> shrink_int(std::int64_t v, std::int64_t lo) {
+  std::vector<std::int64_t> out;
+  if (v <= lo) return out;
+  out.push_back(lo);
+  for (std::int64_t delta = (v - lo) / 2; delta > 0; delta /= 2) {
+    const std::int64_t candidate = v - delta;
+    if (candidate != lo && candidate != v) out.push_back(candidate);
+  }
+  if (out.empty() || out.back() != v - 1) out.push_back(v - 1);
+  return out;
+}
+
+/// Shrink candidates for a double toward `anchor` (typically the domain's
+/// simplest value): the anchor, then successive midpoints.
+inline std::vector<double> shrink_real(double v, double anchor) {
+  std::vector<double> out;
+  if (v == anchor) return out;
+  out.push_back(anchor);
+  double cur = v;
+  for (int i = 0; i < 8; ++i) {
+    cur = anchor + (cur - anchor) / 2.0;
+    if (cur != anchor && cur != v) out.push_back(cur);
+  }
+  return out;
+}
+
+/// Uniform choice from a fixed list.
+template <typename T>
+T gen_choice(util::Rng& rng, const std::vector<T>& choices) {
+  LD_REQUIRE(!choices.empty(), "gen_choice: no choices");
+  return choices[static_cast<std::size_t>(rng.uniform_u64(choices.size()))];
+}
+
+}  // namespace leakydsp::verify

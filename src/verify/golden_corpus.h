@@ -1,0 +1,23 @@
+// The golden regression corpus: deterministic fixed-seed computations
+// through the full pipeline whose numerical outputs are pinned by the
+// committed .ldgc files under golden/. compute_golden_corpus() is the
+// single source of truth for WHAT is computed; the files record what the
+// values WERE when last blessed. Re-bless with
+//   build/tools/leakydsp_verify --bless-golden
+// after an intentional numerical change, and say why in the commit.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "verify/golden.h"
+
+namespace leakydsp::verify {
+
+/// Recomputes every corpus file, keyed by its file name (e.g.
+/// "sensors.ldgc"). Deterministic: depends only on the code, never on
+/// wall clock, host, or thread count.
+std::vector<std::pair<std::string, GoldenFile>> compute_golden_corpus();
+
+}  // namespace leakydsp::verify

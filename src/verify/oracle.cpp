@@ -1,0 +1,14 @@
+#include "verify/oracle.h"
+
+namespace leakydsp::verify {
+
+std::vector<Oracle> all_oracles() {
+  std::vector<Oracle> oracles;
+  register_timing_oracles(oracles);
+  register_sensor_oracles(oracles);
+  register_store_oracles(oracles);
+  register_attack_oracles(oracles);
+  return oracles;
+}
+
+}  // namespace leakydsp::verify

@@ -1,0 +1,248 @@
+// Differential oracles for the batched sensor kernels: for every generated
+// sensor configuration, VoltageSensor::sample_batch must follow the same
+// readout distribution as the scalar sample() loop. The two paths consume
+// the rng stream differently by design (ziggurat vs Box-Muller, jitter
+// truncation), so agreement is statistical — means within an 8-sigma
+// standard-error bound and variances within a wide F-ratio band — which at
+// the sample counts used is a ~1e-14 false-positive rate per case while
+// still catching any real kernel drift (a single miscounted bit shifts the
+// mean by orders of magnitude more than the bound).
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/leaky_dsp.h"
+#include "fabric/device.h"
+#include "sensors/sensor.h"
+#include "sensors/tdc.h"
+#include "verify/oracle.h"
+
+namespace leakydsp::verify {
+
+namespace {
+
+constexpr std::size_t kSamples = 1500;
+
+/// Supply trace shared by both paths: nominal minus a slow droop ramp with
+/// a ripple, covering the calibrated operating point and mV-scale
+/// excursions to either side.
+std::vector<double> make_supply_trace(double droop_mv, std::uint64_t seed) {
+  std::vector<double> supply(kSamples);
+  util::Rng rng(seed);
+  const double phase = rng.uniform(0.0, 6.283185307179586);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(kSamples);
+    const double ramp = droop_mv * 1e-3 * x;
+    const double ripple =
+        0.3 * droop_mv * 1e-3 * std::sin(phase + 40.0 * x);
+    supply[i] = 1.0 - ramp - ripple;
+  }
+  return supply;
+}
+
+struct Moments {
+  double mean = 0.0;
+  double var = 0.0;
+};
+
+Moments moments(const std::vector<double>& xs) {
+  Moments m;
+  for (const double x : xs) m.mean += x;
+  m.mean /= static_cast<double>(xs.size());
+  for (const double x : xs) m.var += (x - m.mean) * (x - m.mean);
+  m.var /= static_cast<double>(xs.size() - 1);
+  return m;
+}
+
+/// Runs both paths on clones of a calibrated sensor and compares moments.
+CheckOutcome compare_batch_to_scalar(const sensors::VoltageSensor& calibrated,
+                                     const std::vector<double>& supply,
+                                     std::uint64_t noise_seed) {
+  const auto scalar_sensor = calibrated.clone();
+  const auto batch_sensor = calibrated.clone();
+  util::Rng scalar_rng = util::Rng(noise_seed).fork(1);
+  util::Rng batch_rng = util::Rng(noise_seed).fork(2);
+
+  std::vector<double> scalar_out(supply.size());
+  for (std::size_t i = 0; i < supply.size(); ++i) {
+    scalar_out[i] = scalar_sensor->sample(supply[i], scalar_rng);
+  }
+  std::vector<double> batch_out(supply.size());
+  batch_sensor->sample_batch(supply, batch_out, batch_rng);
+
+  const Moments s = moments(scalar_out);
+  const Moments b = moments(batch_out);
+  const double n = static_cast<double>(supply.size());
+  // 8-sigma bound on the difference of two independent sample means.
+  const double bound = 8.0 * std::sqrt((s.var + b.var) / n) + 1e-9;
+  if (std::fabs(s.mean - b.mean) > bound) {
+    std::ostringstream oss;
+    oss << "mean drift: scalar=" << s.mean << " batch=" << b.mean
+        << " |diff|=" << std::fabs(s.mean - b.mean) << " bound=" << bound;
+    return fail(oss.str());
+  }
+  // Variance band. Sample variance of n samples has relative std
+  // ~sqrt(2/n) (~3.7% here); [0.6, 1.67] is ~15 sigma wide. Near-zero
+  // variance means a deterministic readout on both paths.
+  const double tiny = 1e-9;
+  if (s.var < tiny && b.var < tiny) return pass();
+  const double ratio = (b.var + tiny) / (s.var + tiny);
+  if (ratio < 0.6 || ratio > 1.67) {
+    std::ostringstream oss;
+    oss << "variance drift: scalar=" << s.var << " batch=" << b.var
+        << " ratio=" << ratio;
+    return fail(oss.str());
+  }
+  return pass();
+}
+
+// --------------------------------------------------- LeakyDSP batch kernel
+
+struct LeakyBatchConfig {
+  std::int64_t n_dsp = 3;
+  double bit_spread_ns = 0.40;
+  double taper = 1.55;
+  double jitter_sigma_ns = 0.008;
+  double droop_mv = 8.0;
+  std::uint64_t seed = 0;
+};
+
+std::string describe_leaky(const LeakyBatchConfig& c) {
+  std::ostringstream oss;
+  oss << "{n_dsp=" << c.n_dsp << " spread=" << c.bit_spread_ns
+      << " taper=" << c.taper << " jitter=" << c.jitter_sigma_ns
+      << " droop_mv=" << c.droop_mv << " seed=" << c.seed << "}";
+  return oss.str();
+}
+
+Property<LeakyBatchConfig> leaky_batch_property() {
+  Property<LeakyBatchConfig> prop;
+  prop.name = "sensors.leakydsp_batch_vs_scalar";
+  prop.generate = [](util::Rng& rng) {
+    LeakyBatchConfig c;
+    c.n_dsp = gen_int(rng, 1, 4);
+    c.bit_spread_ns = gen_real(rng, 0.25, 0.60);
+    c.taper = gen_real(rng, 0.0, 1.55);
+    c.jitter_sigma_ns = gen_real(rng, 0.004, 0.012);
+    c.droop_mv = gen_real(rng, 0.0, 12.0);
+    c.seed = rng();
+    return c;
+  };
+  prop.shrink = [](const LeakyBatchConfig& c) {
+    std::vector<LeakyBatchConfig> out;
+    for (const std::int64_t n : shrink_int(c.n_dsp, 1)) {
+      LeakyBatchConfig s = c;
+      s.n_dsp = n;
+      out.push_back(s);
+    }
+    for (const double taper : shrink_real(c.taper, 0.0)) {
+      LeakyBatchConfig s = c;
+      s.taper = taper;
+      out.push_back(s);
+    }
+    for (const double droop : shrink_real(c.droop_mv, 0.0)) {
+      LeakyBatchConfig s = c;
+      s.droop_mv = droop;
+      out.push_back(s);
+    }
+    return out;
+  };
+  prop.describe = describe_leaky;
+  prop.check = [](const LeakyBatchConfig& c) -> CheckOutcome {
+    const fabric::Device device = fabric::Device::basys3();
+    core::LeakyDspParams params;
+    params.n_dsp = static_cast<std::size_t>(c.n_dsp);
+    params.bit_spread_ns = c.bit_spread_ns;
+    params.taper = c.taper;
+    params.jitter_sigma_ns = c.jitter_sigma_ns;
+    core::LeakyDspSensor sensor(device, {16, 20}, params);
+    util::Rng cal_rng(c.seed);
+    const auto cal = sensor.calibrate(1.0, cal_rng, 64);
+    if (!cal.success) return pass();  // outside the calibratable domain
+    return compare_batch_to_scalar(
+        sensor, make_supply_trace(c.droop_mv, c.seed ^ 0xBA7C4ull),
+        c.seed ^ 0x5EEDull);
+  };
+  return prop;
+}
+
+// -------------------------------------------------------- TDC batch kernel
+
+struct TdcBatchConfig {
+  std::int64_t stages = 128;
+  double stage_ps = 15.0;
+  double init_delay_ns = 5.9;
+  double jitter_sigma_ns = 0.005;
+  double droop_mv = 8.0;
+  std::uint64_t seed = 0;
+};
+
+std::string describe_tdc(const TdcBatchConfig& c) {
+  std::ostringstream oss;
+  oss << "{stages=" << c.stages << " stage_ps=" << c.stage_ps
+      << " init=" << c.init_delay_ns << " jitter=" << c.jitter_sigma_ns
+      << " droop_mv=" << c.droop_mv << " seed=" << c.seed << "}";
+  return oss.str();
+}
+
+Property<TdcBatchConfig> tdc_batch_property() {
+  Property<TdcBatchConfig> prop;
+  prop.name = "sensors.tdc_batch_vs_scalar";
+  prop.generate = [](util::Rng& rng) {
+    TdcBatchConfig c;
+    c.stages = gen_choice<std::int64_t>(rng, {64, 96, 128, 192, 256});
+    c.stage_ps = gen_real(rng, 10.0, 20.0);
+    c.init_delay_ns = gen_real(rng, 3.0, 9.0);
+    c.jitter_sigma_ns = gen_real(rng, 0.002, 0.010);
+    c.droop_mv = gen_real(rng, 0.0, 12.0);
+    c.seed = rng();
+    return c;
+  };
+  prop.shrink = [](const TdcBatchConfig& c) {
+    std::vector<TdcBatchConfig> out;
+    for (const std::int64_t stages : shrink_int(c.stages, 64)) {
+      TdcBatchConfig s = c;
+      s.stages = stages;
+      out.push_back(s);
+    }
+    for (const double droop : shrink_real(c.droop_mv, 0.0)) {
+      TdcBatchConfig s = c;
+      s.droop_mv = droop;
+      out.push_back(s);
+    }
+    return out;
+  };
+  prop.describe = describe_tdc;
+  prop.check = [](const TdcBatchConfig& c) -> CheckOutcome {
+    sensors::TdcParams params;
+    params.stages = static_cast<std::size_t>(c.stages);
+    params.stage_ps = c.stage_ps;
+    params.init_delay_ns = c.init_delay_ns;
+    params.jitter_sigma_ns = c.jitter_sigma_ns;
+    sensors::TdcSensor sensor(fabric::Device::basys3(), {2, 10}, params);
+    util::Rng cal_rng(c.seed);
+    const auto cal = sensor.calibrate(1.0, cal_rng, 64);
+    if (!cal.success) return pass();  // outside the calibratable domain
+    return compare_batch_to_scalar(
+        sensor, make_supply_trace(c.droop_mv, c.seed ^ 0xBA7C4ull),
+        c.seed ^ 0x5EEDull);
+  };
+  return prop;
+}
+
+}  // namespace
+
+void register_sensor_oracles(std::vector<Oracle>& out) {
+  out.push_back(make_oracle(
+      "LeakyDspSensor::sample_batch (LUT scale + ziggurat + 8-sigma jitter "
+      "truncation) vs scalar sample() loop: same readout distribution",
+      1, leaky_batch_property()));
+  out.push_back(make_oracle(
+      "TdcSensor::sample_batch (LUT scale + ziggurat + O(1) uniform chain) "
+      "vs scalar sample() loop: same readout distribution",
+      1, tdc_batch_property()));
+}
+
+}  // namespace leakydsp::verify

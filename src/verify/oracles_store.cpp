@@ -1,0 +1,165 @@
+// Differential oracle for trace persistence: a v2 file written through the
+// streaming TraceStoreWriter and drained through TraceStoreReader must
+// reproduce the in-memory trace set bit for bit — every ciphertext byte
+// and every sample's exact bit pattern (including negative zero, denormals
+// and infinities), across generated shapes (sample counts, trace counts
+// including zero, chunk sizes that divide the trace count and ones that
+// leave a short final chunk).
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "sim/trace_store.h"
+#include "verify/oracle.h"
+
+namespace leakydsp::verify {
+
+namespace {
+
+struct StoreConfig {
+  std::int64_t samples_per_trace = 1;
+  std::int64_t traces = 0;
+  std::int64_t chunk_traces = 1;
+  std::uint64_t seed = 0;
+};
+
+std::string describe_store(const StoreConfig& c) {
+  std::ostringstream oss;
+  oss << "{spt=" << c.samples_per_trace << " traces=" << c.traces
+      << " chunk=" << c.chunk_traces << " seed=" << c.seed << "}";
+  return oss.str();
+}
+
+/// A sample value whose bit pattern exercises the format: mostly ordinary
+/// gaussians, with occasional special values that any lossy round-trip
+/// would mangle.
+double gen_sample(util::Rng& rng) {
+  const std::uint64_t pick = rng.uniform_u64(16);
+  switch (pick) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -0.0;
+    case 2:
+      return std::numeric_limits<double>::infinity();
+    case 3:
+      return -std::numeric_limits<double>::denorm_min();
+    case 4:
+      return std::numeric_limits<double>::max();
+    default:
+      return rng.gaussian();
+  }
+}
+
+Property<StoreConfig> store_roundtrip_property() {
+  Property<StoreConfig> prop;
+  prop.name = "store.v2_roundtrip_vs_memory";
+  prop.generate = [](util::Rng& rng) {
+    StoreConfig c;
+    c.samples_per_trace = gen_int(rng, 1, 64);
+    c.traces = gen_int(rng, 0, 100);
+    c.chunk_traces = gen_int(rng, 1, 32);
+    c.seed = rng();
+    return c;
+  };
+  prop.shrink = [](const StoreConfig& c) {
+    std::vector<StoreConfig> out;
+    for (const std::int64_t traces : shrink_int(c.traces, 0)) {
+      StoreConfig s = c;
+      s.traces = traces;
+      out.push_back(s);
+    }
+    for (const std::int64_t spt : shrink_int(c.samples_per_trace, 1)) {
+      StoreConfig s = c;
+      s.samples_per_trace = spt;
+      out.push_back(s);
+    }
+    for (const std::int64_t chunk : shrink_int(c.chunk_traces, 1)) {
+      StoreConfig s = c;
+      s.chunk_traces = chunk;
+      out.push_back(s);
+    }
+    return out;
+  };
+  prop.describe = describe_store;
+  prop.check = [](const StoreConfig& c) -> CheckOutcome {
+    util::Rng rng(c.seed);
+    std::vector<sim::StoredTrace> expected(
+        static_cast<std::size_t>(c.traces));
+    for (auto& t : expected) {
+      for (auto& b : t.ciphertext) b = static_cast<std::uint8_t>(rng() & 0xff);
+      t.samples.resize(static_cast<std::size_t>(c.samples_per_trace));
+      for (auto& s : t.samples) s = gen_sample(rng);
+    }
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("leakydsp_verify_store_" + std::to_string(c.seed) + ".ldtr"))
+            .string();
+    sim::TraceStoreWriter writer(
+        path, static_cast<std::size_t>(c.samples_per_trace),
+        static_cast<std::size_t>(c.chunk_traces));
+    for (const auto& t : expected) writer.add(t.ciphertext, t.samples);
+    writer.finish();
+
+    CheckOutcome outcome = pass();
+    try {
+      sim::TraceStoreReader reader(path);
+      if (reader.trace_count() != expected.size() ||
+          reader.samples_per_trace() !=
+              static_cast<std::size_t>(c.samples_per_trace)) {
+        std::ostringstream oss;
+        oss << "shape mismatch: reader says " << reader.trace_count() << " x "
+            << reader.samples_per_trace() << ", wrote " << expected.size()
+            << " x " << c.samples_per_trace;
+        outcome = fail(oss.str());
+      }
+      sim::StoredTrace got;
+      std::size_t i = 0;
+      while (outcome.ok && reader.next(got)) {
+        const auto& want = expected[i];
+        if (got.ciphertext != want.ciphertext) {
+          outcome = fail("ciphertext mismatch at trace " + std::to_string(i));
+          break;
+        }
+        for (std::size_t k = 0; k < want.samples.size(); ++k) {
+          if (std::bit_cast<std::uint64_t>(got.samples[k]) !=
+              std::bit_cast<std::uint64_t>(want.samples[k])) {
+            std::ostringstream oss;
+            oss << "sample bit pattern mismatch at trace " << i << " sample "
+                << k << ": got " << got.samples[k] << ", want "
+                << want.samples[k];
+            outcome = fail(oss.str());
+            break;
+          }
+        }
+        ++i;
+      }
+      if (outcome.ok && i != expected.size()) {
+        outcome = fail("reader stopped after " + std::to_string(i) + " of " +
+                       std::to_string(expected.size()) + " traces");
+      }
+    } catch (const sim::TraceFormatError& e) {
+      outcome = fail(std::string("round-trip rejected its own file: ") +
+                     e.what());
+    }
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return outcome;
+  };
+  return prop;
+}
+
+}  // namespace
+
+void register_store_oracles(std::vector<Oracle>& out) {
+  out.push_back(make_oracle(
+      "TraceStoreWriter -> v2 file -> TraceStoreReader vs the in-memory "
+      "trace set: bitwise-identical ciphertexts and sample bit patterns",
+      1, store_roundtrip_property()));
+}
+
+}  // namespace leakydsp::verify

@@ -1,0 +1,233 @@
+// Differential oracles for the timing hot paths: the cubic-Hermite
+// ScaleTable against the exact std::pow law, and the O(1)/binary-search
+// DelayChain::stages_within_scaled against a plain linear scan.
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "timing/delay_model.h"
+#include "verify/oracle.h"
+
+namespace leakydsp::verify {
+
+namespace {
+
+// ----------------------------------------------- ScaleTable vs std::pow
+
+struct ScaleTableConfig {
+  double vnom = 1.0;
+  double vth = 0.30;
+  double alpha = 1.3;
+  std::int64_t knots = timing::ScaleTable::kKnots;
+  std::uint64_t probe_seed = 0;  ///< fork index for the probe voltages
+};
+
+std::string describe_scale_table(const ScaleTableConfig& c) {
+  std::ostringstream oss;
+  oss << "{vnom=" << c.vnom << " vth=" << c.vth << " alpha=" << c.alpha
+      << " knots=" << c.knots << " probe_seed=" << c.probe_seed << "}";
+  return oss.str();
+}
+
+Property<ScaleTableConfig> scale_table_property() {
+  Property<ScaleTableConfig> prop;
+  prop.name = "timing.scale_table_vs_pow";
+  prop.generate = [](util::Rng& rng) {
+    ScaleTableConfig c;
+    c.vnom = gen_real(rng, 0.85, 1.25);
+    c.vth = gen_real(rng, 0.18, 0.45);
+    c.alpha = gen_real(rng, 1.05, 2.0);
+    // The documented kMaxAbsError bound is derived for >= kKnots knots over
+    // the default operational range; denser tables only tighten it.
+    c.knots = gen_int(rng, timing::ScaleTable::kKnots,
+                      4 * timing::ScaleTable::kKnots);
+    c.probe_seed = rng();
+    return c;
+  };
+  prop.shrink = [](const ScaleTableConfig& c) {
+    std::vector<ScaleTableConfig> out;
+    for (const double alpha : shrink_real(c.alpha, 1.3)) {
+      ScaleTableConfig s = c;
+      s.alpha = alpha;
+      out.push_back(s);
+    }
+    for (const std::int64_t knots :
+         shrink_int(c.knots, timing::ScaleTable::kKnots)) {
+      ScaleTableConfig s = c;
+      s.knots = knots;
+      out.push_back(s);
+    }
+    for (const double vth : shrink_real(c.vth, 0.30)) {
+      ScaleTableConfig s = c;
+      s.vth = vth;
+      out.push_back(s);
+    }
+    return out;
+  };
+  prop.describe = describe_scale_table;
+  prop.check = [](const ScaleTableConfig& c) -> CheckOutcome {
+    const timing::AlphaPowerLaw law{c.vnom, c.vth, c.alpha};
+    const timing::ScaleTable table(
+        law, law.vth + 0.25 * (law.vnom - law.vth),
+        law.vnom + 0.5 * (law.vnom - law.vth),
+        static_cast<std::size_t>(c.knots));
+    util::Rng probe(c.probe_seed);
+    // Inside the table range the interpolant must stay within the
+    // documented bound of the exact law; outside it the fallback must be
+    // the exact law, bit for bit.
+    for (int i = 0; i < 64; ++i) {
+      const double v = probe.uniform(table.v_lo(), table.v_hi());
+      const double got = table(v);
+      const double want = law.scale(v);
+      const double err = std::fabs(got - want);
+      if (!(err <= timing::ScaleTable::kMaxAbsError)) {
+        std::ostringstream oss;
+        oss << "interpolation error " << err << " at v=" << v
+            << " exceeds kMaxAbsError=" << timing::ScaleTable::kMaxAbsError;
+        return fail(oss.str());
+      }
+    }
+    for (int i = 0; i < 16; ++i) {
+      const double above = probe.uniform(table.v_hi(), table.v_hi() + 0.3);
+      const double below =
+          probe.uniform(law.vth + 1e-6, table.v_lo());
+      for (const double v : {above, below}) {
+        if (table(v) != law.scale(v)) {
+          std::ostringstream oss;
+          oss << "fallback at v=" << v << " not bitwise-exact: table="
+              << table(v) << " law=" << law.scale(v);
+          return fail(oss.str());
+        }
+      }
+    }
+    return pass();
+  };
+  return prop;
+}
+
+// --------------------------------- stages_within_scaled vs linear scan
+
+struct StagesConfig {
+  std::int64_t stages = 1;
+  bool uniform = true;
+  double stage_ns = 0.015;
+  std::uint64_t delay_seed = 0;  ///< varied-stage delays + probe budgets
+  double scale = 1.0;
+};
+
+std::string describe_stages(const StagesConfig& c) {
+  std::ostringstream oss;
+  oss << "{stages=" << c.stages << (c.uniform ? " uniform" : " varied")
+      << " stage_ns=" << c.stage_ns << " scale=" << c.scale
+      << " delay_seed=" << c.delay_seed << "}";
+  return oss.str();
+}
+
+std::vector<double> make_stage_delays(const StagesConfig& c) {
+  std::vector<double> delays(static_cast<std::size_t>(c.stages), c.stage_ns);
+  if (!c.uniform) {
+    util::Rng rng(c.delay_seed);
+    for (auto& d : delays) d = c.stage_ns * rng.uniform(0.5, 1.5);
+  }
+  return delays;
+}
+
+Property<StagesConfig> stages_property() {
+  Property<StagesConfig> prop;
+  prop.name = "timing.stages_within_scaled_vs_scan";
+  prop.generate = [](util::Rng& rng) {
+    StagesConfig c;
+    c.stages = gen_int(rng, 1, 300);
+    c.uniform = rng.bernoulli(0.5);
+    c.stage_ns = gen_real(rng, 0.002, 0.2);
+    c.delay_seed = rng();
+    c.scale = gen_real(rng, 0.8, 1.6);
+    return c;
+  };
+  prop.shrink = [](const StagesConfig& c) {
+    std::vector<StagesConfig> out;
+    for (const std::int64_t n : shrink_int(c.stages, 1)) {
+      StagesConfig s = c;
+      s.stages = n;
+      out.push_back(s);
+    }
+    if (!c.uniform) {
+      StagesConfig s = c;
+      s.uniform = true;
+      out.push_back(s);
+    }
+    for (const double scale : shrink_real(c.scale, 1.0)) {
+      StagesConfig s = c;
+      s.scale = scale;
+      out.push_back(s);
+    }
+    return out;
+  };
+  prop.describe = describe_stages;
+  prop.check = [](const StagesConfig& c) -> CheckOutcome {
+    const std::vector<double> delays = make_stage_delays(c);
+    const timing::DelayChain chain(delays, timing::AlphaPowerLaw{});
+
+    // Independent reference: the same prefix sums (same summation order,
+    // so bitwise-identical values) walked with a linear scan.
+    std::vector<double> cumulative(delays.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+      sum += delays[i];
+      cumulative[i] = sum;
+    }
+    const auto reference = [&](double budget_ns) -> std::size_t {
+      if (budget_ns <= 0.0) return 0;
+      const double normalized = budget_ns / c.scale;
+      std::size_t n = 0;
+      for (const double arrival : cumulative) {
+        if (arrival <= normalized) ++n;
+      }
+      return n;
+    };
+
+    util::Rng probe(c.delay_seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<double> budgets;
+    // Random budgets across (and beyond) the chain, plus exact stage
+    // boundaries — the tie cases where a fast path most easily goes wrong.
+    for (int i = 0; i < 24; ++i) {
+      budgets.push_back(probe.uniform(-0.1, chain.nominal_total() * 2.0));
+    }
+    for (int i = 0; i < 8; ++i) {
+      const std::size_t stage = static_cast<std::size_t>(
+          probe.uniform_u64(cumulative.size()));
+      budgets.push_back(cumulative[stage] * c.scale);
+    }
+    budgets.push_back(0.0);
+    budgets.push_back(chain.nominal_total() * c.scale);
+
+    for (const double budget : budgets) {
+      const std::size_t got = chain.stages_within_scaled(budget, c.scale);
+      const std::size_t want = reference(budget);
+      if (got != want) {
+        std::ostringstream oss;
+        oss << "stages_within_scaled(" << budget << ", " << c.scale << ") = "
+            << got << ", linear scan says " << want;
+        return fail(oss.str());
+      }
+    }
+    return pass();
+  };
+  return prop;
+}
+
+}  // namespace
+
+void register_timing_oracles(std::vector<Oracle>& out) {
+  out.push_back(make_oracle(
+      "ScaleTable cubic-Hermite LUT vs exact std::pow law: |err| <= "
+      "kMaxAbsError inside the range, bitwise-exact fallback outside",
+      1, scale_table_property()));
+  out.push_back(make_oracle(
+      "DelayChain::stages_within_scaled (O(1) uniform divide / binary "
+      "search) vs linear prefix-sum scan: exactly equal counts",
+      1, stages_property()));
+}
+
+}  // namespace leakydsp::verify

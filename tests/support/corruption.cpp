@@ -1,0 +1,53 @@
+#include "support/corruption.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace leakydsp::testing {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is.is_open()) throw std::runtime_error("cannot open " + path);
+  const auto size = static_cast<std::size_t>(is.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!is.good()) throw std::runtime_error("cannot read " + path);
+  return bytes;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.is_open()) throw std::runtime_error("cannot open " + path);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  if (!os.good()) throw std::runtime_error("cannot write " + path);
+}
+
+std::vector<std::uint8_t> flip_bit(std::vector<std::uint8_t> bytes,
+                                   std::size_t byte_index, unsigned bit) {
+  bytes.at(byte_index) ^= static_cast<std::uint8_t>(1u << (bit & 7u));
+  return bytes;
+}
+
+std::vector<std::uint8_t> truncate_to(std::vector<std::uint8_t> bytes,
+                                      std::size_t size) {
+  if (size > bytes.size()) {
+    throw std::runtime_error("truncate_to: size exceeds buffer");
+  }
+  bytes.resize(size);
+  return bytes;
+}
+
+std::vector<std::uint8_t> zero_fill(std::vector<std::uint8_t> bytes,
+                                    std::size_t offset, std::size_t count) {
+  for (std::size_t i = offset; i < offset + count && i < bytes.size(); ++i) {
+    bytes[i] = 0;
+  }
+  return bytes;
+}
+
+}  // namespace leakydsp::testing

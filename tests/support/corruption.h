@@ -1,0 +1,38 @@
+// File-corruption helpers shared by the fault-injection suite and the
+// fuzz-corpus replayer: read a file into memory, mutate it (bit flips,
+// truncation, zero fills), and write it back. Compiled into the
+// ld_test_support library; gtest-free so non-gtest tools (fuzz harness
+// drivers) can link it too — IO failures throw std::runtime_error, which
+// gtest reports as a test error at the call site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leakydsp::testing {
+
+/// Reads a whole file; throws std::runtime_error when it cannot be
+/// opened or read.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Overwrites `path` with `bytes`; throws std::runtime_error on failure.
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes);
+
+/// Returns a copy with bit `bit & 7` of byte `byte_index` flipped.
+/// Throws std::out_of_range when byte_index is past the end.
+std::vector<std::uint8_t> flip_bit(std::vector<std::uint8_t> bytes,
+                                   std::size_t byte_index, unsigned bit);
+
+/// Returns a copy truncated to `size` bytes (size must not exceed the
+/// input; throws std::runtime_error otherwise).
+std::vector<std::uint8_t> truncate_to(std::vector<std::uint8_t> bytes,
+                                      std::size_t size);
+
+/// Returns a copy with `count` bytes zeroed starting at `offset`
+/// (clamped to the buffer).
+std::vector<std::uint8_t> zero_fill(std::vector<std::uint8_t> bytes,
+                                    std::size_t offset, std::size_t count);
+
+}  // namespace leakydsp::testing

@@ -14,7 +14,7 @@
 
 #include "attack/campaign.h"
 #include "core/leaky_dsp.h"
-#include "corruption.h"
+#include "support/corruption.h"
 #include "crypto/aes128.h"
 #include "sim/scenarios.h"
 #include "sim/sensor_rig.h"

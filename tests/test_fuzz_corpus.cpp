@@ -1,0 +1,121 @@
+// Replays the committed fuzz seed corpus through the real fuzz harness
+// entry points in normal CI — including the ASan/UBSan legs, so every
+// corpus input runs under sanitizers on every push even though libFuzzer
+// itself only runs in dedicated fuzzing sessions. Also pins corpus
+// quality: the "valid_" seeds must take the parsers' happy paths (a
+// corpus of only-rejected inputs would fuzz nothing but the first error
+// check).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "attack/campaign.h"
+#include "core/leaky_dsp.h"
+#include "harness/harness.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "sim/trace_store.h"
+#include "support/corruption.h"
+#include "util/rng.h"
+#include "victim/aes_core.h"
+
+namespace lt = leakydsp::testing;
+
+namespace {
+
+std::string corpus_dir(const std::string& surface) {
+  return std::string(LEAKYDSP_SOURCE_DIR) + "/fuzz/corpus/" + surface;
+}
+
+std::vector<std::string> corpus_files(const std::string& surface) {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(corpus_dir(surface))) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+using HarnessFn = int (*)(const std::uint8_t*, std::size_t);
+
+void replay(const std::string& surface, HarnessFn fn) {
+  const auto files = corpus_files(surface);
+  ASSERT_FALSE(files.empty()) << "no committed corpus under "
+                              << corpus_dir(surface);
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    const auto bytes = lt::read_file(path);
+    EXPECT_EQ(fn(bytes.data(), bytes.size()), 0);
+  }
+}
+
+}  // namespace
+
+TEST(FuzzCorpus, TraceStoreReplaysClean) {
+  replay("trace_store", leakydsp::fuzz::fuzz_trace_store);
+}
+
+TEST(FuzzCorpus, CheckpointReplaysClean) {
+  replay("checkpoint", leakydsp::fuzz::fuzz_checkpoint);
+}
+
+TEST(FuzzCorpus, CliReplaysClean) {
+  replay("cli", leakydsp::fuzz::fuzz_cli);
+}
+
+TEST(FuzzCorpus, ValidTraceStoreSeedsParse) {
+  // The valid_ seeds must load as well-formed files, proving the corpus
+  // reaches past the header checks into chunk decoding.
+  for (const auto& path : corpus_files("trace_store")) {
+    if (path.find("valid_") == std::string::npos) continue;
+    SCOPED_TRACE(path);
+    leakydsp::sim::TraceStoreReader reader(path);
+    leakydsp::sim::StoredTrace trace;
+    std::size_t n = 0;
+    while (reader.next(trace)) ++n;
+    EXPECT_EQ(n, reader.trace_count());
+  }
+}
+
+TEST(FuzzCorpus, ValidCheckpointSeedResumes) {
+  // Rebuild exactly the campaign the fuzz harness uses (and that wrote
+  // the committed seeds); the mid-run seed must resume to completion.
+  namespace la = leakydsp::attack;
+  namespace ls = leakydsp::sim;
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           "leakydsp_fuzz_seed_check")
+                              .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::filesystem::copy_file(corpus_dir("checkpoint") + "/valid_midrun.ckpt",
+                             dir + "/campaign.ckpt");
+
+  const ls::Basys3Scenario scenario;
+  leakydsp::util::Rng rng(212);
+  leakydsp::crypto::Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng() & 0xff);
+  leakydsp::victim::AesCoreParams aes_params;
+  aes_params.clock_mhz = 100.0;
+  aes_params.current_per_hd_bit = 0.15;
+  leakydsp::victim::AesCoreModel aes(key, scenario.aes_site(),
+                                     scenario.grid(), aes_params);
+  leakydsp::core::LeakyDspSensor sensor(
+      scenario.device(),
+      scenario.attack_placements()[ls::Basys3Scenario::kBestPlacementIndex]);
+  ls::SensorRig rig(scenario.grid(), sensor);
+  rig.calibrate(rng);
+  la::CampaignConfig config;
+  config.max_traces = 96;
+  config.break_check_stride = 48;
+  config.rank_stride = 96;
+  config.threads = 1;
+  config.checkpoint_dir = dir;
+  la::TraceCampaign campaign(rig, aes, config);
+  la::CampaignResult result;
+  ASSERT_NO_THROW(result = campaign.resume());
+  EXPECT_EQ(result.traces_run, 96u);
+  std::filesystem::remove_all(dir);
+}
