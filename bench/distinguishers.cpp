@@ -66,6 +66,20 @@ int main(int argc, char** argv) {
   crypto::Block pt;
   for (auto& b : pt) b = static_cast<std::uint8_t>(rng() & 0xff);
   std::vector<double> poi(poi_count);
+  // The CPA side accumulates in 64-trace batches (the campaign's block
+  // size) so the batched kernel does the heavy lifting; batches flush at
+  // every checkpoint, where the snapshot must reflect all traces so far.
+  constexpr std::size_t kCpaBatch = 64;
+  std::vector<crypto::Block> batch_cts;
+  std::vector<double> batch_rows;
+  batch_cts.reserve(kCpaBatch);
+  batch_rows.reserve(kCpaBatch * poi_count);
+  const auto flush_cpa = [&] {
+    if (batch_cts.empty()) return;
+    cpa.add_traces(batch_cts, batch_rows);
+    batch_cts.clear();
+    batch_rows.clear();
+  };
   std::size_t next_checkpoint = max_traces / 6;
   for (std::size_t t = 1; t <= max_traces; ++t) {
     aes.start_encryption(pt);
@@ -77,10 +91,13 @@ int main(int argc, char** argv) {
         poi[s - poi_begin] = readout;
       }
     }
-    cpa.add_trace(aes.ciphertext(), poi);
+    batch_cts.push_back(aes.ciphertext());
+    batch_rows.insert(batch_rows.end(), poi.begin(), poi.end());
+    if (batch_cts.size() == kCpaBatch) flush_cpa();
     dpa.add_trace(aes.ciphertext(), poi);
     pt = aes.ciphertext();
     if (t == next_checkpoint || t == max_traces) {
+      flush_cpa();
       table.row()
           .add(util::format_count(t))
           .add(count_correct(cpa.recovered_round_key()))

@@ -248,8 +248,15 @@ int main(int argc, char** argv) {
       g_sink = static_cast<double>(cls.trace_count());
       return n * kBatch;
     });
+    attack::CpaAttack simd(kPoi, attack::CpaKernel::kSimd);
+    const auto simd_res = run_bench(40 * kScale, [&](std::size_t n) {
+      for (std::size_t r = 0; r < n; ++r) simd.add_traces(cts, rows);
+      g_sink = static_cast<double>(simd.trace_count());
+      return n * kBatch;
+    });
     record("cpa_add_traces", "add_trace_loop", loop, "gemm_batch", gemm_res);
     record("cpa_add_traces", "gemm_batch", gemm_res, "class_accum", cls_res);
+    record("cpa_add_traces", "class_accum", cls_res, "simd_kernel", simd_res);
   }
 
   std::cout << "=== hot-path microbenchmarks"

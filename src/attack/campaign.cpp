@@ -16,6 +16,7 @@
 #include "util/byte_io.h"
 #include "util/contracts.h"
 #include "util/crc32.h"
+#include "util/simd_ops.h"
 #include "util/thread_pool.h"
 
 namespace leakydsp::attack {
@@ -96,11 +97,12 @@ void TraceCampaign::sample_trace(sim::SensorRig::Sampler& sampler,
   scratch.supplies.resize(trace_samples_);
 
   // Stage 1 (SoA): static droop per sensor sample. The victim current is
-  // constant within a cycle, so evaluate it once per cycle and broadcast.
+  // constant within a cycle, so evaluate it once per cycle and broadcast
+  // through the vectorized fill.
   for (std::size_t s = 0; s < trace_samples_; s += spc_) {
     const double d = gain * aes.current_at_cycle(s / spc_);
     const std::size_t hi = std::min(s + spc_, trace_samples_);
-    for (std::size_t k = s; k < hi; ++k) scratch.droops[k] = d;
+    util::simd::fill(scratch.droops.data() + s, hi - s, d);
   }
   if (!interferers_.empty()) {
     const double dt = rig_->params().sample_period_ns;
@@ -142,7 +144,7 @@ void TraceCampaign::process_block(std::size_t first_trace,
   const double gain = rig_->coupling().gain_at_node(aes.pdn_node());
   const std::size_t n = plaintexts.size();
   std::vector<crypto::Block> ciphertexts(n);
-  std::vector<double> poi_rows(n * poi_count_);
+  util::aligned_vector<double> poi_rows(n * poi_count_);
   std::vector<double> trace(trace_samples_);
   TraceScratch scratch;
 

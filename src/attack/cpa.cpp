@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "attack/cpa_kernels.h"
 #include "attack/power_model.h"
 #include "obs/metrics.h"
 #include "util/contracts.h"
@@ -35,17 +36,21 @@ void CpaAttack::add_traces(std::span<const crypto::Block> ciphertexts,
   OBS_COUNT("cpa.traces_accumulated", n);
   OBS_HISTO("cpa.batch_traces", ({1, 8, 16, 32, 64, 128, 256, 512}), n);
   traces_ += n;
-  for (std::size_t t = 0; t < n; ++t) {
-    const double* row = poi_matrix.data() + t * poi_;
-    for (std::size_t k = 0; k < poi_; ++k) {
-      sum_t_[k] += row[k];
-      sum_t2_[k] += row[k] * row[k];
-    }
-  }
-  if (kernel_ == CpaKernel::kClassAccum) {
-    add_traces_class(ciphertexts, poi_matrix);
-  } else {
-    add_traces_gemm(ciphertexts, poi_matrix);
+  // Trace-side sums are kernel-independent; the op's per-POI chains run in
+  // trace order on every dispatch tier, bit-identical to the historical
+  // inline loop.
+  kernels::trace_sums(poi_matrix.data(), n, poi_, sum_t_.data(),
+                      sum_t2_.data());
+  switch (kernel_) {
+    case CpaKernel::kClassAccum:
+      add_traces_class(ciphertexts, poi_matrix);
+      break;
+    case CpaKernel::kGemm:
+      add_traces_gemm(ciphertexts, poi_matrix);
+      break;
+    case CpaKernel::kSimd:
+      add_traces_simd(ciphertexts, poi_matrix);
+      break;
   }
 }
 
@@ -131,6 +136,44 @@ void CpaAttack::add_traces_gemm(std::span<const crypto::Block> ciphertexts,
       }
       h_sums[gi] += hs;
       h2_sums[gi] += h2s;
+    }
+  }
+}
+
+void CpaAttack::add_traces_simd(std::span<const crypto::Block> ciphertexts,
+                                std::span<const double> poi_matrix) {
+  const std::size_t n = ciphertexts.size();
+  // Trace blocks sized so one block's POI panel (block * poi doubles) stays
+  // L1-resident while all 16 key bytes stream over it — the multi-byte
+  // panel sharing that makes this kernel read each trace row once per
+  // block instead of 16 times. Block boundaries never change results:
+  // every (byte, guess, POI) fma chain still sees traces in global order,
+  // and the per-block integer hypothesis folds are exact.
+  const std::size_t block =
+      std::clamp<std::size_t>(2048 / poi_, std::size_t{8}, std::size_t{512});
+  std::array<std::uint64_t, 256> hs;
+  std::array<std::uint64_t, 256> h2s;
+  for (std::size_t t0 = 0; t0 < n; t0 += block) {
+    const std::size_t m = std::min(block, n - t0);
+    row_scratch_.resize(m);
+    for (int b = 0; b < 16; ++b) {
+      const auto bi = static_cast<std::size_t>(b);
+      const int sr = crypto::Aes128::shift_rows_map(b);
+      for (std::size_t t = 0; t < m; ++t) {
+        const crypto::Block& ct = ciphertexts[t0 + t];
+        row_scratch_[t] =
+            last_round_hd_pair_row(ct[bi], ct[static_cast<std::size_t>(sr)]);
+      }
+      kernels::hypothesis_sums(row_scratch_.data(), m, hs.data(), h2s.data());
+      auto& h_sums = sum_h_[bi];
+      auto& h2_sums = sum_h2_[bi];
+      for (std::size_t g = 0; g < 256; ++g) {
+        h_sums[g] += static_cast<double>(hs[g]);
+        h2_sums[g] += static_cast<double>(h2s[g]);
+      }
+      kernels::accumulate_panel(
+          {row_scratch_.data(), poi_matrix.data() + t0 * poi_, m, poi_},
+          sum_ht_[bi].data());
     }
   }
 }

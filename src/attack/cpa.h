@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crypto/aes128.h"
+#include "util/aligned.h"
 #include "util/byte_io.h"
 
 namespace leakydsp::attack {
@@ -33,19 +34,27 @@ enum class CpaKernel {
   /// 256x256x256 pair table, each trace's POI row is bucketed into its
   /// Hamming class (h in 0..8) and the 9 class sums fold into the
   /// accumulators with one multiply per class — hypothesis sums stay exact
-  /// integers. Default. Reorders the per-guess additions relative to
-  /// trace order (same values up to fp associativity; identical for n=1).
+  /// integers. Reorders the per-guess additions relative to trace order
+  /// (same values up to fp associativity; identical for n=1).
   kClassAccum,
   /// GEMM-style kernel: per-(guess, POI) additions happen in trace order,
   /// bit-identical to calling add_trace per trace.
   kGemm,
+  /// Runtime-dispatched SIMD kernel (cpa_kernels.h): register-blocked
+  /// fma chains per (guess, POI) in global trace order, streamed in
+  /// L1-sized trace blocks across all 16 key bytes, with exact-integer
+  /// hypothesis sums. Every dispatch tier (scalar / AVX2 / AVX-512) and
+  /// every batch split produces bit-identical accumulators; values differ
+  /// from kGemm/kClassAccum only by the fused rounding of each
+  /// multiply-add step. Default.
+  kSimd,
 };
 
 /// Online last-round CPA over a fixed number of points of interest.
 class CpaAttack {
  public:
   explicit CpaAttack(std::size_t poi_count,
-                     CpaKernel kernel = CpaKernel::kClassAccum);
+                     CpaKernel kernel = CpaKernel::kSimd);
 
   std::size_t poi_count() const { return poi_; }
   std::size_t trace_count() const { return traces_; }
@@ -53,7 +62,9 @@ class CpaAttack {
 
   /// Accumulates one trace: its ciphertext and the sensor readouts at the
   /// POI window (size must equal poi_count()). Routed through add_traces
-  /// with a batch of one, which both kernels accumulate identically.
+  /// with a batch of one: kClassAccum and kGemm accumulate that identically
+  /// (the historical per-trace accumulation); kSimd accumulates its fused
+  /// form, which is itself identical to kSimd at any batch size.
   void add_trace(const crypto::Block& ciphertext,
                  std::span<const double> poi_samples);
 
@@ -97,6 +108,8 @@ class CpaAttack {
                         std::span<const double> poi_matrix);
   void add_traces_gemm(std::span<const crypto::Block> ciphertexts,
                        std::span<const double> poi_matrix);
+  void add_traces_simd(std::span<const crypto::Block> ciphertexts,
+                       std::span<const double> poi_matrix);
 
   std::size_t poi_;
   std::size_t traces_ = 0;
@@ -105,18 +118,20 @@ class CpaAttack {
   // Kernel scratch, reused across batches (not part of the accumulator
   // state; never serialized or merged).
   std::vector<const std::uint8_t*> row_scratch_;  // per-trace pair rows
-  std::vector<double> class_scratch_;             // [9 * poi] class sums
+  util::aligned_vector<double> class_scratch_;    // [9 * poi] class sums
 
-  // Trace-side sums (shared across guesses).
-  std::vector<double> sum_t_;   // [poi]
-  std::vector<double> sum_t2_;  // [poi]
+  // Trace-side sums (shared across guesses). 64-byte aligned so the SIMD
+  // trace_sums kernel never splits a vector across cache lines.
+  util::aligned_vector<double> sum_t_;   // [poi]
+  util::aligned_vector<double> sum_t2_;  // [poi]
 
   // Hypothesis-side sums per (byte, guess).
   std::array<std::array<double, 256>, 16> sum_h_{};
   std::array<std::array<double, 256>, 16> sum_h2_{};
 
-  // Cross sums: [byte][guess * poi + k], flattened for locality.
-  std::array<std::vector<double>, 16> sum_ht_;
+  // Cross sums: [byte][guess * poi + k], flattened for locality and
+  // 64-byte aligned for the kSimd accumulation slabs.
+  std::array<util::aligned_vector<double>, 16> sum_ht_;
 };
 
 }  // namespace leakydsp::attack

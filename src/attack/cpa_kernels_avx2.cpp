@@ -1,0 +1,108 @@
+// AVX2 tier of the kSimd CPA kernels (-mavx2 -mfma -ffp-contract=off).
+//
+// accumulate_panel register-blocks a 4-guess x 4-POI tile: the four
+// accumulator vectors live in ymm registers across the whole trace loop,
+// so the inner body is one panel load, four hypothesis broadcasts and four
+// vfmadd231pd — no accumulator traffic until the tile retires. Each vector
+// lane is one (guess, POI) fma chain in trace order, identical to the
+// scalar tier's std::fma chain (see cpa_kernels.h).
+#include "attack/cpa_kernels.h"
+
+#ifdef LEAKYDSP_SIMD_AVX2
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace leakydsp::attack::kernels::detail {
+
+namespace {
+
+// Lane-select mask for a 1..3-element tail chunk.
+inline __m256i tail_mask(std::size_t rem) {
+  alignas(32) const std::int64_t lanes[4] = {
+      rem > 0 ? -1 : 0, rem > 1 ? -1 : 0, rem > 2 ? -1 : 0, 0};
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+}
+
+}  // namespace
+
+void accumulate_panel_avx2(const Panel& p, double* sum_ht) {
+  const std::size_t poi = p.poi_count;
+  for (std::size_t g0 = 0; g0 < 256; g0 += 4) {
+    double* const row0 = sum_ht + (g0 + 0) * poi;
+    double* const row1 = sum_ht + (g0 + 1) * poi;
+    double* const row2 = sum_ht + (g0 + 2) * poi;
+    double* const row3 = sum_ht + (g0 + 3) * poi;
+    for (std::size_t k0 = 0; k0 < poi; k0 += 4) {
+      const std::size_t rem = poi - k0;
+      if (rem >= 4) {
+        __m256d a0 = _mm256_loadu_pd(row0 + k0);
+        __m256d a1 = _mm256_loadu_pd(row1 + k0);
+        __m256d a2 = _mm256_loadu_pd(row2 + k0);
+        __m256d a3 = _mm256_loadu_pd(row3 + k0);
+        for (std::size_t t = 0; t < p.n; ++t) {
+          const __m256d x = _mm256_loadu_pd(p.poi + t * poi + k0);
+          const std::uint8_t* h = p.rows[t] + g0;
+          a0 = _mm256_fmadd_pd(_mm256_set1_pd(static_cast<double>(h[0])), x, a0);
+          a1 = _mm256_fmadd_pd(_mm256_set1_pd(static_cast<double>(h[1])), x, a1);
+          a2 = _mm256_fmadd_pd(_mm256_set1_pd(static_cast<double>(h[2])), x, a2);
+          a3 = _mm256_fmadd_pd(_mm256_set1_pd(static_cast<double>(h[3])), x, a3);
+        }
+        _mm256_storeu_pd(row0 + k0, a0);
+        _mm256_storeu_pd(row1 + k0, a1);
+        _mm256_storeu_pd(row2 + k0, a2);
+        _mm256_storeu_pd(row3 + k0, a3);
+      } else {
+        // Tail chunk: masked lanes load as +0.0, accumulate h * 0 + 0 = +0
+        // exactly, and are never stored back.
+        const __m256i m = tail_mask(rem);
+        __m256d a0 = _mm256_maskload_pd(row0 + k0, m);
+        __m256d a1 = _mm256_maskload_pd(row1 + k0, m);
+        __m256d a2 = _mm256_maskload_pd(row2 + k0, m);
+        __m256d a3 = _mm256_maskload_pd(row3 + k0, m);
+        for (std::size_t t = 0; t < p.n; ++t) {
+          const __m256d x = _mm256_maskload_pd(p.poi + t * poi + k0, m);
+          const std::uint8_t* h = p.rows[t] + g0;
+          a0 = _mm256_fmadd_pd(_mm256_set1_pd(static_cast<double>(h[0])), x, a0);
+          a1 = _mm256_fmadd_pd(_mm256_set1_pd(static_cast<double>(h[1])), x, a1);
+          a2 = _mm256_fmadd_pd(_mm256_set1_pd(static_cast<double>(h[2])), x, a2);
+          a3 = _mm256_fmadd_pd(_mm256_set1_pd(static_cast<double>(h[3])), x, a3);
+        }
+        _mm256_maskstore_pd(row0 + k0, m, a0);
+        _mm256_maskstore_pd(row1 + k0, m, a1);
+        _mm256_maskstore_pd(row2 + k0, m, a2);
+        _mm256_maskstore_pd(row3 + k0, m, a3);
+      }
+    }
+  }
+}
+
+void trace_sums_avx2(const double* x, std::size_t n, std::size_t poi_count,
+                     double* sum_t, double* sum_t2) {
+  std::size_t k0 = 0;
+  for (; k0 + 4 <= poi_count; k0 += 4) {
+    __m256d st = _mm256_loadu_pd(sum_t + k0);
+    __m256d st2 = _mm256_loadu_pd(sum_t2 + k0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const __m256d v = _mm256_loadu_pd(x + t * poi_count + k0);
+      st = _mm256_add_pd(st, v);
+      st2 = _mm256_add_pd(st2, _mm256_mul_pd(v, v));
+    }
+    _mm256_storeu_pd(sum_t + k0, st);
+    _mm256_storeu_pd(sum_t2 + k0, st2);
+  }
+  // Column tail: same per-lane chains (each k sees traces in order), done
+  // scalar.
+  for (std::size_t t = 0; t < n; ++t) {
+    const double* row = x + t * poi_count;
+    for (std::size_t k = k0; k < poi_count; ++k) {
+      sum_t[k] += row[k];
+      sum_t2[k] += row[k] * row[k];
+    }
+  }
+}
+
+}  // namespace leakydsp::attack::kernels::detail
+
+#endif  // LEAKYDSP_SIMD_AVX2

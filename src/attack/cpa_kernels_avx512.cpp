@@ -1,0 +1,71 @@
+// AVX-512 tier of the kSimd CPA kernels. Same 4-guess register blocking as
+// the AVX2 tier with 8-wide POI chunks and k-mask tails; lane chains are
+// unchanged, so results stay bit-identical to the other tiers.
+#include "attack/cpa_kernels.h"
+
+#ifdef LEAKYDSP_SIMD_AVX512
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace leakydsp::attack::kernels::detail {
+
+void accumulate_panel_avx512(const Panel& p, double* sum_ht) {
+  const std::size_t poi = p.poi_count;
+  for (std::size_t g0 = 0; g0 < 256; g0 += 4) {
+    double* const row0 = sum_ht + (g0 + 0) * poi;
+    double* const row1 = sum_ht + (g0 + 1) * poi;
+    double* const row2 = sum_ht + (g0 + 2) * poi;
+    double* const row3 = sum_ht + (g0 + 3) * poi;
+    for (std::size_t k0 = 0; k0 < poi; k0 += 8) {
+      const std::size_t rem = poi - k0;
+      const __mmask8 m =
+          rem >= 8 ? static_cast<__mmask8>(0xFF)
+                   : static_cast<__mmask8>((1u << rem) - 1u);
+      __m512d a0 = _mm512_maskz_loadu_pd(m, row0 + k0);
+      __m512d a1 = _mm512_maskz_loadu_pd(m, row1 + k0);
+      __m512d a2 = _mm512_maskz_loadu_pd(m, row2 + k0);
+      __m512d a3 = _mm512_maskz_loadu_pd(m, row3 + k0);
+      for (std::size_t t = 0; t < p.n; ++t) {
+        const __m512d x = _mm512_maskz_loadu_pd(m, p.poi + t * poi + k0);
+        const std::uint8_t* h = p.rows[t] + g0;
+        a0 = _mm512_fmadd_pd(_mm512_set1_pd(static_cast<double>(h[0])), x, a0);
+        a1 = _mm512_fmadd_pd(_mm512_set1_pd(static_cast<double>(h[1])), x, a1);
+        a2 = _mm512_fmadd_pd(_mm512_set1_pd(static_cast<double>(h[2])), x, a2);
+        a3 = _mm512_fmadd_pd(_mm512_set1_pd(static_cast<double>(h[3])), x, a3);
+      }
+      _mm512_mask_storeu_pd(row0 + k0, m, a0);
+      _mm512_mask_storeu_pd(row1 + k0, m, a1);
+      _mm512_mask_storeu_pd(row2 + k0, m, a2);
+      _mm512_mask_storeu_pd(row3 + k0, m, a3);
+    }
+  }
+}
+
+void trace_sums_avx512(const double* x, std::size_t n, std::size_t poi_count,
+                       double* sum_t, double* sum_t2) {
+  std::size_t k0 = 0;
+  for (; k0 + 8 <= poi_count; k0 += 8) {
+    __m512d st = _mm512_loadu_pd(sum_t + k0);
+    __m512d st2 = _mm512_loadu_pd(sum_t2 + k0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const __m512d v = _mm512_loadu_pd(x + t * poi_count + k0);
+      st = _mm512_add_pd(st, v);
+      st2 = _mm512_add_pd(st2, _mm512_mul_pd(v, v));
+    }
+    _mm512_storeu_pd(sum_t + k0, st);
+    _mm512_storeu_pd(sum_t2 + k0, st2);
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const double* row = x + t * poi_count;
+    for (std::size_t k = k0; k < poi_count; ++k) {
+      sum_t[k] += row[k];
+      sum_t2[k] += row[k] * row[k];
+    }
+  }
+}
+
+}  // namespace leakydsp::attack::kernels::detail
+
+#endif  // LEAKYDSP_SIMD_AVX512

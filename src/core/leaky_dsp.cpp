@@ -7,6 +7,7 @@
 
 #include "fabric/netlist_builders.h"
 #include "util/contracts.h"
+#include "util/simd_ops.h"
 
 namespace leakydsp::core {
 
@@ -123,31 +124,51 @@ void LeakyDspSensor::sample_batch(std::span<const double> supply_v,
                                        << supply_v.size());
   const double t_capture = sampling_time_ns();
   const double sigma = params_.jitter_sigma_ns;
-  const auto begin = settle_ns_.begin();
-  const auto end = settle_ns_.end();
-  for (std::size_t s = 0; s < supply_v.size(); ++s) {
-    const double scale = scale_lut_(supply_v[s]);
-    std::size_t count = 0;
-    if (sigma <= 0.0) {
-      // Jitter-free: bit i settles iff settle_ns_[i] * scale <= t_capture,
-      // and settle_ns_ ascends strictly, so the count is an upper_bound.
-      count = static_cast<std::size_t>(
-          std::upper_bound(begin, end, t_capture / scale) - begin);
-    } else {
-      // Bits whose nominal arrival sits more than kJitterCutSigma jitter
-      // sigmas before (after) the capture edge always (never) settle; only
-      // the narrow uncertain window needs Gaussian draws. With the default
-      // geometry that is ~2-4 of the 48 bits per sample.
-      const double cut = kJitterCutSigma * sigma;
-      const auto first = std::upper_bound(begin, end, (t_capture - cut) / scale);
-      const auto last = std::upper_bound(first, end, (t_capture + cut) / scale);
-      count = static_cast<std::size_t>(first - begin);
-      for (auto it = first; it != last; ++it) {
-        if (*it * scale + sigma * rng.gaussian_zig() <= t_capture) ++count;
-      }
+  const std::size_t n = supply_v.size();
+  const double* const settle = settle_ns_.data();
+  // Per-sample voltage scales and capture bounds go through the SIMD ops
+  // (bit-identical to the per-sample expressions on every dispatch tier);
+  // bit counts use the vectorized count_le, which on the strictly
+  // ascending settle array equals the historical upper_bound index.
+  scale_scratch_.resize(n);
+  scale_lut_.eval_batch(supply_v.data(), scale_scratch_.data(), n);
+  if (sigma <= 0.0) {
+    // Jitter-free: bit i settles iff settle_ns_[i] * scale <= t_capture.
+    bound_scratch_.resize(n);
+    util::simd::div_scalar(t_capture, scale_scratch_.data(),
+                           bound_scratch_.data(), n);
+    for (std::size_t s = 0; s < n; ++s) {
+      input_phase_ = !input_phase_;
+      out[s] = static_cast<double>(
+          util::simd::count_le(settle, kOutputBits, bound_scratch_[s]));
     }
-    input_phase_ = !input_phase_;
-    out[s] = static_cast<double>(count);
+  } else {
+    // Bits whose nominal arrival sits more than kJitterCutSigma jitter
+    // sigmas before (after) the capture edge always (never) settle; only
+    // the narrow uncertain window needs Gaussian draws. With the default
+    // geometry that is ~2-4 of the 48 bits per sample.
+    const double cut = kJitterCutSigma * sigma;
+    bound_scratch_.resize(n);
+    bound_hi_scratch_.resize(n);
+    util::simd::div_scalar(t_capture - cut, scale_scratch_.data(),
+                           bound_scratch_.data(), n);
+    util::simd::div_scalar(t_capture + cut, scale_scratch_.data(),
+                           bound_hi_scratch_.data(), n);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double scale = scale_scratch_[s];
+      const std::size_t first =
+          util::simd::count_le(settle, kOutputBits, bound_scratch_[s]);
+      const std::size_t last =
+          util::simd::count_le(settle, kOutputBits, bound_hi_scratch_[s]);
+      std::size_t count = first;
+      for (std::size_t i = first; i < last; ++i) {
+        if (settle[i] * scale + sigma * rng.gaussian_zig() <= t_capture) {
+          ++count;
+        }
+      }
+      input_phase_ = !input_phase_;
+      out[s] = static_cast<double>(count);
+    }
   }
 }
 

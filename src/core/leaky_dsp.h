@@ -25,6 +25,7 @@
 #include "fabric/primitives.h"
 #include "sensors/sensor.h"
 #include "timing/delay_model.h"
+#include "util/aligned.h"
 #include "util/bitvec.h"
 
 namespace leakydsp::core {
@@ -131,7 +132,14 @@ class LeakyDspSensor : public sensors::VoltageSensor {
   LeakyDspParams params_;
   timing::ScaleTable scale_lut_;  // LUT over the operational supply range
   std::vector<fabric::Dsp48Config> configs_;
-  std::vector<double> settle_ns_;  // per-bit nominal settle times
+  // Per-bit nominal settle times; 64-byte aligned for the SIMD edge-window
+  // bit count in sample_batch.
+  util::aligned_vector<double> settle_ns_;
+  // sample_batch scratch (per-sample scale factors and capture bounds);
+  // not part of the sensor state.
+  util::aligned_vector<double> scale_scratch_;
+  util::aligned_vector<double> bound_scratch_;
+  util::aligned_vector<double> bound_hi_scratch_;
   int a_taps_ = 0;
   int clk_taps_ = 0;
   int fine_phase_ = 0;      // MMCM fine shift, 0..5 steps of tap_ps/5

@@ -4,6 +4,7 @@
 
 #include "fabric/netlist_builders.h"
 #include "util/contracts.h"
+#include "util/simd_ops.h"
 
 namespace leakydsp::sensors {
 
@@ -70,12 +71,28 @@ void TdcSensor::sample_batch(std::span<const double> supply_v,
                                        << supply_v.size());
   const double t_capture = sampling_time_ns();
   const double sigma = params_.jitter_sigma_ns;
-  for (std::size_t s = 0; s < supply_v.size(); ++s) {
-    const double scale = scale_lut_(supply_v[s]);
-    const double jitter = sigma > 0.0 ? sigma * rng.gaussian_zig() : 0.0;
-    const double budget = t_capture - params_.init_delay_ns * scale + jitter;
-    out[s] = static_cast<double>(chain_.stages_within_scaled(budget, scale));
+  const std::size_t n = supply_v.size();
+  // SoA pipeline over the batch, each stage a SIMD op bit-identical to the
+  // per-sample expression: voltage scales from the Hermite table, the
+  // capture-budget arithmetic, and the thermometer fill's two divides.
+  // Jitter draws stay scalar (the rng sequence is order-sensitive) but are
+  // hoisted out of the vector stages.
+  scale_scratch_.resize(n);
+  jitter_scratch_.resize(n);
+  budget_scratch_.resize(n);
+  scale_lut_.eval_batch(supply_v.data(), scale_scratch_.data(), n);
+  if (sigma > 0.0) {
+    for (std::size_t s = 0; s < n; ++s) {
+      jitter_scratch_[s] = sigma * rng.gaussian_zig();
+    }
+  } else {
+    util::simd::fill(jitter_scratch_.data(), n, 0.0);
   }
+  util::simd::sub_mul_add(t_capture, params_.init_delay_ns,
+                          scale_scratch_.data(), jitter_scratch_.data(),
+                          budget_scratch_.data(), n);
+  chain_.stages_within_scaled_batch(budget_scratch_.data(),
+                                    scale_scratch_.data(), out.data(), n);
 }
 
 sensors::CalibrationResult TdcSensor::calibrate(

@@ -16,6 +16,7 @@
 #include "fabric/netlist.h"
 #include "sensors/sensor.h"
 #include "timing/delay_model.h"
+#include "util/aligned.h"
 
 namespace leakydsp::sensors {
 
@@ -77,6 +78,11 @@ class TdcSensor : public VoltageSensor {
   TdcParams params_;
   timing::DelayChain chain_;
   timing::ScaleTable scale_lut_;  // LUT over the operational supply range
+  // sample_batch scratch (per-sample scales, jitter draws, edge budgets);
+  // not part of the sensor state.
+  util::aligned_vector<double> scale_scratch_;
+  util::aligned_vector<double> jitter_scratch_;
+  util::aligned_vector<double> budget_scratch_;
   int offset_taps_ = 0;
   int capture_cycles_ = 0;
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/aligned.h"
 #include "util/contracts.h"
+#include "util/simd_ops.h"
 
 namespace leakydsp::timing {
 
@@ -46,6 +48,19 @@ ScaleTable::ScaleTable(AlphaPowerLaw law, double v_lo, double v_hi,
 ScaleTable::ScaleTable(AlphaPowerLaw law)
     : ScaleTable(law, law.vth + 0.25 * (law.vnom - law.vth),
                  law.vnom + 0.5 * (law.vnom - law.vth)) {}
+
+void ScaleTable::eval_batch(const double* v, double* out,
+                            std::size_t n) const {
+  const util::simd::HermiteView view{f_.data(), d_.data(), f_.size(),
+                                     v_lo_,     h_,        inv_h_};
+  util::simd::hermite_eval(view, v, out, n);
+  // The kernel clamps out-of-range lanes into the table instead of taking
+  // operator()'s exact-law fallback; patch those (rare — supplies a rig
+  // can produce stay in range) afterwards.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] < v_lo_ || v[i] > v_hi_) out[i] = law_.scale(v[i]);
+  }
+}
 
 DelayChain::DelayChain(std::vector<double> stage_delays_ns, AlphaPowerLaw law)
     : stage_delays_(std::move(stage_delays_ns)), law_(law) {
@@ -99,6 +114,44 @@ std::size_t DelayChain::stages_within_scaled(double budget_ns,
   const auto it =
       std::upper_bound(cumulative_.begin(), cumulative_.end(), normalized);
   return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+void DelayChain::stages_within_scaled_batch(const double* budget_ns,
+                                            const double* scale, double* out,
+                                            std::size_t n) const {
+  if (!uniform_) {
+    for (std::size_t s = 0; s < n; ++s) {
+      out[s] = static_cast<double>(stages_within_scaled(budget_ns[s],
+                                                        scale[s]));
+    }
+    return;
+  }
+  // Uniform chains: both divides of the per-sample fast path (budget/scale
+  // and the stage quotient) vectorize; the candidate nudge against the
+  // prefix sums stays scalar (at most a step or two per sample) and keeps
+  // the exact upper_bound semantics.
+  static thread_local util::aligned_vector<double> norm;
+  static thread_local util::aligned_vector<double> quot;
+  norm.resize(n);
+  quot.resize(n);
+  util::simd::div_div(budget_ns, scale, uniform_stage_, norm.data(),
+                      quot.data(), n);
+  const std::size_t stages = cumulative_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    if (budget_ns[s] <= 0.0) {
+      out[s] = 0.0;
+      continue;
+    }
+    const double normalized = norm[s];
+    const double q = quot[s];
+    std::size_t i =
+        q <= 0.0 ? 0
+                 : static_cast<std::size_t>(
+                       std::min(q, static_cast<double>(stages)));
+    while (i < stages && cumulative_[i] <= normalized) ++i;
+    while (i > 0 && cumulative_[i - 1] > normalized) --i;
+    out[s] = static_cast<double>(i);
+  }
 }
 
 }  // namespace leakydsp::timing

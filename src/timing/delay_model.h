@@ -67,6 +67,12 @@ class ScaleTable {
   double v_lo() const { return v_lo_; }
   double v_hi() const { return v_hi_; }
 
+  /// Batch operator(): out[i] == (*this)(v[i]) bitwise for every i. The
+  /// in-range interpolation runs through the util::simd Hermite kernel
+  /// (vectorized on AVX hosts, identical scalar chain otherwise);
+  /// out-of-range lanes are routed to the exact-law fallback afterwards.
+  void eval_batch(const double* v, double* out, std::size_t n) const;
+
   /// Delay scale factor at supply `v`: interpolated inside [v_lo, v_hi],
   /// exact (and validity-checked) outside.
   double operator()(double v) const {
@@ -121,6 +127,14 @@ class DelayChain {
   /// chains take an O(1) divide instead of a binary search; the result is
   /// bit-identical to the search in either case.
   std::size_t stages_within_scaled(double budget_ns, double scale) const;
+
+  /// Batch stages_within_scaled over parallel budget/scale arrays:
+  /// out[i] == double(stages_within_scaled(budget_ns[i], scale[i])) bitwise
+  /// (double is the readout type the SoA sensor paths store). Uniform
+  /// chains vectorize the two divides through the util::simd ops.
+  void stages_within_scaled_batch(const double* budget_ns,
+                                  const double* scale, double* out,
+                                  std::size_t n) const;
 
   double nominal_total() const { return nominal_total_; }
 

@@ -1,0 +1,70 @@
+// 64-byte aligned allocation for SoA panels consumed by the SIMD kernel
+// layer. Cache-line (= AVX-512 vector) alignment guarantees that a panel's
+// first element never straddles a vector load and lets the kernels use
+// aligned stores on the accumulator rows they own.
+//
+// Alignment is a performance contract, not a correctness one: every kernel
+// tier uses unaligned load/store intrinsics internally (rows within a panel
+// are only 8-byte aligned whenever the row stride is odd), so a plain
+// std::vector fed through the same entry points produces bit-identical
+// results, just slower.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace leakydsp::util {
+
+inline constexpr std::size_t kSimdAlignment = 64;
+
+/// Minimal C++17 allocator over std::aligned_alloc. Rebinding preserves the
+/// alignment, and over-aligning small types is harmless, so a single
+/// alignment constant serves every panel element type (double, float,
+/// std::uint8_t, ...).
+template <typename T, std::size_t Alignment = kSimdAlignment>
+class AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "alignment must satisfy the type");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+ public:
+  using value_type = T;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes = (n * sizeof(T) + Alignment - 1) & ~(Alignment - 1);
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (!p) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned. Drop-in for the SoA sample
+/// scratch and CPA accumulator panels; not interconvertible with a plain
+/// std::vector (different allocator type), which is deliberate — panels
+/// that feed the kernels should stay aligned end to end.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace leakydsp::util

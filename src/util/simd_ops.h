@@ -1,0 +1,110 @@
+// Elementwise SIMD primitives behind the runtime dispatch facility in
+// cpu_features.h. Every op has one scalar reference implementation and
+// optional AVX2 / AVX-512 tiers; all tiers are bit-identical on every
+// input, so which tier runs is invisible to results (goldens, checkpoints,
+// oracles) and is chosen purely for speed.
+//
+// The identity argument: each output lane is an independent chain of
+// individually rounded IEEE operations in a fixed order, and the vector
+// tiers evaluate exactly the same per-lane operation sequence with packed
+// instructions (no fused multiply-add unless the scalar reference uses
+// std::fma, no reassociation, no reduced-precision approximations). The
+// scalar TU is pinned to -ffp-contract=off so LEAKYDSP_NATIVE builds
+// cannot silently fuse what the vector tiers keep separate.
+//
+// Tail lanes (n not a multiple of the vector width) are delegated to the
+// scalar reference, which keeps the masked-edge logic in exactly one
+// place per op.
+#pragma once
+
+#include <cstddef>
+
+namespace leakydsp::util::simd {
+
+/// Raw view of a cubic-Hermite table (timing::ScaleTable internals) for
+/// batch evaluation. `f`/`d` hold `knots` values each; `h` is the knot
+/// spacing and `inv_h` its reciprocal as stored by the table.
+struct HermiteView {
+  const double* f = nullptr;
+  const double* d = nullptr;
+  std::size_t knots = 0;  ///< >= 2
+  double v_lo = 0.0;
+  double h = 0.0;
+  double inv_h = 0.0;
+};
+
+/// Count of i in [0, n) with a[i] <= bound. On a sorted-ascending array
+/// this equals the std::upper_bound index. Exact (comparisons only).
+std::size_t count_le(const double* a, std::size_t n, double bound);
+
+/// out[0..n) = value.
+void fill(double* out, std::size_t n, double value);
+
+/// out[i] = num / den[i].
+void div_scalar(double num, const double* den, double* out, std::size_t n);
+
+/// out[i] = (c - a * x[i]) + y[i], every operation individually rounded —
+/// the capture-budget expression of the TDC batch path.
+void sub_mul_add(double c, double a, const double* x, const double* y,
+                 double* out, std::size_t n);
+
+/// out_norm[i] = num[i] / den[i]; out_q[i] = out_norm[i] / d2 — the
+/// normalized-budget and uniform-stage-quotient pair of
+/// DelayChain::stages_within_scaled.
+void div_div(const double* num, const double* den, double d2,
+             double* out_norm, double* out_q, std::size_t n);
+
+/// out[i] = the cubic-Hermite interpolant of `t` at v[i], replicating
+/// timing::ScaleTable::operator()'s expression tree bit for bit for
+/// v[i] in [v_lo, v_hi]. Lanes outside the table range still produce a
+/// defined value (the interpolation position is clamped into the table,
+/// never read out of bounds) but it is NOT the table's exact-law fallback;
+/// callers overwrite such lanes themselves. v[i] must not be NaN.
+void hermite_eval(const HermiteView& t, const double* v, double* out,
+                  std::size_t n);
+
+namespace detail {
+
+// Per-tier entry points. The public functions above dispatch on
+// util::current_simd_tier(); tests reach individual tiers through
+// util::set_simd_tier_override instead of calling these directly.
+std::size_t count_le_scalar(const double* a, std::size_t n, double bound);
+void fill_scalar(double* out, std::size_t n, double value);
+void div_scalar_scalar(double num, const double* den, double* out,
+                       std::size_t n);
+void sub_mul_add_scalar(double c, double a, const double* x, const double* y,
+                        double* out, std::size_t n);
+void div_div_scalar(const double* num, const double* den, double d2,
+                    double* out_norm, double* out_q, std::size_t n);
+void hermite_eval_scalar(const HermiteView& t, const double* v, double* out,
+                         std::size_t n);
+
+#ifdef LEAKYDSP_SIMD_AVX2
+std::size_t count_le_avx2(const double* a, std::size_t n, double bound);
+void fill_avx2(double* out, std::size_t n, double value);
+void div_scalar_avx2(double num, const double* den, double* out,
+                     std::size_t n);
+void sub_mul_add_avx2(double c, double a, const double* x, const double* y,
+                      double* out, std::size_t n);
+void div_div_avx2(const double* num, const double* den, double d2,
+                  double* out_norm, double* out_q, std::size_t n);
+void hermite_eval_avx2(const HermiteView& t, const double* v, double* out,
+                       std::size_t n);
+#endif
+
+#ifdef LEAKYDSP_SIMD_AVX512
+std::size_t count_le_avx512(const double* a, std::size_t n, double bound);
+void fill_avx512(double* out, std::size_t n, double value);
+void div_scalar_avx512(double num, const double* den, double* out,
+                       std::size_t n);
+void sub_mul_add_avx512(double c, double a, const double* x, const double* y,
+                        double* out, std::size_t n);
+void div_div_avx512(const double* num, const double* den, double d2,
+                    double* out_norm, double* out_q, std::size_t n);
+void hermite_eval_avx512(const HermiteView& t, const double* v, double* out,
+                         std::size_t n);
+#endif
+
+}  // namespace detail
+
+}  // namespace leakydsp::util::simd

@@ -1,0 +1,118 @@
+// AVX2 tier of the util::simd ops. Compiled with -mavx2 -mfma
+// -ffp-contract=off (src/CMakeLists.txt); the whole body drops out when the
+// build does not enable the SIMD tiers, so the GLOB-based module build can
+// always include this file.
+//
+// Bitwise contract: every intrinsic below is an exact packed counterpart of
+// the scalar reference in simd_ops.cpp — same per-lane operation sequence,
+// no fusion, no approximation instructions (rcp/rsqrt). Tails delegate to
+// the scalar reference.
+#include "util/simd_ops.h"
+
+#ifdef LEAKYDSP_SIMD_AVX2
+
+#include <immintrin.h>
+
+namespace leakydsp::util::simd::detail {
+
+std::size_t count_le_avx2(const double* a, std::size_t n, double bound) {
+  const __m256d vb = _mm256_set1_pd(bound);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d le = _mm256_cmp_pd(va, vb, _CMP_LE_OQ);
+    count += static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(le))));
+  }
+  return count + count_le_scalar(a + i, n - i, bound);
+}
+
+void fill_avx2(double* out, std::size_t n, double value) {
+  const __m256d v = _mm256_set1_pd(value);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm256_storeu_pd(out + i, v);
+  fill_scalar(out + i, n - i, value);
+}
+
+void div_scalar_avx2(double num, const double* den, double* out,
+                     std::size_t n) {
+  const __m256d vn = _mm256_set1_pd(num);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_div_pd(vn, _mm256_loadu_pd(den + i)));
+  }
+  div_scalar_scalar(num, den + i, out + i, n - i);
+}
+
+void sub_mul_add_avx2(double c, double a, const double* x, const double* y,
+                      double* out, std::size_t n) {
+  const __m256d vc = _mm256_set1_pd(c);
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    const __m256d diff = _mm256_sub_pd(vc, prod);
+    _mm256_storeu_pd(out + i, _mm256_add_pd(diff, _mm256_loadu_pd(y + i)));
+  }
+  sub_mul_add_scalar(c, a, x + i, y + i, out + i, n - i);
+}
+
+void div_div_avx2(const double* num, const double* den, double d2,
+                  double* out_norm, double* out_q, std::size_t n) {
+  const __m256d vd2 = _mm256_set1_pd(d2);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d norm =
+        _mm256_div_pd(_mm256_loadu_pd(num + i), _mm256_loadu_pd(den + i));
+    _mm256_storeu_pd(out_norm + i, norm);
+    _mm256_storeu_pd(out_q + i, _mm256_div_pd(norm, vd2));
+  }
+  div_div_scalar(num + i, den + i, d2, out_norm + i, out_q + i, n - i);
+}
+
+void hermite_eval_avx2(const HermiteView& t, const double* v, double* out,
+                       std::size_t n) {
+  const __m256d v_lo = _mm256_set1_pd(t.v_lo);
+  const __m256d inv_h = _mm256_set1_pd(t.inv_h);
+  const __m256d hv = _mm256_set1_pd(t.h);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d last = _mm256_set1_pd(static_cast<double>(t.knots - 2));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d three = _mm256_set1_pd(3.0);
+  const __m256d minus_two = _mm256_set1_pd(-2.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d s = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(v + i), v_lo),
+                              inv_h);
+    s = _mm256_max_pd(s, zero);
+    __m256d fj = _mm256_round_pd(s, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    fj = _mm256_min_pd(fj, last);
+    const __m128i idx = _mm256_cvttpd_epi32(fj);
+    const __m256d fi = _mm256_i32gather_pd(t.f, idx, 8);
+    const __m256d fi1 = _mm256_i32gather_pd(t.f + 1, idx, 8);
+    const __m256d di = _mm256_i32gather_pd(t.d, idx, 8);
+    const __m256d di1 = _mm256_i32gather_pd(t.d + 1, idx, 8);
+    const __m256d tt = _mm256_sub_pd(s, fj);
+    const __m256d t2 = _mm256_mul_pd(tt, tt);
+    const __m256d t3 = _mm256_mul_pd(t2, tt);
+    const __m256d c1 = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_mul_pd(two, t3), _mm256_mul_pd(three, t2)), one);
+    const __m256d c2 = _mm256_add_pd(
+        _mm256_sub_pd(t3, _mm256_mul_pd(two, t2)), tt);
+    const __m256d c3 = _mm256_add_pd(_mm256_mul_pd(minus_two, t3),
+                                     _mm256_mul_pd(three, t2));
+    const __m256d c4 = _mm256_sub_pd(t3, t2);
+    __m256d r = _mm256_mul_pd(c1, fi);
+    r = _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(c2, hv), di));
+    r = _mm256_add_pd(r, _mm256_mul_pd(c3, fi1));
+    r = _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(c4, hv), di1));
+    _mm256_storeu_pd(out + i, r);
+  }
+  hermite_eval_scalar(t, v + i, out + i, n - i);
+}
+
+}  // namespace leakydsp::util::simd::detail
+
+#endif  // LEAKYDSP_SIMD_AVX2

@@ -1,0 +1,112 @@
+// AVX-512 tier of the util::simd ops (F/DQ/BW/VL). Same bitwise contract
+// as the AVX2 tier: packed counterparts of the scalar reference, no fusion
+// or approximation, tails delegate to scalar.
+#include "util/simd_ops.h"
+
+#ifdef LEAKYDSP_SIMD_AVX512
+
+#include <immintrin.h>
+
+namespace leakydsp::util::simd::detail {
+
+std::size_t count_le_avx512(const double* a, std::size_t n, double bound) {
+  const __m512d vb = _mm512_set1_pd(bound);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 le =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(a + i), vb, _CMP_LE_OQ);
+    count += static_cast<std::size_t>(__builtin_popcount(le));
+  }
+  return count + count_le_scalar(a + i, n - i, bound);
+}
+
+void fill_avx512(double* out, std::size_t n, double value) {
+  const __m512d v = _mm512_set1_pd(value);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm512_storeu_pd(out + i, v);
+  fill_scalar(out + i, n - i, value);
+}
+
+void div_scalar_avx512(double num, const double* den, double* out,
+                       std::size_t n) {
+  const __m512d vn = _mm512_set1_pd(num);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(out + i, _mm512_div_pd(vn, _mm512_loadu_pd(den + i)));
+  }
+  div_scalar_scalar(num, den + i, out + i, n - i);
+}
+
+void sub_mul_add_avx512(double c, double a, const double* x, const double* y,
+                        double* out, std::size_t n) {
+  const __m512d vc = _mm512_set1_pd(c);
+  const __m512d va = _mm512_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d prod = _mm512_mul_pd(va, _mm512_loadu_pd(x + i));
+    const __m512d diff = _mm512_sub_pd(vc, prod);
+    _mm512_storeu_pd(out + i, _mm512_add_pd(diff, _mm512_loadu_pd(y + i)));
+  }
+  sub_mul_add_scalar(c, a, x + i, y + i, out + i, n - i);
+}
+
+void div_div_avx512(const double* num, const double* den, double d2,
+                    double* out_norm, double* out_q, std::size_t n) {
+  const __m512d vd2 = _mm512_set1_pd(d2);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d norm =
+        _mm512_div_pd(_mm512_loadu_pd(num + i), _mm512_loadu_pd(den + i));
+    _mm512_storeu_pd(out_norm + i, norm);
+    _mm512_storeu_pd(out_q + i, _mm512_div_pd(norm, vd2));
+  }
+  div_div_scalar(num + i, den + i, d2, out_norm + i, out_q + i, n - i);
+}
+
+void hermite_eval_avx512(const HermiteView& t, const double* v, double* out,
+                         std::size_t n) {
+  const __m512d v_lo = _mm512_set1_pd(t.v_lo);
+  const __m512d inv_h = _mm512_set1_pd(t.inv_h);
+  const __m512d hv = _mm512_set1_pd(t.h);
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d last = _mm512_set1_pd(static_cast<double>(t.knots - 2));
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d two = _mm512_set1_pd(2.0);
+  const __m512d three = _mm512_set1_pd(3.0);
+  const __m512d minus_two = _mm512_set1_pd(-2.0);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d s = _mm512_mul_pd(_mm512_sub_pd(_mm512_loadu_pd(v + i), v_lo),
+                              inv_h);
+    s = _mm512_max_pd(s, zero);
+    __m512d fj =
+        _mm512_roundscale_pd(s, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    fj = _mm512_min_pd(fj, last);
+    const __m256i idx = _mm512_cvttpd_epi32(fj);
+    const __m512d fi = _mm512_i32gather_pd(idx, t.f, 8);
+    const __m512d fi1 = _mm512_i32gather_pd(idx, t.f + 1, 8);
+    const __m512d di = _mm512_i32gather_pd(idx, t.d, 8);
+    const __m512d di1 = _mm512_i32gather_pd(idx, t.d + 1, 8);
+    const __m512d tt = _mm512_sub_pd(s, fj);
+    const __m512d t2 = _mm512_mul_pd(tt, tt);
+    const __m512d t3 = _mm512_mul_pd(t2, tt);
+    const __m512d c1 = _mm512_add_pd(
+        _mm512_sub_pd(_mm512_mul_pd(two, t3), _mm512_mul_pd(three, t2)), one);
+    const __m512d c2 =
+        _mm512_add_pd(_mm512_sub_pd(t3, _mm512_mul_pd(two, t2)), tt);
+    const __m512d c3 = _mm512_add_pd(_mm512_mul_pd(minus_two, t3),
+                                     _mm512_mul_pd(three, t2));
+    const __m512d c4 = _mm512_sub_pd(t3, t2);
+    __m512d r = _mm512_mul_pd(c1, fi);
+    r = _mm512_add_pd(r, _mm512_mul_pd(_mm512_mul_pd(c2, hv), di));
+    r = _mm512_add_pd(r, _mm512_mul_pd(c3, fi1));
+    r = _mm512_add_pd(r, _mm512_mul_pd(_mm512_mul_pd(c4, hv), di1));
+    _mm512_storeu_pd(out + i, r);
+  }
+  hermite_eval_scalar(t, v + i, out + i, n - i);
+}
+
+}  // namespace leakydsp::util::simd::detail
+
+#endif  // LEAKYDSP_SIMD_AVX512

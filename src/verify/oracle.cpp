@@ -8,6 +8,7 @@ std::vector<Oracle> all_oracles() {
   register_sensor_oracles(oracles);
   register_store_oracles(oracles);
   register_attack_oracles(oracles);
+  register_simd_oracles(oracles);
   return oracles;
 }
 

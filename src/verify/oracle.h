@@ -66,6 +66,7 @@ void register_timing_oracles(std::vector<Oracle>& out);
 void register_sensor_oracles(std::vector<Oracle>& out);
 void register_store_oracles(std::vector<Oracle>& out);
 void register_attack_oracles(std::vector<Oracle>& out);
+void register_simd_oracles(std::vector<Oracle>& out);
 
 /// Every registered oracle, in deterministic order.
 std::vector<Oracle> all_oracles();

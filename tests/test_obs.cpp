@@ -361,6 +361,30 @@ TEST(ObsCampaign, CounterTotalsIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ObsCampaign, CpaBatchHistogramShowsFullBlocks) {
+  // Regression guard for the batching bug where campaign traces trickled
+  // into the CPA one at a time: the cpa.batch_traces histogram must show
+  // zero single-trace batches and (almost) every batch at the campaign's
+  // full 64-trace block size — a short remainder block is the only other
+  // legal entry.
+  ObsStateGuard guard;
+  lo::Registry::global().reset();
+  run_campaign(1);
+  const auto snap = lo::Registry::global().snapshot();
+  const auto it = std::find_if(
+      snap.histograms.begin(), snap.histograms.end(),
+      [](const auto& h) { return h.first == "cpa.batch_traces"; });
+  ASSERT_NE(it, snap.histograms.end()) << "cpa.batch_traces never observed";
+  const auto& h = it->second;
+  ASSERT_EQ(h.upper_edges.size(), 8u);  // {1,8,16,32,64,128,256,512}
+  EXPECT_GT(h.total, 0u);
+  EXPECT_EQ(h.counts[0], 0u) << "single-trace add_traces batches observed";
+  // The le_64 bucket (index 4) is the full-block bin for the default
+  // 64-trace campaign block; everything except at most one remainder
+  // batch per checkpoint-bounded segment must land there.
+  EXPECT_GE(h.counts[4], h.total - 2) << "undersized CPA batches dominate";
+}
+
 TEST(ObsCampaign, FullObservabilityDoesNotPerturbResults) {
   ObsStateGuard guard;
   // Baseline: everything off (the default).
