@@ -1,5 +1,8 @@
 #include "attack/campaign.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
@@ -8,6 +11,8 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <system_error>
+#include <utility>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -175,6 +180,50 @@ void TraceCampaign::process_block(std::size_t first_trace,
 
 // ------------------------------------------------------------- recording
 
+TraceCampaign::RecordCursor TraceCampaign::start_record(util::Rng& rng) const {
+  RecordCursor cursor;
+  for (auto& b : cursor.plaintext) {
+    b = static_cast<std::uint8_t>(rng() & 0xff);
+  }
+  cursor.trace_parent = rng;
+  return cursor;
+}
+
+std::vector<crypto::Block> TraceCampaign::next_plaintexts(
+    RecordCursor& cursor, std::size_t n) const {
+  std::vector<crypto::Block> chain = plaintext_chain(cursor.plaintext, n);
+  cursor.produced += n;
+  return chain;
+}
+
+std::vector<sim::StoredTrace> TraceCampaign::record_block(
+    const util::Rng& trace_parent, std::size_t first_trace,
+    std::span<const crypto::Block> plaintexts) const {
+  sim::SensorRig::Sampler sampler = rig_->make_sampler();
+  victim::AesCoreModel aes = *aes_;  // thread-private encryption state
+  const double gain = rig_->coupling().gain_at_node(aes.pdn_node());
+  TraceScratch scratch;
+  std::vector<sim::StoredTrace> out;
+  out.reserve(plaintexts.size());
+#if defined(LEAKYDSP_OBS)
+  std::uint64_t rng_draws = 0;
+#endif
+  for (std::size_t i = 0; i < plaintexts.size(); ++i) {
+    util::Rng trace_rng = trace_parent.fork(first_trace + i + 1);
+    std::vector<double> samples(trace_samples_);
+    sample_trace(sampler, aes, plaintexts[i], gain, trace_rng, scratch,
+                 samples);
+#if defined(LEAKYDSP_OBS)
+    rng_draws += trace_rng.draws();
+#endif
+    out.push_back({aes.ciphertext(), std::move(samples)});
+  }
+  OBS_COUNT("campaign.traces_sampled", plaintexts.size());
+  OBS_COUNT("rng.draws", rng_draws);
+  OBS_PROGRESS_TICK();
+  return out;
+}
+
 void TraceCampaign::record_blocks(
     util::ThreadPool& pool, const util::Rng& trace_parent,
     std::span<const crypto::Block> plaintexts, std::size_t first_block,
@@ -184,28 +233,8 @@ void TraceCampaign::record_blocks(
   pool.parallel_for(shards.size(), [&](std::size_t w) {
     const std::size_t lo = (first_block + w) * block;
     const std::size_t hi = std::min(lo + block, n);
-    sim::SensorRig::Sampler sampler = rig_->make_sampler();
-    victim::AesCoreModel aes = *aes_;
-    const double gain = rig_->coupling().gain_at_node(aes.pdn_node());
-    TraceScratch scratch;
-    auto& out = shards[w];
-    out.reserve(hi - lo);
-#if defined(LEAKYDSP_OBS)
-    std::uint64_t rng_draws = 0;
-#endif
-    for (std::size_t i = lo; i < hi; ++i) {
-      util::Rng trace_rng = trace_parent.fork(i + 1);
-      std::vector<double> samples(trace_samples_);
-      sample_trace(sampler, aes, plaintexts[i], gain, trace_rng, scratch,
-                   samples);
-#if defined(LEAKYDSP_OBS)
-      rng_draws += trace_rng.draws();
-#endif
-      out.push_back({aes.ciphertext(), std::move(samples)});
-    }
-    OBS_COUNT("campaign.traces_sampled", hi - lo);
-    OBS_COUNT("rng.draws", rng_draws);
-    OBS_PROGRESS_TICK();
+    shards[w] =
+        record_block(trace_parent, lo, {plaintexts.data() + lo, hi - lo});
   });
 }
 
@@ -270,9 +299,28 @@ namespace {
 constexpr char kCheckpointMagic[4] = {'L', 'D', 'C', 'K'};
 constexpr std::uint32_t kCheckpointVersion = 1;
 constexpr std::uint64_t kCheckpointOverhead = 20;  // magic+version+size+crc
+constexpr char kLegacyCheckpointFile[] = "campaign.ckpt";
 
-std::string checkpoint_path(const std::string& dir) {
-  return dir + "/campaign.ckpt";
+/// File-name-safe form of a campaign id: [A-Za-z0-9._-] passes through,
+/// everything else (separators included — ids must never name directories)
+/// becomes '_'.
+std::string sanitize_id(const std::string& id) {
+  std::string out = id;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Checkpoint file for `id` inside `dir`. An empty id keeps the historical
+/// single-file name so pre-id checkpoints (and every existing test corpus)
+/// stay valid; non-empty ids get their own keyed file, which is what lets
+/// many campaigns share one checkpoint directory.
+std::string checkpoint_path(const std::string& dir, const std::string& id) {
+  if (id.empty()) return dir + "/" + kLegacyCheckpointFile;
+  return dir + "/campaign-" + sanitize_id(id) + ".ckpt";
 }
 
 [[noreturn]] void checkpoint_fail(const std::string& path,
@@ -280,6 +328,19 @@ std::string checkpoint_path(const std::string& dir) {
   OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint load failed",
           obs::f("path", path), obs::f("reason", what));
   throw CheckpointError("campaign checkpoint '" + path + "': " + what);
+}
+
+/// Failure of a checkpoint filesystem operation: logs the errno alongside
+/// the path and throws the typed error with the decoded message, so EACCES
+/// can never masquerade as "no checkpoint yet".
+[[noreturn]] void checkpoint_io_fail(const std::string& path,
+                                     const std::string& what, int err) {
+  OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint io failed",
+          obs::f("path", path), obs::f("reason", what), obs::f("errno", err));
+  throw CheckpointError(
+      "campaign checkpoint '" + path + "': " + what + " (errno " +
+      std::to_string(err) + ": " +
+      std::error_code(err, std::generic_category()).message() + ")");
 }
 
 /// Per-block accumulator a worker fills before the ordered merge.
@@ -297,8 +358,33 @@ std::size_t next_multiple(std::size_t t, std::size_t stride) {
 }  // namespace
 
 bool TraceCampaign::checkpoint_exists(const std::string& dir) {
+  return checkpoint_exists(dir, "");
+}
+
+bool TraceCampaign::checkpoint_exists(const std::string& dir,
+                                      const std::string& campaign_id) {
+  const std::string path = checkpoint_path(dir, campaign_id);
   std::error_code ec;
-  return std::filesystem::is_regular_file(checkpoint_path(dir), ec);
+  const std::filesystem::file_status st = std::filesystem::status(path, ec);
+  // status() reports "nothing there" (ENOENT/ENOTDIR along the path) as
+  // file_type::not_found; an indeterminate status (file_type::none with ec
+  // set — EACCES, ELOOP, EIO, ...) is a failure to answer and must
+  // surface, because callers branch to restart-from-scratch on `false`.
+  if (st.type() == std::filesystem::file_type::none && ec) {
+    checkpoint_io_fail(path, "cannot stat", ec.value());
+  }
+  if (st.type() == std::filesystem::file_type::not_found) {
+    // No committed checkpoint. A stray sibling .tmp is crash garbage (the
+    // commit point is the rename), so reap it instead of leaking it.
+    const std::string tmp = path + ".tmp";
+    std::error_code tmp_ec;
+    if (std::filesystem::remove(tmp, tmp_ec)) {
+      OBS_LOG(obs::LogLevel::kWarn, "campaign",
+              "removed stray uncommitted checkpoint tmp", obs::f("path", tmp));
+    }
+    return false;
+  }
+  return std::filesystem::is_regular_file(st);
 }
 
 void TraceCampaign::write_checkpoint(const RunState& state) const {
@@ -343,37 +429,57 @@ void TraceCampaign::write_checkpoint(const RunState& state) const {
   file.bytes(payload.span());
   file.u32(util::crc32(payload.span()));
 
-  // Atomic replace: a crash mid-write leaves either the previous valid
-  // checkpoint or a stray .tmp — never a half-written campaign.ckpt.
+  // Durable atomic replace. ofstream::flush only hands bytes to the OS, so
+  // flush-then-rename survives a crash of this process but not of the
+  // machine: after power loss the rename can be on disk while the data is
+  // not, surfacing a zero-length or stale checkpoint file. The crash-safe
+  // sequence is write(fd) -> fsync(fd) -> rename -> fsync(parent dir): the
+  // data blocks are durable before the name flips, and the directory entry
+  // is durable before we report progress.
   std::error_code ec;
   std::filesystem::create_directories(config_.checkpoint_dir, ec);
-  const std::string path = checkpoint_path(config_.checkpoint_dir);
+  if (ec) {
+    checkpoint_io_fail(config_.checkpoint_dir,
+                       "cannot create checkpoint directory", ec.value());
+  }
+  const std::string path =
+      checkpoint_path(config_.checkpoint_dir, config_.campaign_id);
   const std::string tmp = path + ".tmp";
-  {
-    errno = 0;
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os.is_open()) {
-      OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint open failed",
-              obs::f("path", tmp), obs::f("traces", state.t),
-              obs::f("errno", errno));
-      LD_ENSURE(false, "cannot open '" << tmp << "' for writing");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) checkpoint_io_fail(tmp, "cannot open for writing", errno);
+  std::span<const std::uint8_t> rest = file.span();
+  while (!rest.empty()) {
+    const ssize_t n = ::write(fd, rest.data(), rest.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      checkpoint_io_fail(tmp, "write failure", err);
     }
-    os.write(reinterpret_cast<const char*>(file.span().data()),
-             static_cast<std::streamsize>(file.size()));
-    os.flush();
-    if (!os.good()) {
-      OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint write failed",
-              obs::f("path", tmp), obs::f("bytes", file.size()),
-              obs::f("traces", state.t), obs::f("errno", errno));
-      LD_ENSURE(false, "write failure on '" << tmp << "'");
-    }
+    rest = rest.subspan(static_cast<std::size_t>(n));
   }
-  errno = 0;
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    checkpoint_io_fail(tmp, "fsync failure", err);
+  }
+  if (::close(fd) != 0) checkpoint_io_fail(tmp, "close failure", errno);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    OBS_LOG(obs::LogLevel::kError, "campaign", "checkpoint rename failed",
-            obs::f("from", tmp), obs::f("to", path), obs::f("errno", errno));
-    LD_ENSURE(false, "cannot rename '" << tmp << "' to '" << path << "'");
+    checkpoint_io_fail(path, "cannot rename '" + tmp + "' into place", errno);
   }
+  const int dir_fd =
+      ::open(config_.checkpoint_dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    checkpoint_io_fail(config_.checkpoint_dir,
+                       "cannot open directory for fsync", errno);
+  }
+  if (::fsync(dir_fd) != 0) {
+    const int err = errno;
+    ::close(dir_fd);
+    checkpoint_io_fail(config_.checkpoint_dir, "directory fsync failure", err);
+  }
+  ::close(dir_fd);
   OBS_COUNT("campaign.checkpoint.writes", 1);
   OBS_COUNT("campaign.checkpoint.bytes", file.size());
   OBS_GAUGE_SET("campaign.checkpoint.traces", state.t);
@@ -384,9 +490,34 @@ void TraceCampaign::write_checkpoint(const RunState& state) const {
 }
 
 TraceCampaign::RunState TraceCampaign::load_checkpoint() const {
-  const std::string path = checkpoint_path(config_.checkpoint_dir);
+  std::string path =
+      checkpoint_path(config_.checkpoint_dir, config_.campaign_id);
+  if (!config_.campaign_id.empty()) {
+    // Compat shim: when this campaign's keyed checkpoint is absent, fall
+    // back to the legacy single-file name so checkpoints written before
+    // ids existed stay resumable under an id-carrying config.
+    std::error_code ec;
+    if (std::filesystem::status(path, ec).type() ==
+        std::filesystem::file_type::not_found) {
+      const std::string legacy = checkpoint_path(config_.checkpoint_dir, "");
+      std::error_code legacy_ec;
+      if (std::filesystem::is_regular_file(legacy, legacy_ec)) {
+        OBS_LOG(obs::LogLevel::kInfo, "campaign",
+                "loading legacy checkpoint name", obs::f("path", legacy),
+                obs::f("campaign", config_.campaign_id));
+        path = legacy;
+      }
+    }
+  }
+  errno = 0;
   std::ifstream is(path, std::ios::binary);
-  if (!is.is_open()) checkpoint_fail(path, "cannot open");
+  if (!is.is_open()) {
+    checkpoint_fail(path, "cannot open (errno " + std::to_string(errno) +
+                              ": " +
+                              std::error_code(errno, std::generic_category())
+                                  .message() +
+                              ")");
+  }
   is.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(is.tellg());
   is.seekg(0);
@@ -482,6 +613,225 @@ TraceCampaign::RunState TraceCampaign::load_checkpoint() const {
   }
 }
 
+// ---------------------------------------------------- resumable-task core
+
+/// One planned boundary step: the materialized plaintext slice plus one
+/// shard slot per trace block. run_block() fills slots independently;
+/// finish_step_impl folds them back in block order.
+struct TraceCampaign::StepPlan::Impl {
+  std::size_t base_t = 0;       ///< state.t when the step was planned
+  std::size_t next = 0;         ///< state.t after the step completes
+  std::size_t count = 0;        ///< traces in this step (next - base_t)
+  std::size_t block = 0;        ///< config.block_traces at planning time
+  bool stop_when_broken = true;
+  util::Rng trace_parent;       ///< per-trace fork parent (snapshot)
+  std::vector<crypto::Block> plaintexts;
+  std::vector<std::unique_ptr<BlockShard>> shards;
+};
+
+TraceCampaign::StepPlan::StepPlan() = default;
+TraceCampaign::StepPlan::StepPlan(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+TraceCampaign::StepPlan::StepPlan(StepPlan&&) noexcept = default;
+TraceCampaign::StepPlan& TraceCampaign::StepPlan::operator=(
+    StepPlan&&) noexcept = default;
+TraceCampaign::StepPlan::~StepPlan() = default;
+
+std::size_t TraceCampaign::StepPlan::block_count() const {
+  return impl_ ? impl_->shards.size() : 0;
+}
+
+TraceCampaign::Task::Task(std::unique_ptr<RunState> state)
+    : state_(std::move(state)) {}
+TraceCampaign::Task::Task(Task&&) noexcept = default;
+TraceCampaign::Task& TraceCampaign::Task::operator=(Task&&) noexcept = default;
+TraceCampaign::Task::~Task() = default;
+
+std::size_t TraceCampaign::Task::traces_done() const {
+  return state_ ? state_->t : 0;
+}
+
+bool TraceCampaign::Task::completed() const {
+  return state_ != nullptr && state_->completed;
+}
+
+TraceCampaign::Task TraceCampaign::start(util::Rng& rng) const {
+  auto state = std::make_unique<RunState>(poi_count_);
+  for (auto& b : state->plaintext) b = static_cast<std::uint8_t>(rng() & 0xff);
+  // Every trace t forks its own noise stream from this snapshot, so the
+  // readouts depend only on the seed and t — never on which worker ran it.
+  state->trace_parent = rng;
+  return Task(std::move(state));
+}
+
+TraceCampaign::Task TraceCampaign::load_task() const {
+  LD_REQUIRE(!config_.checkpoint_dir.empty(),
+             "load_task() requires config.checkpoint_dir");
+  auto state = std::make_unique<RunState>(load_checkpoint());
+  OBS_LOG(obs::LogLevel::kInfo, "campaign", "rehydrated task from checkpoint",
+          obs::f("dir", config_.checkpoint_dir),
+          obs::f("campaign", config_.campaign_id), obs::f("traces", state->t),
+          obs::f("completed", state->completed));
+  return Task(std::move(state));
+}
+
+TraceCampaign::StepPlan TraceCampaign::make_plan(RunState& state,
+                                                 bool stop_when_broken) const {
+  LD_REQUIRE(config_.block_traces >= 1, "bad block size");
+  if (state.completed || state.stopped || state.t >= config_.max_traces) {
+    return StepPlan();
+  }
+  // Advance to the next checkpoint boundary: break checks while the key
+  // is still unbroken, rank checkpoints always.
+  std::size_t next = config_.max_traces;
+  if (!state.result.broken) {
+    next = std::min(next, next_multiple(state.t, config_.break_check_stride));
+  }
+  next = std::min(next, next_multiple(state.t, config_.rank_stride));
+
+  auto impl = std::make_unique<StepPlan::Impl>();
+  impl->base_t = state.t;
+  impl->next = next;
+  impl->count = next - state.t;
+  impl->block = config_.block_traces;
+  impl->stop_when_broken = stop_when_broken;
+  impl->trace_parent = state.trace_parent;
+  // The paper chains plaintexts (p[t+1] = ciphertext of trace t); the
+  // chain is pure AES, so materialize it before any PDN work and hand
+  // each worker block its slice. This advances the state's cursor — the
+  // step is committed to run once planned.
+  impl->plaintexts = plaintext_chain(state.plaintext, impl->count);
+  impl->shards.resize((impl->count + impl->block - 1) / impl->block);
+  return StepPlan(std::move(impl));
+}
+
+TraceCampaign::StepPlan TraceCampaign::plan_step(Task& task,
+                                                 bool stop_when_broken) const {
+  LD_REQUIRE(task.state_ != nullptr, "plan_step on an empty task");
+  return make_plan(*task.state_, stop_when_broken);
+}
+
+void TraceCampaign::run_block(StepPlan& plan, std::size_t block) const {
+  LD_REQUIRE(plan.impl_ != nullptr, "run_block on an empty plan");
+  StepPlan::Impl& impl = *plan.impl_;
+  LD_REQUIRE(block < impl.shards.size(),
+             "block " << block << " out of range (" << impl.shards.size()
+                      << " blocks)");
+  const std::size_t lo = block * impl.block;
+  const std::size_t hi = std::min(lo + impl.block, impl.count);
+  auto shard = std::make_unique<BlockShard>(poi_count_);
+  process_block(impl.base_t + lo + 1,
+                {impl.plaintexts.data() + lo, hi - lo}, impl.trace_parent,
+                shard->cpa, shard->poi_sum);
+  impl.shards[block] = std::move(shard);
+}
+
+bool TraceCampaign::finish_step_impl(RunState& state,
+                                     StepPlan::Impl& plan) const {
+  LD_REQUIRE(plan.base_t == state.t,
+             "finish_step out of order: plan at trace "
+                 << plan.base_t << ", task at " << state.t);
+  // Merge in block order: the reduction tree is fixed by the block size,
+  // not by the schedule, so any thread count gives identical sums.
+  for (const auto& shard : plan.shards) {
+    LD_REQUIRE(shard != nullptr, "finish_step before every block ran");
+    state.cpa.merge(shard->cpa);
+    state.poi_sum += shard->poi_sum;
+  }
+  state.t = plan.next;
+  state.result.traces_run = state.t;
+
+  const crypto::Key true_key = aes_->cipher().round_keys()[0];
+  const crypto::RoundKey true_rk10 = aes_->cipher().round_keys()[10];
+
+  if (!state.result.broken && state.t % config_.break_check_stride == 0 &&
+      state.t >= 2) {
+    const bool ok = state.cpa.recovered_master_key() == true_key;
+    if (ok) {
+      if (state.consecutive_ok == 0) {
+        state.result.traces_to_break = state.t;  // first stable stride
+      }
+      ++state.consecutive_ok;
+    } else {
+      state.consecutive_ok = 0;
+      state.result.traces_to_break = 0;
+    }
+    if (state.consecutive_ok >= config_.stable_breaks) {
+      state.result.broken = true;
+    }
+  }
+
+  bool stop = false;
+  if (state.t % config_.rank_stride == 0 && state.t >= 2) {
+    const auto scores = state.cpa.snapshot();
+    Checkpoint cp;
+    cp.traces = state.t;
+    cp.rank = estimate_key_rank(scores, true_rk10, config_.rank_params);
+    const auto recovered = state.cpa.recovered_round_key();
+    for (int b = 0; b < 16; ++b) {
+      if (recovered[static_cast<std::size_t>(b)] ==
+          true_rk10[static_cast<std::size_t>(b)]) {
+        ++cp.correct_bytes;
+      }
+    }
+    cp.full_key = state.cpa.recovered_master_key() == true_key;
+    state.result.checkpoints.push_back(cp);
+    stop = plan.stop_when_broken && state.result.broken;
+  }
+  if (stop) state.stopped = true;
+  return !stop && state.t < config_.max_traces;
+}
+
+bool TraceCampaign::finish_step(Task& task, StepPlan&& plan) const {
+  LD_REQUIRE(task.state_ != nullptr, "finish_step on an empty task");
+  LD_REQUIRE(plan.impl_ != nullptr, "finish_step on an empty plan");
+  StepPlan consumed = std::move(plan);
+  return finish_step_impl(*task.state_, *consumed.impl_);
+}
+
+void TraceCampaign::finalize_state(RunState& state) const {
+  state.result.mean_poi_readout =
+      state.poi_sum / (static_cast<double>(state.result.traces_run) *
+                       static_cast<double>(poi_count_));
+  state.completed = true;
+}
+
+void TraceCampaign::suspend(const Task& task) const {
+  LD_REQUIRE(task.state_ != nullptr, "suspend on an empty task");
+  LD_REQUIRE(!config_.checkpoint_dir.empty(),
+             "suspend() requires config.checkpoint_dir");
+  write_checkpoint(*task.state_);
+}
+
+CampaignResult TraceCampaign::take_result(Task&& task) const {
+  LD_REQUIRE(task.state_ != nullptr, "take_result on an empty task");
+  Task consumed = std::move(task);
+  RunState& state = *consumed.state_;
+  if (!state.completed) {
+    finalize_state(state);
+    if (!config_.checkpoint_dir.empty()) write_checkpoint(state);
+  }
+  return std::move(state.result);
+}
+
+std::size_t TraceCampaign::approx_task_bytes() const {
+  // Durable part: the merged CPA accumulator inside the RunState.
+  const std::size_t durable = CpaAttack::approx_accumulator_bytes(poi_count_);
+  // Transient part while a step is in flight: the widest boundary step is
+  // bounded by rank_stride (a rank boundary always terminates a step), and
+  // every block of it may hold a shard (one CPA accumulator + its working
+  // buffers: the POI panel, one trace, and the SoA scratch) concurrently.
+  const std::size_t widest = std::min(config_.max_traces, config_.rank_stride);
+  const std::size_t blocks =
+      (widest + config_.block_traces - 1) / config_.block_traces;
+  const std::size_t per_block =
+      CpaAttack::approx_accumulator_bytes(poi_count_) +
+      config_.block_traces *
+          (sizeof(crypto::Block) + poi_count_ * sizeof(double)) +
+      4 * trace_samples_ * sizeof(double);
+  return durable + widest * sizeof(crypto::Block) + blocks * per_block;
+}
+
 // --------------------------------------------------------------- running
 
 CampaignResult TraceCampaign::run(util::Rng& rng, bool stop_when_broken) {
@@ -506,7 +856,6 @@ CampaignResult TraceCampaign::resume(bool stop_when_broken) {
 
 CampaignResult TraceCampaign::run_loop(RunState& state,
                                        bool stop_when_broken) {
-  LD_REQUIRE(config_.block_traces >= 1, "bad block size");
   const bool checkpointing = !config_.checkpoint_dir.empty();
   util::ThreadPool pool(config_.threads);
   OBS_LOG(obs::LogLevel::kInfo, "campaign", "run loop started",
@@ -515,94 +864,23 @@ CampaignResult TraceCampaign::run_loop(RunState& state,
           obs::f("block_traces", config_.block_traces),
           obs::f("threads", pool.size()),
           obs::f("checkpointing", checkpointing));
-  const crypto::Key true_key = aes_->cipher().round_keys()[0];
-  const crypto::RoundKey true_rk10 = aes_->cipher().round_keys()[10];
 
-  while (state.t < config_.max_traces) {
-    // Advance to the next checkpoint boundary: break checks while the key
-    // is still unbroken, rank checkpoints always.
-    std::size_t next = config_.max_traces;
-    if (!state.result.broken) {
-      next = std::min(next,
-                      next_multiple(state.t, config_.break_check_stride));
-    }
-    next = std::min(next, next_multiple(state.t, config_.rank_stride));
-    const std::size_t count = next - state.t;
-
-    // The paper chains plaintexts (p[t+1] = ciphertext of trace t); the
-    // chain is pure AES, so materialize it before any PDN work and hand
-    // each worker block its slice.
-    const std::vector<crypto::Block> plaintexts =
-        plaintext_chain(state.plaintext, count);
-
-    const std::size_t block = config_.block_traces;
-    const std::size_t blocks = (count + block - 1) / block;
-    std::vector<std::unique_ptr<BlockShard>> shards(blocks);
-    pool.parallel_for(blocks, [&](std::size_t blk) {
-      const std::size_t lo = blk * block;
-      const std::size_t hi = std::min(lo + block, count);
-      auto shard = std::make_unique<BlockShard>(poi_count_);
-      process_block(state.t + lo + 1, {plaintexts.data() + lo, hi - lo},
-                    state.trace_parent, shard->cpa, shard->poi_sum);
-      shards[blk] = std::move(shard);
-    });
-    // Merge in block order: the reduction tree is fixed by the block size,
-    // not by the schedule, so any thread count gives identical sums.
-    for (const auto& shard : shards) {
-      state.cpa.merge(shard->cpa);
-      state.poi_sum += shard->poi_sum;
-    }
-    state.t = next;
-    state.result.traces_run = state.t;
-
-    if (!state.result.broken &&
-        state.t % config_.break_check_stride == 0 && state.t >= 2) {
-      const bool ok = state.cpa.recovered_master_key() == true_key;
-      if (ok) {
-        if (state.consecutive_ok == 0) {
-          state.result.traces_to_break = state.t;  // first stable stride
-        }
-        ++state.consecutive_ok;
-      } else {
-        state.consecutive_ok = 0;
-        state.result.traces_to_break = 0;
-      }
-      if (state.consecutive_ok >= config_.stable_breaks) {
-        state.result.broken = true;
-      }
-    }
-
-    bool stop = false;
-    if (state.t % config_.rank_stride == 0 && state.t >= 2) {
-      const auto scores = state.cpa.snapshot();
-      Checkpoint cp;
-      cp.traces = state.t;
-      cp.rank = estimate_key_rank(scores, true_rk10, config_.rank_params);
-      const auto recovered = state.cpa.recovered_round_key();
-      for (int b = 0; b < 16; ++b) {
-        if (recovered[static_cast<std::size_t>(b)] ==
-            true_rk10[static_cast<std::size_t>(b)]) {
-          ++cp.correct_bytes;
-        }
-      }
-      cp.full_key = state.cpa.recovered_master_key() == true_key;
-      state.result.checkpoints.push_back(cp);
-      stop = stop_when_broken && state.result.broken;
-    }
-
+  for (;;) {
+    StepPlan plan = make_plan(state, stop_when_broken);
+    if (plan.empty()) break;
+    pool.parallel_for(plan.block_count(),
+                      [&](std::size_t blk) { run_block(plan, blk); });
+    const bool more = finish_step_impl(state, *plan.impl_);
     // Durable progress: everything needed to continue from this boundary,
     // replacing the previous checkpoint atomically. A kill at ANY moment
     // loses at most the traces since the last boundary, and the resumed
     // run re-derives them bit-identically from the forked RNG streams.
     if (checkpointing) write_checkpoint(state);
     OBS_PROGRESS_TICK();
-    if (stop) break;
+    if (!more) break;
   }
 
-  state.result.mean_poi_readout =
-      state.poi_sum / (static_cast<double>(state.result.traces_run) *
-                       static_cast<double>(poi_count_));
-  state.completed = true;
+  finalize_state(state);
   if (checkpointing) write_checkpoint(state);
   OBS_LOG(obs::LogLevel::kInfo, "campaign", "run loop finished",
           obs::f("traces_run", state.result.traces_run),

@@ -198,6 +198,25 @@ void CpaAttack::merge(const CpaAttack& other) {
   }
 }
 
+std::size_t CpaAttack::approx_accumulator_bytes(std::size_t poi_count) {
+  return sizeof(CpaAttack)                            // inline sum_h / sum_h2
+         + 2 * poi_count * sizeof(double)             // sum_t, sum_t2
+         + 16 * 256 * poi_count * sizeof(double)      // sum_ht cross sums
+         + 9 * poi_count * sizeof(double);            // class scratch
+}
+
+std::size_t CpaAttack::resident_bytes() const {
+  std::size_t bytes = sizeof(CpaAttack) +
+                      (sum_t_.capacity() + sum_t2_.capacity() +
+                       class_scratch_.capacity()) *
+                          sizeof(double) +
+                      row_scratch_.capacity() * sizeof(const std::uint8_t*);
+  for (const auto& per_byte : sum_ht_) {
+    bytes += per_byte.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
 void CpaAttack::serialize(util::ByteWriter& out) const {
   out.u64(poi_);
   out.u64(traces_);

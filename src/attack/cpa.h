@@ -103,6 +103,15 @@ class CpaAttack {
   void serialize(util::ByteWriter& out) const;
   static CpaAttack deserialize(util::ByteReader& in);
 
+  /// Approximate heap footprint of one accumulator with `poi_count` points
+  /// of interest: the trace-side sums, the flattened per-(byte, guess)
+  /// cross sums, and the kernel scratch. Coarse by design — the campaign
+  /// service charges this against its memory budget per resident task.
+  static std::size_t approx_accumulator_bytes(std::size_t poi_count);
+
+  /// Actual bytes currently held by this accumulator's heap vectors.
+  std::size_t resident_bytes() const;
+
  private:
   void add_traces_class(std::span<const crypto::Block> ciphertexts,
                         std::span<const double> poi_matrix);

@@ -82,6 +82,43 @@ Registry::MetricId Registry::counter(const std::string& name) {
   return register_metric(Kind::kCounter, name, {});
 }
 
+Registry::MetricId Registry::labeled_counter(const std::string& base,
+                                             const std::string& label,
+                                             std::size_t max_labels) {
+  LD_REQUIRE(!base.empty(), "labeled counter needs a base name");
+  LD_REQUIRE(max_labels >= 1, "labeled counter needs room for one label");
+  std::string admitted = label;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LabelSet* set = nullptr;
+    for (auto& [name, labels] : label_sets_) {
+      if (name == base) {
+        set = &labels;
+        break;
+      }
+    }
+    if (set == nullptr) {
+      label_sets_.emplace_back(base, LabelSet{max_labels, {}});
+      set = &label_sets_.back().second;
+    }
+    if (std::find(set->labels.begin(), set->labels.end(), admitted) ==
+        set->labels.end()) {
+      // Admission check happens before insertion, so "~other" occupies a
+      // slot beyond the cap and stays shared by every overflow label.
+      if (set->labels.size() >= set->max_labels) admitted = "~other";
+      if (std::find(set->labels.begin(), set->labels.end(), admitted) ==
+          set->labels.end()) {
+        set->labels.push_back(admitted);
+      }
+    }
+  }
+  // register_metric re-takes the mutex; the label decision above is
+  // already published, so a racing caller of the same (base, label) lands
+  // on the same metric name.
+  return register_metric(Kind::kCounter,
+                         base + "{id=\"" + admitted + "\"}", {});
+}
+
 Registry::MetricId Registry::gauge(const std::string& name) {
   return register_metric(Kind::kGauge, name, {});
 }

@@ -44,6 +44,17 @@ class Registry {
   /// Registers (or finds) a monotonically increasing counter.
   MetricId counter(const std::string& name);
 
+  /// Registers (or finds) the labeled child of counter `base`, named
+  /// `base{id="<label>"}` — how the campaign service attributes shared
+  /// counters (blocks run, traces, evictions) to individual campaigns. At
+  /// most `max_labels` distinct labels register per base; every further
+  /// label collapses into the shared `base{id="~other"}` child, so an
+  /// unbounded label population (thousands of campaign ids) can never
+  /// exhaust the fixed-capacity registry. The cap is per base and fixed by
+  /// the first call for that base.
+  MetricId labeled_counter(const std::string& base, const std::string& label,
+                           std::size_t max_labels = 64);
+
   /// Registers (or finds) a last-write-wins gauge.
   MetricId gauge(const std::string& name);
 
@@ -117,9 +128,17 @@ class Registry {
   Shard& local_shard();
   Shard& shard_for_current_thread_locked();
 
+  /// Labels already admitted per labeled-counter base, plus the cap the
+  /// base was first registered with.
+  struct LabelSet {
+    std::size_t max_labels = 0;
+    std::vector<std::string> labels;
+  };
+
   const std::uint64_t serial_;  ///< invalidates stale thread-local caches
   mutable std::mutex mutex_;    ///< registrations, shard list, gauges
   std::vector<Descriptor> metrics_;
+  std::vector<std::pair<std::string, LabelSet>> label_sets_;
   std::size_t next_slot_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;  ///< registration order
   std::vector<std::int64_t> gauges_;

@@ -1,0 +1,501 @@
+#include "serve/campaign_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/trace_store.h"
+#include "util/contracts.h"
+#include "util/thread_pool.h"
+
+namespace leakydsp::serve {
+
+namespace {
+
+/// One schedulable unit: a block index of some resident campaign's current
+/// plan (attack step or record wave). The pointer stays valid until the
+/// plan's last block completes — residents are only released from
+/// complete-step/complete-wave, which runs after the final block.
+struct Resident;
+struct BlockItem {
+  Resident* resident = nullptr;
+  std::size_t block = 0;
+};
+
+/// A hydrated campaign: its rebuilt world plus the in-flight step state.
+struct Resident {
+  std::size_t job_index = 0;
+  std::unique_ptr<CampaignWorld> world;
+  std::optional<attack::TraceCampaign::Task> task;
+  std::optional<attack::TraceCampaign::StepPlan> plan;
+  std::atomic<std::size_t> blocks_left{0};
+  std::atomic<std::uint64_t> worker_mask{0};
+  std::size_t steps_this_turn = 0;
+  std::size_t last_step_seq = 0;  ///< global step seq of this campaign's
+                                  ///< previous completion (0 = none yet)
+  std::size_t task_bytes = 0;     ///< admission charge against the budget
+
+  // Record-job state (is_record only).
+  bool is_record = false;
+  std::unique_ptr<sim::TraceStoreWriter> writer;
+  attack::TraceCampaign::RecordCursor cursor;
+  std::vector<crypto::Block> wave_plaintexts;
+  std::vector<std::vector<sim::StoredTrace>> wave_shards;
+  std::size_t wave_first_trace = 0;
+  std::size_t record_done = 0;
+};
+
+/// A job's queue entry: the spec plus whether a durable checkpoint already
+/// holds its progress (set on eviction; rehydration loads instead of
+/// starting fresh).
+struct QueuedJob {
+  CampaignJob job;
+  bool has_checkpoint = false;
+};
+
+}  // namespace
+
+struct CampaignService::Impl {
+  ServiceConfig config;
+  std::vector<QueuedJob> jobs;
+  std::vector<CampaignOutcome> outcomes;
+  ServiceStats stats;
+  bool drained = false;
+
+  // ---- scheduler state (drain() only) ----
+  std::size_t pool_size = 0;
+
+  /// Per-worker block deques: owner pops the back (LIFO keeps its own
+  /// plan's blocks warm), thieves pop the front (FIFO takes the oldest,
+  /// which is fairest to long-waiting plans).
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<BlockItem> items;
+  };
+  std::vector<std::unique_ptr<WorkerDeque>> deques;
+
+  std::mutex mutex;  ///< campaign lifecycle: admission, finish, eviction
+  std::vector<std::unique_ptr<Resident>> residents;
+  std::deque<std::size_t> pending;  ///< FIFO of job indices awaiting a slot
+  std::size_t next_deque = 0;       ///< round-robin push cursor
+  std::size_t resident_bytes = 0;
+
+  std::atomic<std::size_t> jobs_done{0};
+  std::atomic<bool> aborted{false};
+  std::exception_ptr error;  ///< first failure; guarded by `mutex`
+
+  std::mutex cv_mutex;
+  std::condition_variable cv;
+  std::uint64_t epoch = 0;  ///< bumped on every push; guarded by cv_mutex
+
+  // -------------------------------------------------------------- helpers
+
+  bool finished() const {
+    return aborted.load(std::memory_order_acquire) ||
+           jobs_done.load(std::memory_order_acquire) >= jobs.size();
+  }
+
+  void bump_epoch() {
+    {
+      std::lock_guard<std::mutex> lock(cv_mutex);
+      ++epoch;
+    }
+    cv.notify_all();
+  }
+
+  /// Deals the blocks of `resident`'s current plan (or wave) across the
+  /// worker deques round-robin. Caller holds `mutex`.
+  void push_blocks_locked(Resident& resident, std::size_t count) {
+    resident.blocks_left.store(count, std::memory_order_release);
+    for (std::size_t b = 0; b < count; ++b) {
+      WorkerDeque& dq = *deques[next_deque];
+      next_deque = (next_deque + 1) % deques.size();
+      std::lock_guard<std::mutex> lock(dq.mutex);
+      dq.items.push_back({&resident, b});
+    }
+    bump_epoch();
+  }
+
+  bool pop_local(std::size_t w, BlockItem& out) {
+    WorkerDeque& dq = *deques[w];
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.items.empty()) return false;
+    out = dq.items.back();
+    dq.items.pop_back();
+    return true;
+  }
+
+  bool steal(std::size_t w, BlockItem& out) {
+    for (std::size_t k = 1; k < deques.size(); ++k) {
+      WorkerDeque& dq = *deques[(w + k) % deques.size()];
+      std::lock_guard<std::mutex> lock(dq.mutex);
+      if (dq.items.empty()) continue;
+      out = dq.items.front();
+      dq.items.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  /// Admits queued jobs while slots and budget allow. Caller holds `mutex`.
+  void admit_locked() {
+    while (!pending.empty() && residents.size() < config.max_resident) {
+      const std::size_t job_index = pending.front();
+      QueuedJob& queued = jobs[job_index];
+
+      auto resident = std::make_unique<Resident>();
+      resident->job_index = job_index;
+      resident->world = queued.job.make();
+      LD_REQUIRE(resident->world != nullptr,
+                 "campaign job '" << queued.job.id << "' factory returned null");
+      attack::TraceCampaign& campaign = resident->world->campaign();
+
+      resident->task_bytes = campaign.approx_task_bytes();
+      // Admission by memory budget — but never starve an empty service:
+      // a single oversized campaign degrades to sequential execution.
+      if (config.memory_budget_bytes != 0 && !residents.empty() &&
+          resident_bytes + resident->task_bytes > config.memory_budget_bytes) {
+        return;  // world is torn down again; rebuilt on the next attempt
+      }
+      pending.pop_front();
+      resident_bytes += resident->task_bytes;
+      stats.peak_resident_bytes =
+          std::max(stats.peak_resident_bytes, resident_bytes);
+
+      if (queued.job.record.has_value()) {
+        const RecordJobSpec& spec = *queued.job.record;
+        LD_REQUIRE(spec.traces >= 1,
+                   "record job '" << queued.job.id << "' needs traces");
+        LD_REQUIRE(!spec.out_path.empty(),
+                   "record job '" << queued.job.id << "' needs an out path");
+        resident->is_record = true;
+        resident->writer = std::make_unique<sim::TraceStoreWriter>(
+            spec.out_path, campaign.trace_samples());
+        resident->cursor = campaign.start_record(resident->world->rng());
+      } else if (queued.has_checkpoint || queued.job.resume) {
+        resident->task.emplace(campaign.load_task());
+        if (queued.has_checkpoint) ++stats.rehydrations;
+      } else {
+        resident->task.emplace(campaign.start(resident->world->rng()));
+      }
+      OBS_LOG(obs::LogLevel::kDebug, "serve", "campaign admitted",
+              obs::f("campaign", queued.job.id),
+              obs::f("rehydrated", queued.has_checkpoint),
+              obs::f("resident", residents.size() + 1),
+              obs::f("resident_bytes", resident_bytes));
+
+      Resident& ref = *resident;
+      residents.push_back(std::move(resident));
+      stats.peak_resident = std::max(stats.peak_resident, residents.size());
+      plan_next_locked(ref);
+    }
+  }
+
+  /// Plans the resident's next step (or record wave) and deals its blocks;
+  /// finishes the campaign when no work remains. Caller holds `mutex`.
+  void plan_next_locked(Resident& resident) {
+    const CampaignJob& job = jobs[resident.job_index].job;
+    attack::TraceCampaign& campaign = resident.world->campaign();
+
+    if (resident.is_record) {
+      const RecordJobSpec& spec = *job.record;
+      const std::size_t remaining = spec.traces - resident.record_done;
+      if (remaining == 0) {
+        resident.writer->finish();
+        outcomes[resident.job_index].traces_recorded = resident.record_done;
+        ++stats.campaigns_completed;
+        OBS_LOG(obs::LogLevel::kDebug, "serve", "record job finished",
+                obs::f("campaign", job.id),
+                obs::f("traces", resident.record_done));
+        release_locked(resident);
+        return;
+      }
+      const std::size_t block = std::max<std::size_t>(spec.block_traces, 1);
+      const std::size_t wave_blocks =
+          spec.wave_blocks != 0 ? spec.wave_blocks : 4 * pool_size;
+      const std::size_t count = std::min(remaining, wave_blocks * block);
+      resident.wave_first_trace = resident.record_done;
+      resident.wave_plaintexts = campaign.next_plaintexts(resident.cursor, count);
+      resident.wave_shards.assign((count + block - 1) / block, {});
+      push_blocks_locked(resident, resident.wave_shards.size());
+      return;
+    }
+
+    if (resident.task->completed()) {
+      // A rehydrated checkpoint of an already-finished campaign.
+      finish_campaign_locked(resident);
+      return;
+    }
+    resident.plan.emplace(
+        campaign.plan_step(*resident.task, job.stop_when_broken));
+    if (resident.plan->empty()) {
+      finish_campaign_locked(resident);
+      return;
+    }
+    push_blocks_locked(resident, resident.plan->block_count());
+  }
+
+  /// Takes the final result and retires the resident. Caller holds `mutex`.
+  void finish_campaign_locked(Resident& resident) {
+    attack::TraceCampaign& campaign = resident.world->campaign();
+    CampaignOutcome& outcome = outcomes[resident.job_index];
+    outcome.result = campaign.take_result(std::move(*resident.task));
+    resident.task.reset();
+    ++stats.campaigns_completed;
+    OBS_LOG(obs::LogLevel::kDebug, "serve", "campaign finished",
+            obs::f("campaign", outcome.id),
+            obs::f("traces", outcome.result.traces_run),
+            obs::f("broken", outcome.result.broken),
+            obs::f("evictions", outcome.evictions));
+    release_locked(resident);
+  }
+
+  /// Drops a resident (finished or evicted), frees its budget share, and
+  /// admits successors. Caller holds `mutex`.
+  void release_locked(Resident& resident) {
+    CampaignOutcome& outcome = outcomes[resident.job_index];
+    outcome.worker_mask |=
+        resident.worker_mask.load(std::memory_order_relaxed);
+    const bool finished_job = !jobs_still_pending(resident.job_index);
+    resident_bytes -= resident.task_bytes;
+    for (auto it = residents.begin(); it != residents.end(); ++it) {
+      if (it->get() == &resident) {
+        residents.erase(it);
+        break;
+      }
+    }
+    if (finished_job) {
+      jobs_done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    admit_locked();
+    bump_epoch();  // wake parked workers: new blocks, or termination
+  }
+
+  /// True when `job_index` re-entered the pending queue (eviction path).
+  bool jobs_still_pending(std::size_t job_index) const {
+    return std::find(pending.begin(), pending.end(), job_index) !=
+           pending.end();
+  }
+
+  /// Folds a completed step (last block just ran) back into the task and
+  /// decides what happens next: another step, eviction, or completion.
+  void complete_step(Resident& resident) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const CampaignJob& job = jobs[resident.job_index].job;
+    (void)job;  // only feeds logs/metrics, which may compile away
+    attack::TraceCampaign& campaign = resident.world->campaign();
+    CampaignOutcome& outcome = outcomes[resident.job_index];
+
+    bool more = true;
+    if (resident.is_record) {
+      // Drain the wave into the writer in trace order — the file is byte-
+      // identical to record(writer) because the fork discipline is
+      // per-trace and the drain order is the trace order.
+      for (auto& shard : resident.wave_shards) {
+        for (auto& rec : shard) {
+          resident.writer->add(rec.ciphertext, rec.samples);
+        }
+        resident.record_done += shard.size();
+      }
+      resident.wave_shards.clear();
+      resident.wave_plaintexts.clear();
+    } else {
+      more = campaign.finish_step(*resident.task, std::move(*resident.plan));
+      resident.plan.reset();
+    }
+
+    ++stats.steps_completed;
+    ++outcome.steps;
+    ++resident.steps_this_turn;
+    if (resident.last_step_seq != 0) {
+      stats.max_step_gap = std::max(
+          stats.max_step_gap, stats.steps_completed - resident.last_step_seq);
+    }
+    resident.last_step_seq = stats.steps_completed;
+#if defined(LEAKYDSP_OBS)
+    obs::Registry::global().add(obs::Registry::global().labeled_counter(
+        "serve.campaign.steps", job.id));
+#endif
+    OBS_COUNT("serve.steps", 1);
+
+    if (!resident.is_record && !more) {
+      finish_campaign_locked(resident);
+      return;
+    }
+    // Fair sharing under queue pressure: after quantum_steps boundary
+    // steps, a resident attack campaign yields its slot — its task is
+    // suspended into the durable keyed checkpoint and the job re-enters
+    // the FIFO. Record jobs never evict (their writer only commits at the
+    // footer).
+    if (!resident.is_record && !pending.empty() &&
+        resident.steps_this_turn >= config.quantum_steps) {
+      const std::size_t traces_done = resident.task->traces_done();
+      campaign.suspend(*resident.task);
+      resident.task.reset();
+      jobs[resident.job_index].has_checkpoint = true;
+      ++stats.evictions;
+      ++outcome.evictions;
+#if defined(LEAKYDSP_OBS)
+      obs::Registry::global().add(obs::Registry::global().labeled_counter(
+          "serve.campaign.evictions", job.id));
+#endif
+      OBS_LOG(obs::LogLevel::kDebug, "serve", "campaign evicted",
+              obs::f("campaign", job.id),
+              obs::f("traces", traces_done),
+              obs::f("steps_this_turn", resident.steps_this_turn));
+      pending.push_back(resident.job_index);
+      release_locked(resident);
+      return;
+    }
+    plan_next_locked(resident);
+  }
+
+  void execute(const BlockItem& item, std::size_t worker) {
+    Resident& resident = *item.resident;
+    resident.worker_mask.fetch_or(
+        std::uint64_t{1} << std::min<std::size_t>(worker, 63),
+        std::memory_order_relaxed);
+    attack::TraceCampaign& campaign = resident.world->campaign();
+    if (resident.is_record) {
+      const RecordJobSpec& spec = *jobs[resident.job_index].job.record;
+      const std::size_t block = std::max<std::size_t>(spec.block_traces, 1);
+      const std::size_t lo = item.block * block;
+      const std::size_t hi =
+          std::min(lo + block, resident.wave_plaintexts.size());
+      resident.wave_shards[item.block] = campaign.record_block(
+          resident.cursor.trace_parent, resident.wave_first_trace + lo,
+          {resident.wave_plaintexts.data() + lo, hi - lo});
+    } else {
+      campaign.run_block(*resident.plan, item.block);
+    }
+    OBS_COUNT("serve.blocks", 1);
+    stats_blocks_run.fetch_add(1, std::memory_order_relaxed);
+    if (resident.blocks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      complete_step(resident);
+    }
+  }
+
+  void fail(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!error) error = std::move(e);
+    }
+    aborted.store(true, std::memory_order_release);
+    bump_epoch();
+  }
+
+  void worker_loop(std::size_t worker) {
+    while (!finished()) {
+      BlockItem item;
+      bool have = pop_local(worker, item);
+      if (!have && steal(worker, item)) {
+        have = true;
+        ++stats_blocks_stolen;
+      }
+      if (have) {
+        try {
+          execute(item, worker);
+        } catch (...) {
+          fail(std::current_exception());
+          return;
+        }
+        continue;
+      }
+      // Nothing runnable here: park until a push bumps the epoch (with a
+      // bounded wait as a lost-wakeup backstop).
+      std::unique_lock<std::mutex> lock(cv_mutex);
+      const std::uint64_t seen = epoch;
+      if (finished()) return;
+      cv.wait_for(lock, std::chrono::milliseconds(1),
+                  [&] { return epoch != seen || finished(); });
+    }
+  }
+
+  std::atomic<std::size_t> stats_blocks_stolen{0};
+  std::atomic<std::size_t> stats_blocks_run{0};
+};
+
+CampaignService::CampaignService(ServiceConfig config)
+    : impl_(std::make_unique<Impl>()) {
+  LD_REQUIRE(config.max_resident >= 1, "service needs one residency slot");
+  LD_REQUIRE(config.quantum_steps >= 1, "service quantum must be >= 1");
+  impl_->config = std::move(config);
+}
+
+CampaignService::~CampaignService() = default;
+
+void CampaignService::enqueue(CampaignJob job) {
+  LD_REQUIRE(!impl_->drained, "service already drained");
+  LD_REQUIRE(!job.id.empty(), "campaign job needs an id");
+  LD_REQUIRE(job.make != nullptr, "campaign job needs a factory");
+  for (const QueuedJob& queued : impl_->jobs) {
+    LD_REQUIRE(queued.job.id != job.id,
+               "duplicate campaign job id '" << job.id << "'");
+  }
+  CampaignOutcome outcome;
+  outcome.id = job.id;
+  impl_->outcomes.push_back(std::move(outcome));
+  impl_->jobs.push_back({std::move(job), false});
+}
+
+std::size_t CampaignService::queued() const { return impl_->jobs.size(); }
+
+const ServiceStats& CampaignService::stats() const { return impl_->stats; }
+
+std::vector<CampaignOutcome> CampaignService::drain() {
+  Impl& impl = *impl_;
+  LD_REQUIRE(!impl.drained, "service already drained");
+  impl.drained = true;
+  if (impl.jobs.empty()) return {};
+  LD_REQUIRE(impl.jobs.size() <= impl.config.max_resident ||
+                 !impl.config.checkpoint_dir.empty(),
+             "more jobs than residency slots requires a checkpoint_dir "
+             "(eviction suspends through durable checkpoints)");
+
+  util::ThreadPool pool(impl.config.threads);
+  impl.pool_size = pool.size();
+  impl.deques.clear();
+  for (std::size_t w = 0; w < impl.pool_size; ++w) {
+    impl.deques.push_back(std::make_unique<Impl::WorkerDeque>());
+  }
+  for (std::size_t j = 0; j < impl.jobs.size(); ++j) {
+    impl.pending.push_back(j);
+  }
+  OBS_LOG(obs::LogLevel::kInfo, "serve", "drain started",
+          obs::f("jobs", impl.jobs.size()), obs::f("workers", impl.pool_size),
+          obs::f("max_resident", impl.config.max_resident),
+          obs::f("budget_bytes", impl.config.memory_budget_bytes));
+  {
+    OBS_SPAN("serve.drain");
+    {
+      std::lock_guard<std::mutex> lock(impl.mutex);
+      impl.admit_locked();
+    }
+    pool.parallel_for(impl.pool_size,
+                      [&](std::size_t w) { impl.worker_loop(w); });
+  }
+  impl.stats.blocks_stolen =
+      impl.stats_blocks_stolen.load(std::memory_order_relaxed);
+  impl.stats.blocks_run =
+      impl.stats_blocks_run.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    if (impl.error) std::rethrow_exception(impl.error);
+  }
+  OBS_LOG(obs::LogLevel::kInfo, "serve", "drain finished",
+          obs::f("campaigns", impl.stats.campaigns_completed),
+          obs::f("steps", impl.stats.steps_completed),
+          obs::f("evictions", impl.stats.evictions),
+          obs::f("stolen", impl.stats.blocks_stolen),
+          obs::f("max_step_gap", impl.stats.max_step_gap));
+  return std::move(impl.outcomes);
+}
+
+}  // namespace leakydsp::serve

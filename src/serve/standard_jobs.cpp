@@ -1,0 +1,89 @@
+#include "serve/standard_jobs.h"
+
+#include "core/leaky_dsp.h"
+#include "crypto/aes128.h"
+#include "sim/scenarios.h"
+#include "sim/sensor_rig.h"
+#include "util/contracts.h"
+#include "victim/aes_core.h"
+
+namespace leakydsp::serve {
+
+namespace {
+
+/// One scenario shared by every standard world: the scenario itself is
+/// const (placement geometry, grid topology), so concurrent worlds can
+/// read it from service worker threads.
+const sim::Basys3Scenario& standard_scenario() {
+  static const sim::Basys3Scenario scenario;
+  return scenario;
+}
+
+/// The spec's world, built in the standalone-run order: seed the RNG, draw
+/// the key, build victim + sensor + rig, calibrate — leaving rng() exactly
+/// where TraceCampaign::run would pick it up.
+class StandardWorld final : public CampaignWorld {
+ public:
+  explicit StandardWorld(const StandardCampaignSpec& spec) : rng_(spec.seed) {
+    const auto& scenario = standard_scenario();
+    crypto::Key key;
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng_() & 0xff);
+    victim::AesCoreParams aes_params;
+    aes_params.clock_mhz = spec.victim_clock_mhz;
+    aes_params.current_per_hd_bit = spec.current_per_hd_bit;
+    aes_ = std::make_unique<victim::AesCoreModel>(
+        key, scenario.aes_site(), scenario.grid(), aes_params);
+    sensor_ = std::make_unique<core::LeakyDspSensor>(
+        scenario.device(),
+        scenario
+            .attack_placements()[sim::Basys3Scenario::kBestPlacementIndex]);
+    rig_ = std::make_unique<sim::SensorRig>(scenario.grid(), *sensor_);
+    rig_->calibrate(rng_);
+    attack::CampaignConfig config;
+    config.max_traces = spec.max_traces;
+    config.break_check_stride = spec.break_check_stride;
+    config.rank_stride = spec.rank_stride;
+    config.block_traces = spec.block_traces;
+    config.threads = spec.threads;
+    config.checkpoint_dir = spec.checkpoint_dir;
+    config.campaign_id = spec.id;
+    campaign_ = std::make_unique<attack::TraceCampaign>(*rig_, *aes_, config);
+  }
+
+  attack::TraceCampaign& campaign() override { return *campaign_; }
+  util::Rng& rng() override { return rng_; }
+
+ private:
+  util::Rng rng_;
+  std::unique_ptr<victim::AesCoreModel> aes_;
+  std::unique_ptr<core::LeakyDspSensor> sensor_;
+  std::unique_ptr<sim::SensorRig> rig_;
+  std::unique_ptr<attack::TraceCampaign> campaign_;
+};
+
+}  // namespace
+
+std::unique_ptr<CampaignWorld> make_standard_world(
+    const StandardCampaignSpec& spec) {
+  return std::make_unique<StandardWorld>(spec);
+}
+
+CampaignJob make_standard_job(StandardCampaignSpec spec) {
+  LD_REQUIRE(!spec.id.empty(), "standard campaign job needs an id");
+  CampaignJob job;
+  job.id = spec.id;
+  job.stop_when_broken = spec.stop_when_broken;
+  job.make = [spec]() { return make_standard_world(spec); };
+  return job;
+}
+
+attack::CampaignResult run_standard_campaign(const StandardCampaignSpec& spec,
+                                             std::size_t threads) {
+  StandardCampaignSpec reference = spec;
+  reference.checkpoint_dir.clear();
+  reference.threads = threads;
+  auto world = make_standard_world(reference);
+  return world->campaign().run(world->rng(), reference.stop_when_broken);
+}
+
+}  // namespace leakydsp::serve

@@ -38,6 +38,9 @@ namespace {
 std::mutex g_start_hook_mutex;
 std::function<void(std::size_t)> g_start_hook;
 
+// 1-based worker index of this thread within its pool; 0 everywhere else.
+thread_local std::size_t t_executor_index = 0;
+
 std::function<void(std::size_t)> start_hook_snapshot() {
   std::lock_guard<std::mutex> lock(g_start_hook_mutex);
   return g_start_hook;
@@ -56,6 +59,7 @@ ThreadPool::ThreadPool(std::size_t threads)
   workers_.reserve(size_ - 1);
   for (std::size_t i = 0; i + 1 < size_; ++i) {
     workers_.emplace_back([this, i] {
+      t_executor_index = i + 1;
       if (auto hook = start_hook_snapshot()) hook(i + 1);
       worker_loop();
     });
@@ -71,6 +75,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
   delete impl_;
 }
+
+std::size_t ThreadPool::current_executor() { return t_executor_index; }
 
 std::size_t ThreadPool::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();

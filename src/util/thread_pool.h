@@ -49,6 +49,16 @@ class ThreadPool {
   /// Pools constructed before the call are unaffected.
   static void set_thread_start_hook(std::function<void(std::size_t)> hook);
 
+  /// Executor index of the calling thread: 1-based worker index for pool
+  /// worker threads, 0 for every other thread (including the pool's
+  /// caller, which participates in parallel_for as executor #0). The index
+  /// identifies the physical thread, so the campaign service can attribute
+  /// scheduled blocks to the executor that ran them (eviction/rehydration
+  /// tests assert a task really moved between executors). Thread-local:
+  /// meaningful inside a parallel_for callback, stable for the thread's
+  /// lifetime.
+  static std::size_t current_executor();
+
  private:
   struct Batch;
 

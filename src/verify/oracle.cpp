@@ -9,6 +9,7 @@ std::vector<Oracle> all_oracles() {
   register_store_oracles(oracles);
   register_attack_oracles(oracles);
   register_simd_oracles(oracles);
+  register_serve_oracles(oracles);
   return oracles;
 }
 

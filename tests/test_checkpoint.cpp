@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "attack/campaign.h"
+#include "serve/standard_jobs.h"
 #include "core/leaky_dsp.h"
 #include "pdn/grid.h"
 #include "sim/scenarios.h"
@@ -166,4 +169,130 @@ TEST_F(CheckpointResumeTest, CheckpointingDoesNotPerturbResults) {
   const auto with = execute(2, dir.path(), kNeverKill, false);
   const auto without = execute(2, "", kNeverKill, false);
   EXPECT_TRUE(identical_results(with, without));
+}
+
+// --------------------------------------------------- per-campaign keying
+
+namespace {
+
+namespace lserve = leakydsp::serve;
+
+/// Small, fast standard campaign keyed on `id` inside `dir`.
+lserve::StandardCampaignSpec keyed_spec(const std::string& id,
+                                        std::uint64_t seed,
+                                        const std::string& dir) {
+  lserve::StandardCampaignSpec spec;
+  spec.id = id;
+  spec.seed = seed;
+  spec.max_traces = 64;
+  spec.block_traces = 16;
+  spec.break_check_stride = 32;
+  spec.rank_stride = 64;
+  spec.checkpoint_dir = dir;
+  return spec;
+}
+
+la::CampaignResult run_keyed(const lserve::StandardCampaignSpec& spec) {
+  auto world = lserve::make_standard_world(spec);
+  return world->campaign().run(world->rng());
+}
+
+la::CampaignResult resume_keyed(const lserve::StandardCampaignSpec& spec) {
+  auto world = lserve::make_standard_world(spec);
+  return world->campaign().resume();
+}
+
+}  // namespace
+
+TEST(CheckpointKeying, CampaignsKeyedOnIdShareOneDirectoryWithoutClobbering) {
+  // The bug this pins: before per-id keying, two campaigns sharing a
+  // checkpoint directory silently overwrote each other's campaign.ckpt —
+  // the second campaign's resume() would load the first one's state (or
+  // reject it on config mismatch, losing the work either way).
+  const TempDir dir("keyed");
+  const auto alpha = keyed_spec("alpha", 101, dir.path());
+  const auto beta = keyed_spec("beta", 202, dir.path());
+  const auto ran_alpha = run_keyed(alpha);
+  const auto ran_beta = run_keyed(beta);
+
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/campaign-alpha.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/campaign-beta.ckpt"));
+  EXPECT_TRUE(la::TraceCampaign::checkpoint_exists(dir.path(), "alpha"));
+  EXPECT_TRUE(la::TraceCampaign::checkpoint_exists(dir.path(), "beta"));
+  // No legacy single-file checkpoint was touched.
+  EXPECT_FALSE(la::TraceCampaign::checkpoint_exists(dir.path()));
+
+  // Each id resumes its OWN completed state, byte-identical — beta's run
+  // did not clobber alpha's checkpoint.
+  EXPECT_TRUE(identical_results(resume_keyed(alpha), ran_alpha));
+  EXPECT_TRUE(identical_results(resume_keyed(beta), ran_beta));
+}
+
+TEST(CheckpointKeying, KeyedCampaignStillLoadsLegacyCheckpoint) {
+  // Pre-id checkpoints stay resumable: a campaign that now carries an id
+  // falls back to the historical "campaign.ckpt" when its keyed file is
+  // absent.
+  const TempDir dir("legacy");
+  auto legacy = keyed_spec("", 303, dir.path());  // id-less: legacy name
+  const auto ran = run_keyed(legacy);
+  ASSERT_TRUE(la::TraceCampaign::checkpoint_exists(dir.path()));
+
+  auto migrated = legacy;
+  migrated.id = "migrated";
+  EXPECT_TRUE(identical_results(resume_keyed(migrated), ran));
+
+  // Once the keyed file exists it wins over the legacy one.
+  const auto keyed_run = run_keyed(migrated);
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/campaign-migrated.ckpt"));
+  EXPECT_TRUE(identical_results(resume_keyed(migrated), keyed_run));
+}
+
+TEST(CheckpointKeying, IdsAreSanitizedIntoSafeFilenames) {
+  // Separators and shell metacharacters must never escape the checkpoint
+  // directory or name a nested path.
+  const TempDir dir("sanitize");
+  const auto spec = keyed_spec("../esc/4:2 e*", 404, dir.path());
+  (void)run_keyed(spec);
+  EXPECT_TRUE(la::TraceCampaign::checkpoint_exists(dir.path(), spec.id));
+  std::size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir.path())) {
+    ++files;
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find('/'), std::string::npos);
+    EXPECT_TRUE(name.rfind("campaign-", 0) == 0) << name;
+  }
+  EXPECT_EQ(files, 1u) << "sanitized id produced extra paths";
+  EXPECT_FALSE(std::filesystem::exists("/tmp/esc"));
+}
+
+// ------------------------------------------------------ error surfacing
+
+TEST(CheckpointErrors, UnstatableCheckpointPathThrowsTypedError) {
+  // The bug this pins: checkpoint_exists() used the error_code overloads
+  // and swallowed every failure as "no checkpoint", silently restarting
+  // campaigns from scratch when the filesystem was merely unwell. An
+  // unanswerable stat must surface as CheckpointError, not as false.
+  const TempDir dir("eloop");
+  // Self-referential symlink: stat() fails with ELOOP — the filesystem
+  // cannot say whether a checkpoint exists.
+  std::filesystem::create_symlink("campaign.ckpt",
+                                  dir.path() + "/campaign.ckpt");
+  EXPECT_THROW((void)la::TraceCampaign::checkpoint_exists(dir.path()),
+               la::CheckpointError);
+  std::filesystem::create_symlink("campaign-loop.ckpt",
+                                  dir.path() + "/campaign-loop.ckpt");
+  EXPECT_THROW((void)la::TraceCampaign::checkpoint_exists(dir.path(), "loop"),
+               la::CheckpointError);
+}
+
+TEST(CheckpointErrors, CheckpointDirCollidingWithAFileThrowsTypedError) {
+  // create_directories failures (here: the configured checkpoint_dir is an
+  // existing regular file) must surface with errno context instead of
+  // falling through to a confusing open() failure.
+  const TempDir dir("dirfile");
+  const std::string bogus = dir.path() + "/notadir";
+  { std::ofstream(bogus) << "occupied"; }
+  auto spec = keyed_spec("x", 505, bogus);
+  EXPECT_THROW((void)run_keyed(spec), la::CheckpointError);
 }

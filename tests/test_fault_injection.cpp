@@ -385,6 +385,41 @@ TEST(FaultInjectionCheckpoint, CorruptCheckpointsRejectedTyped) {
   EXPECT_EQ(harness.campaign->resume().traces_run, 250u);
 }
 
+TEST(FaultInjectionCheckpoint, TornRenameRecovery) {
+  // Checkpoints commit via write-to-tmp + fsync + rename. A crash between
+  // those steps leaves either (a) a committed checkpoint plus an orphaned
+  // tmp, or (b) only the torn tmp. Neither state may wedge or mislead.
+  const TempDir dir("ckpt_torn");
+  CampaignHarness harness(dir.path());
+  (void)harness.campaign->run(harness.rng);
+  const std::string path = dir.path() + "/campaign.ckpt";
+  const std::string tmp = path + ".tmp";
+  const auto base = ltest::read_file(path);
+
+  // (a) Crash after the previous boundary committed: the half-written tmp
+  // must never shadow the committed checkpoint.
+  ltest::write_file(tmp, ltest::truncate_to(base, base.size() / 2));
+  ASSERT_TRUE(la::TraceCampaign::checkpoint_exists(dir.path()));
+  EXPECT_EQ(harness.campaign->resume().traces_run, 250u);
+
+  // (b) Crash before the first boundary ever committed: only the torn tmp
+  // exists. That is crash garbage by definition — checkpoint_exists
+  // answers "no checkpoint" and removes it, so a later successful commit
+  // cannot be confused with the torn leftovers.
+  std::filesystem::remove(path);
+  ASSERT_TRUE(std::filesystem::exists(tmp));
+  EXPECT_FALSE(la::TraceCampaign::checkpoint_exists(dir.path()));
+  EXPECT_FALSE(std::filesystem::exists(tmp))
+      << "stray uncommitted tmp survived checkpoint_exists";
+  EXPECT_THROW(harness.campaign->resume(), la::CheckpointError);
+
+  // Recovery: the next run recreates a committed checkpoint cleanly.
+  CampaignHarness fresh(dir.path());
+  const auto rerun = fresh.campaign->run(fresh.rng);
+  EXPECT_TRUE(la::TraceCampaign::checkpoint_exists(dir.path()));
+  EXPECT_EQ(fresh.campaign->resume().traces_run, rerun.traces_run);
+}
+
 TEST(FaultInjectionCheckpoint, MismatchedConfigAndMissingFilesRejected) {
   const TempDir dir("ckpt_mismatch");
   {

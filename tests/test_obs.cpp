@@ -197,6 +197,33 @@ TEST(ObsRegistry, ReRegisteringSameNameReturnsSameId) {
   EXPECT_EQ(a, b);
 }
 
+TEST(ObsRegistry, LabeledCounterCapsLabelsAndCollapsesOverflow) {
+  // Per-campaign child counters: distinct labels admit up to the base's
+  // cap, every further label collapses into one shared "~other" child so
+  // an unbounded id population can never exhaust the fixed registry.
+  lo::Registry reg;
+  const auto a = reg.labeled_counter("svc.steps", "alpha", 2);
+  const auto b = reg.labeled_counter("svc.steps", "beta", 2);
+  const auto c = reg.labeled_counter("svc.steps", "gamma", 2);  // over cap
+  const auto d = reg.labeled_counter("svc.steps", "delta", 2);  // over cap
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c, d) << "overflow labels must share the ~other child";
+  EXPECT_EQ(reg.labeled_counter("svc.steps", "alpha", 2), a)
+      << "re-registering an admitted label must return its id";
+  reg.add(a, 2);
+  reg.add(b, 3);
+  reg.add(c);
+  reg.add(d);
+  EXPECT_EQ(reg.counter_value("svc.steps{id=\"alpha\"}"), 2u);
+  EXPECT_EQ(reg.counter_value("svc.steps{id=\"beta\"}"), 3u);
+  EXPECT_EQ(reg.counter_value("svc.steps{id=\"~other\"}"), 2u);
+  // The cap is per base: a fresh base gets its own label budget.
+  const auto other_base = reg.labeled_counter("svc.evictions", "alpha", 2);
+  EXPECT_NE(other_base, a);
+  reg.add(other_base, 7);
+  EXPECT_EQ(reg.counter_value("svc.evictions{id=\"alpha\"}"), 7u);
+}
+
 TEST(ObsRegistry, SnapshotSectionsAreNameSorted) {
   ObsStateGuard guard;
   lo::Registry& reg = lo::Registry::global();
