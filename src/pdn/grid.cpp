@@ -10,11 +10,16 @@ int node_dim(int sites, int pitch) { return (sites + pitch - 1) / pitch; }
 }  // namespace
 
 PdnGrid::PdnGrid(const fabric::Device& device, PdnParams params)
+    : PdnGrid(node_dim(device.width(), params.node_pitch),
+              node_dim(device.height(), params.node_pitch), params) {}
+
+PdnGrid::PdnGrid(int nodes_x, int nodes_y, PdnParams params)
     : params_(params),
-      nx_(node_dim(device.width(), params.node_pitch)),
-      ny_(node_dim(device.height(), params.node_pitch)),
-      g_(static_cast<std::size_t>(node_dim(device.width(), params.node_pitch)) *
-         node_dim(device.height(), params.node_pitch)) {
+      nx_(nodes_x),
+      ny_(nodes_y),
+      g_(static_cast<std::size_t>(nodes_x) *
+         static_cast<std::size_t>(nodes_y)) {
+  LD_REQUIRE(nodes_x >= 1 && nodes_y >= 1, "empty mesh");
   LD_REQUIRE(params_.node_pitch >= 1, "node pitch must be >= 1");
   LD_REQUIRE(params_.neighbor_conductance > 0.0 &&
                  params_.pad_conductance > 0.0,
@@ -65,6 +70,18 @@ PdnGrid::PdnGrid(const fabric::Device& device, PdnParams params)
     }
   }
   g_.freeze();
+
+  for (const bool p : pad_) {
+    if (p) ++pad_count_;
+  }
+
+  // Hoist the solver setup: resolve the kind for this mesh, key the frozen
+  // system, and fetch (or build) the shared context. Every dc_droop /
+  // transfer_gains call from here on is a pure solve.
+  const SolverKind kind = SolverContext::resolve(params_.solver, nx_, ny_,
+                                                 params_.two_grid_threshold);
+  key_ = SolverContext::make_key(g_, nx_, ny_, kind);
+  ctx_ = SolverContext::obtain(key_, g_);
 }
 
 std::size_t PdnGrid::node_index(int ix, int iy) const {
@@ -86,28 +103,28 @@ bool PdnGrid::is_pad(std::size_t node) const {
   return pad_[node];
 }
 
-std::size_t PdnGrid::pad_count() const {
-  std::size_t count = 0;
-  for (const bool p : pad_) {
-    if (p) ++count;
-  }
-  return count;
-}
-
 std::vector<double> PdnGrid::dc_droop(
     std::span<const CurrentInjection> draws) const {
+  std::vector<double> droop(node_count(), 0.0);
+  const auto result = dc_droop_into(draws, droop, /*warm_start=*/false);
+  LD_ENSURE(result.converged, "PDN DC solve did not converge (residual "
+                                  << result.residual_norm << ")");
+  return droop;
+}
+
+CgResult PdnGrid::dc_droop_into(std::span<const CurrentInjection> draws,
+                                std::span<double> droop,
+                                bool warm_start) const {
+  LD_REQUIRE(droop.size() == node_count(), "droop span size mismatch");
   std::vector<double> rhs(node_count(), 0.0);
   for (const auto& d : draws) {
     LD_REQUIRE(d.node < node_count(), "draw at unknown node " << d.node);
     rhs[d.node] += d.current;
   }
-  std::vector<double> droop(node_count(), 0.0);
-  const auto result = conjugate_gradient(g_, rhs, droop, 1e-12);
+  const auto result = ctx_->solve(g_, rhs, droop, 1e-12, 10000, warm_start);
   OBS_COUNT("pdn.solve.calls", 1);
   OBS_COUNT("pdn.solve.iterations", result.iterations);
-  LD_ENSURE(result.converged, "PDN DC solve did not converge (residual "
-                                  << result.residual_norm << ")");
-  return droop;
+  return result;
 }
 
 std::vector<double> PdnGrid::transfer_gains(std::size_t sensor_node) const {
@@ -116,7 +133,9 @@ std::vector<double> PdnGrid::transfer_gains(std::size_t sensor_node) const {
   std::vector<double> rhs(node_count(), 0.0);
   rhs[sensor_node] = 1.0;
   std::vector<double> gains(node_count(), 0.0);
-  const auto result = conjugate_gradient(g_, rhs, gains, 1e-12);
+  // Cold start: the unit RHS rides the solver's x = 0 fast path (no
+  // initial A*x product).
+  const auto result = ctx_->solve(g_, rhs, gains, 1e-12);
   OBS_COUNT("pdn.solve.calls", 1);
   OBS_COUNT("pdn.solve.iterations", result.iterations);
   LD_ENSURE(result.converged, "PDN transfer solve did not converge");

@@ -12,11 +12,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "fabric/device.h"
 #include "fabric/geometry.h"
+#include "pdn/solver.h"
 #include "pdn/sparse.h"
 
 namespace leakydsp::pdn {
@@ -41,6 +43,13 @@ struct PdnParams {
   int bottom_pad_stride = 2;
   int top_pad_stride = 5;
   int left_pad_node_column = 1;
+
+  /// Which solver backs dc_droop / transfer_gains. kAuto picks IC(0) PCG,
+  /// switching to the two-grid hierarchy at `two_grid_threshold` nodes;
+  /// kReferenceCg forces the plain Jacobi-CG differential reference.
+  SolverKind solver = SolverKind::kAuto;
+  /// Node count at which kAuto switches from IC(0) PCG to two-grid.
+  std::size_t two_grid_threshold = 16384;
 };
 
 /// A current draw at one mesh node [normalized current units].
@@ -53,6 +62,10 @@ struct CurrentInjection {
 class PdnGrid {
  public:
   PdnGrid(const fabric::Device& device, PdnParams params = {});
+
+  /// Builds a mesh with explicit node dimensions (tests and benches that
+  /// sweep grid shapes without fabricating a Device).
+  PdnGrid(int nodes_x, int nodes_y, PdnParams params = {});
 
   const PdnParams& params() const { return params_; }
   std::size_t node_count() const { return static_cast<std::size_t>(nx_) * ny_; }
@@ -67,11 +80,20 @@ class PdnGrid {
 
   /// Whether a pad (regulator connection) sits at this node.
   bool is_pad(std::size_t node) const;
-  std::size_t pad_count() const;
+  /// Number of pad nodes (counted once at construction).
+  std::size_t pad_count() const { return pad_count_; }
 
   /// Static IR-drop at every node for the given current draws: solves
   /// G d = I. Positive droop means the local supply sags below vnom.
   std::vector<double> dc_droop(std::span<const CurrentInjection> draws) const;
+
+  /// dc_droop into caller-owned storage. With `warm_start` true, `droop`'s
+  /// incoming contents seed the iteration — repeated solves against slowly
+  /// varying draw maps (transient settling, campaign sweeps) converge in a
+  /// fraction of the cold iteration count. Returns the solve diagnostics.
+  CgResult dc_droop_into(std::span<const CurrentInjection> draws,
+                         std::span<double> droop,
+                         bool warm_start = false) const;
 
   /// Transfer gains for a sensor at `sensor_node`: entry j is the droop at
   /// the sensor per unit current drawn at node j [V per unit current]. One
@@ -81,12 +103,22 @@ class PdnGrid {
   /// Read-only access to the conductance matrix (frozen).
   const SparseMatrix& conductance() const { return g_; }
 
+  /// The cached solver setup backing this grid's solves (shared across
+  /// every grid with the identical topology via the process-wide cache).
+  const SolverContext& solver_context() const { return *ctx_; }
+
+  /// The topology identity this grid's setup is cached under.
+  const TopologyKey& topology_key() const { return key_; }
+
  private:
   PdnParams params_;
   int nx_;
   int ny_;
   std::vector<bool> pad_;
+  std::size_t pad_count_ = 0;
   SparseMatrix g_;
+  TopologyKey key_;
+  std::shared_ptr<const SolverContext> ctx_;
 };
 
 }  // namespace leakydsp::pdn

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/contracts.h"
+#include "util/simd_ops.h"
 
 namespace leakydsp::pdn {
 
@@ -39,6 +40,12 @@ void SparseMatrix::freeze() {
     i = j;
   }
   for (std::size_t r = 0; r < n_; ++r) row_start_[r + 1] += row_start_[r];
+  diag_.assign(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      if (cols_[k] == r) diag_[r] = values_[k];
+    }
+  }
   triplets_.clear();
   triplets_.shrink_to_fit();
   frozen_ = true;
@@ -48,13 +55,15 @@ void SparseMatrix::multiply(std::span<const double> x,
                             std::span<double> y) const {
   LD_REQUIRE(frozen_, "freeze() before multiply()");
   LD_REQUIRE(x.size() == n_ && y.size() == n_, "dimension mismatch");
-  for (std::size_t r = 0; r < n_; ++r) {
-    double sum = 0.0;
-    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
-      sum += values_[k] * x[cols_[k]];
-    }
-    y[r] = sum;
-  }
+  // Each row is one sequential accumulation chain in CSR order, so every
+  // dispatch tier produces the same bits (see util/simd_ops.h).
+  util::simd::spmv(row_start_.data(), cols_.data(), values_.data(), x.data(),
+                   y.data(), n_);
+}
+
+std::span<const double> SparseMatrix::diagonal() const {
+  LD_REQUIRE(frozen_, "freeze() before diagonal()");
+  return diag_;
 }
 
 double SparseMatrix::at(std::size_t row, std::size_t col) const {
@@ -76,10 +85,11 @@ CgResult conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
   LD_REQUIRE(b.size() == n && x.size() == n, "dimension mismatch");
   LD_REQUIRE(tolerance > 0.0, "tolerance must be positive");
 
-  // Jacobi preconditioner from the diagonal.
+  // Jacobi preconditioner from the cached diagonal.
+  const std::span<const double> diag = a.diagonal();
   std::vector<double> inv_diag(n, 1.0);
   for (std::size_t i = 0; i < n; ++i) {
-    const double d = a.at(i, i);
+    const double d = diag[i];
     LD_REQUIRE(d > 0.0, "non-positive diagonal at " << i
                                                     << " — matrix not SPD");
     inv_diag[i] = 1.0 / d;

@@ -31,7 +31,18 @@ class SparseMatrix {
   /// are sorted within each row at freeze(), so this binary-searches.
   double at(std::size_t row, std::size_t col) const;
 
+  /// The main diagonal, cached at freeze(): entry i is A(i,i), 0.0 when the
+  /// diagonal is structurally absent. O(1) per entry — preconditioner setup
+  /// and Gershgorin bounds iterate this instead of n binary searches.
+  std::span<const double> diagonal() const;
+
   std::size_t nonzeros() const { return values_.size(); }
+
+  // Raw CSR views (post-freeze) for solver kernels: row r's nonzeros are
+  // cols()[row_start()[r] .. row_start()[r+1]) with matching values().
+  std::span<const std::size_t> row_start() const { return row_start_; }
+  std::span<const std::size_t> cols() const { return cols_; }
+  std::span<const double> values() const { return values_; }
 
  private:
   struct Triplet {
@@ -46,6 +57,7 @@ class SparseMatrix {
   std::vector<std::size_t> row_start_;
   std::vector<std::size_t> cols_;
   std::vector<double> values_;
+  std::vector<double> diag_;  ///< cached main diagonal (freeze())
 };
 
 /// Outcome of a conjugate-gradient solve.

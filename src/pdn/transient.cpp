@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.h"
+#include "util/simd_ops.h"
 
 namespace leakydsp::pdn {
 
@@ -19,8 +20,8 @@ TransientSolver::TransientSolver(const PdnGrid& grid, double node_capacitance,
   // Explicit Euler stability: dt < 2 C / lambda_max(G); bound lambda_max by
   // twice the largest diagonal (Gershgorin).
   double max_diag = 0.0;
-  for (std::size_t i = 0; i < grid.node_count(); ++i) {
-    max_diag = std::max(max_diag, grid.conductance().at(i, i));
+  for (const double d : grid.conductance().diagonal()) {
+    max_diag = std::max(max_diag, d);
   }
   const double dt_s = dt_ns_ * 1e-9;
   LD_REQUIRE(dt_s < cap_ / max_diag,
@@ -37,14 +38,23 @@ void TransientSolver::step(std::span<const CurrentInjection> draws) {
   grid_.conductance().multiply(v_, gv_);
   const double dt_s = dt_ns_ * 1e-9;
   const double scale = dt_s / cap_;
-  for (std::size_t i = 0; i < v_.size(); ++i) {
-    v_[i] += scale * (rhs_[i] - gv_[i]);
-  }
+  // v += scale * (rhs - gv), vectorized; every dispatch tier produces the
+  // same bits as this loop written out by hand (util/simd_ops.h contract).
+  util::simd::add_scaled_diff(scale, rhs_.data(), gv_.data(), v_.data(),
+                              v_.size());
 }
 
 void TransientSolver::run(std::span<const CurrentInjection> draws,
                           std::size_t steps) {
   for (std::size_t s = 0; s < steps; ++s) step(draws);
+}
+
+CgResult TransientSolver::settle(std::span<const CurrentInjection> draws) {
+  const auto result =
+      grid_.dc_droop_into(draws, v_, /*warm_start=*/true);
+  LD_ENSURE(result.converged, "PDN settle solve did not converge (residual "
+                                  << result.residual_norm << ")");
+  return result;
 }
 
 double TransientSolver::droop(std::size_t node) const {

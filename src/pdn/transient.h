@@ -29,6 +29,13 @@ class TransientSolver {
   /// Advances `steps` steps under constant draws.
   void run(std::span<const CurrentInjection> draws, std::size_t steps);
 
+  /// Jumps the state directly to the DC steady state for `draws` (the fixed
+  /// point explicit Euler converges to) with a warm-started grid solve
+  /// seeded from the current state — cheap when the state is already near
+  /// steady, e.g. stepping through a schedule of slowly varying draws.
+  /// Returns the solve diagnostics.
+  CgResult settle(std::span<const CurrentInjection> draws);
+
   /// Current droop at a node [V].
   double droop(std::size_t node) const;
   const std::vector<double>& droops() const { return v_; }

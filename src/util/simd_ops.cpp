@@ -43,6 +43,37 @@ void div_div_scalar(const double* num, const double* den, double d2,
   }
 }
 
+void axpy_scalar(double a, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+void xpby_scalar(const double* x, double b, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + b * y[i];
+}
+
+void add_scaled_diff_scalar(double s, const double* a, const double* b,
+                            double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = y[i] + s * (a[i] - b[i]);
+}
+
+double dot_scalar(const double* x, const double* y, std::size_t n) {
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) acc[i & 7] = acc[i & 7] + x[i] * y[i];
+  return dot_combine(acc);
+}
+
+void spmv_scalar(const std::size_t* row_start, const std::size_t* cols,
+                 const double* values, const double* x, double* y,
+                 std::size_t n_rows) {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_start[r]; k < row_start[r + 1]; ++k) {
+      sum += values[k] * x[cols[k]];
+    }
+    y[r] = sum;
+  }
+}
+
 void hermite_eval_scalar(const HermiteView& t, const double* v, double* out,
                          std::size_t n) {
   const double last = static_cast<double>(t.knots - 2);
@@ -143,6 +174,84 @@ void div_div(const double* num, const double* den, double d2,
 #endif
     default:
       return detail::div_div_scalar(num, den, d2, out_norm, out_q, n);
+  }
+}
+
+void axpy(double a, const double* x, double* y, std::size_t n) {
+  switch (current_simd_tier()) {
+#ifdef LEAKYDSP_SIMD_AVX512
+    case SimdTier::kAvx512:
+      return detail::axpy_avx512(a, x, y, n);
+#endif
+#ifdef LEAKYDSP_SIMD_AVX2
+    case SimdTier::kAvx2:
+      return detail::axpy_avx2(a, x, y, n);
+#endif
+    default:
+      return detail::axpy_scalar(a, x, y, n);
+  }
+}
+
+void xpby(const double* x, double b, double* y, std::size_t n) {
+  switch (current_simd_tier()) {
+#ifdef LEAKYDSP_SIMD_AVX512
+    case SimdTier::kAvx512:
+      return detail::xpby_avx512(x, b, y, n);
+#endif
+#ifdef LEAKYDSP_SIMD_AVX2
+    case SimdTier::kAvx2:
+      return detail::xpby_avx2(x, b, y, n);
+#endif
+    default:
+      return detail::xpby_scalar(x, b, y, n);
+  }
+}
+
+void add_scaled_diff(double s, const double* a, const double* b, double* y,
+                     std::size_t n) {
+  switch (current_simd_tier()) {
+#ifdef LEAKYDSP_SIMD_AVX512
+    case SimdTier::kAvx512:
+      return detail::add_scaled_diff_avx512(s, a, b, y, n);
+#endif
+#ifdef LEAKYDSP_SIMD_AVX2
+    case SimdTier::kAvx2:
+      return detail::add_scaled_diff_avx2(s, a, b, y, n);
+#endif
+    default:
+      return detail::add_scaled_diff_scalar(s, a, b, y, n);
+  }
+}
+
+double dot(const double* x, const double* y, std::size_t n) {
+  switch (current_simd_tier()) {
+#ifdef LEAKYDSP_SIMD_AVX512
+    case SimdTier::kAvx512:
+      return detail::dot_avx512(x, y, n);
+#endif
+#ifdef LEAKYDSP_SIMD_AVX2
+    case SimdTier::kAvx2:
+      return detail::dot_avx2(x, y, n);
+#endif
+    default:
+      return detail::dot_scalar(x, y, n);
+  }
+}
+
+void spmv(const std::size_t* row_start, const std::size_t* cols,
+          const double* values, const double* x, double* y,
+          std::size_t n_rows) {
+  switch (current_simd_tier()) {
+#ifdef LEAKYDSP_SIMD_AVX512
+    case SimdTier::kAvx512:
+      return detail::spmv_avx512(row_start, cols, values, x, y, n_rows);
+#endif
+#ifdef LEAKYDSP_SIMD_AVX2
+    case SimdTier::kAvx2:
+      return detail::spmv_avx2(row_start, cols, values, x, y, n_rows);
+#endif
+    default:
+      return detail::spmv_scalar(row_start, cols, values, x, y, n_rows);
   }
 }
 

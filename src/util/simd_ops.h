@@ -54,6 +54,33 @@ void sub_mul_add(double c, double a, const double* x, const double* y,
 void div_div(const double* num, const double* den, double d2,
              double* out_norm, double* out_q, std::size_t n);
 
+/// y[i] += a * x[i], every operation individually rounded — the CG/PCG
+/// search-direction update.
+void axpy(double a, const double* x, double* y, std::size_t n);
+
+/// y[i] = x[i] + b * y[i] — the PCG direction recombination p = z + beta p.
+void xpby(const double* x, double b, double* y, std::size_t n);
+
+/// y[i] += s * (a[i] - b[i]) — the explicit-Euler transient PDN update
+/// v += (dt/C) (I - G v).
+void add_scaled_diff(double s, const double* a, const double* b, double* y,
+                     std::size_t n);
+
+/// Dot product with a FIXED reduction order shared by every tier: element i
+/// accumulates into partial sum i mod 8, and the eight partials combine as
+/// ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)). The scalar tier implements the
+/// same eight-lane chains, so all tiers are bit-identical — but note the
+/// order intentionally differs from a plain sequential loop.
+double dot(const double* x, const double* y, std::size_t n);
+
+/// CSR sparse matrix-vector product y = A x. Each row's accumulation is a
+/// single sequential chain in nonzero order — exactly the scalar reference
+/// loop — so every tier is bit-identical to it; the vector tiers win by
+/// running several row chains in parallel lanes (one lane per row).
+void spmv(const std::size_t* row_start, const std::size_t* cols,
+          const double* values, const double* x, double* y,
+          std::size_t n_rows);
+
 /// out[i] = the cubic-Hermite interpolant of `t` at v[i], replicating
 /// timing::ScaleTable::operator()'s expression tree bit for bit for
 /// v[i] in [v_lo, v_hi]. Lanes outside the table range still produce a
@@ -76,8 +103,24 @@ void sub_mul_add_scalar(double c, double a, const double* x, const double* y,
                         double* out, std::size_t n);
 void div_div_scalar(const double* num, const double* den, double d2,
                     double* out_norm, double* out_q, std::size_t n);
+void axpy_scalar(double a, const double* x, double* y, std::size_t n);
+void xpby_scalar(const double* x, double b, double* y, std::size_t n);
+void add_scaled_diff_scalar(double s, const double* a, const double* b,
+                            double* y, std::size_t n);
+double dot_scalar(const double* x, const double* y, std::size_t n);
+void spmv_scalar(const std::size_t* row_start, const std::size_t* cols,
+                 const double* values, const double* x, double* y,
+                 std::size_t n_rows);
 void hermite_eval_scalar(const HermiteView& t, const double* v, double* out,
                          std::size_t n);
+
+/// Shared by every dot tier: the eight partial sums (element i accumulates
+/// into acc[i mod 8]) combine in this fixed tree. Vector tiers resume their
+/// scalar tails at a multiple of 8, so lane assignment always lines up.
+inline double dot_combine(const double acc[8]) {
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
 
 #ifdef LEAKYDSP_SIMD_AVX2
 std::size_t count_le_avx2(const double* a, std::size_t n, double bound);
@@ -88,6 +131,14 @@ void sub_mul_add_avx2(double c, double a, const double* x, const double* y,
                       double* out, std::size_t n);
 void div_div_avx2(const double* num, const double* den, double d2,
                   double* out_norm, double* out_q, std::size_t n);
+void axpy_avx2(double a, const double* x, double* y, std::size_t n);
+void xpby_avx2(const double* x, double b, double* y, std::size_t n);
+void add_scaled_diff_avx2(double s, const double* a, const double* b,
+                          double* y, std::size_t n);
+double dot_avx2(const double* x, const double* y, std::size_t n);
+void spmv_avx2(const std::size_t* row_start, const std::size_t* cols,
+               const double* values, const double* x, double* y,
+               std::size_t n_rows);
 void hermite_eval_avx2(const HermiteView& t, const double* v, double* out,
                        std::size_t n);
 #endif
@@ -101,6 +152,14 @@ void sub_mul_add_avx512(double c, double a, const double* x, const double* y,
                         double* out, std::size_t n);
 void div_div_avx512(const double* num, const double* den, double d2,
                     double* out_norm, double* out_q, std::size_t n);
+void axpy_avx512(double a, const double* x, double* y, std::size_t n);
+void xpby_avx512(const double* x, double b, double* y, std::size_t n);
+void add_scaled_diff_avx512(double s, const double* a, const double* b,
+                            double* y, std::size_t n);
+double dot_avx512(const double* x, const double* y, std::size_t n);
+void spmv_avx512(const std::size_t* row_start, const std::size_t* cols,
+                 const double* values, const double* x, double* y,
+                 std::size_t n_rows);
 void hermite_eval_avx512(const HermiteView& t, const double* v, double* out,
                          std::size_t n);
 #endif

@@ -13,6 +13,8 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
+
 namespace leakydsp::util::simd::detail {
 
 std::size_t count_le_avx2(const double* a, std::size_t n, double bound) {
@@ -69,6 +71,101 @@ void div_div_avx2(const double* num, const double* den, double d2,
     _mm256_storeu_pd(out_q + i, _mm256_div_pd(norm, vd2));
   }
   div_div_scalar(num + i, den + i, d2, out_norm + i, out_q + i, n - i);
+}
+
+void axpy_avx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  axpy_scalar(a, x + i, y + i, n - i);
+}
+
+void xpby_avx2(const double* x, double b, double* y, std::size_t n) {
+  const __m256d vb = _mm256_set1_pd(b);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(vb, _mm256_loadu_pd(y + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(x + i), prod));
+  }
+  xpby_scalar(x + i, b, y + i, n - i);
+}
+
+void add_scaled_diff_avx2(double s, const double* a, const double* b,
+                          double* y, std::size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d diff =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d prod = _mm256_mul_pd(vs, diff);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  add_scaled_diff_scalar(s, a + i, b + i, y + i, n - i);
+}
+
+double dot_avx2(const double* x, const double* y, std::size_t n) {
+  // Lane j of acc_lo is partial sum j, lane j of acc_hi is partial sum
+  // 4 + j: element i lands in partial i mod 8, exactly the scalar tier's
+  // assignment. The tail resumes at a multiple of 8, so (i & 7) keeps
+  // matching, and the final combine is the shared fixed tree.
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc_lo = _mm256_add_pd(
+        acc_lo,
+        _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    acc_hi = _mm256_add_pd(
+        acc_hi, _mm256_mul_pd(_mm256_loadu_pd(x + i + 4),
+                              _mm256_loadu_pd(y + i + 4)));
+  }
+  double acc[8];
+  _mm256_storeu_pd(acc, acc_lo);
+  _mm256_storeu_pd(acc + 4, acc_hi);
+  for (; i < n; ++i) acc[i & 7] = acc[i & 7] + x[i] * y[i];
+  return dot_combine(acc);
+}
+
+void spmv_avx2(const std::size_t* row_start, const std::size_t* cols,
+               const double* values, const double* x, double* y,
+               std::size_t n_rows) {
+  // Four rows per iteration, one lane per row. Each lane accumulates its
+  // row's nonzeros strictly in CSR order (a single sequential chain), so
+  // the result is bit-identical to the scalar reference; rows shorter than
+  // the longest in the group sit masked out (gathers suppress faults on
+  // masked lanes, and the blend leaves their finished sums untouched).
+  std::size_t r = 0;
+  for (; r + 4 <= n_rows; r += 4) {
+    const __m256i starts = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row_start + r));
+    const __m256i ends = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row_start + r + 1));
+    std::size_t max_len = 0;
+    for (std::size_t l = 0; l < 4; ++l) {
+      max_len = std::max(max_len, row_start[r + l + 1] - row_start[r + l]);
+    }
+    __m256d sum = _mm256_setzero_pd();
+    for (std::size_t j = 0; j < max_len; ++j) {
+      const __m256i k = _mm256_add_epi64(
+          starts, _mm256_set1_epi64x(static_cast<long long>(j)));
+      const __m256i active = _mm256_cmpgt_epi64(ends, k);
+      const __m256d active_pd = _mm256_castsi256_pd(active);
+      const __m256d vals = _mm256_mask_i64gather_pd(
+          _mm256_setzero_pd(), values, k, active_pd, 8);
+      const __m256i col = _mm256_mask_i64gather_epi64(
+          _mm256_setzero_si256(),
+          reinterpret_cast<const long long*>(cols), k, active, 8);
+      const __m256d xv =
+          _mm256_mask_i64gather_pd(_mm256_setzero_pd(), x, col, active_pd, 8);
+      const __m256d next = _mm256_add_pd(sum, _mm256_mul_pd(vals, xv));
+      sum = _mm256_blendv_pd(sum, next, active_pd);
+    }
+    _mm256_storeu_pd(y + r, sum);
+  }
+  spmv_scalar(row_start + r, cols, values, x, y + r, n_rows - r);
 }
 
 void hermite_eval_avx2(const HermiteView& t, const double* v, double* out,

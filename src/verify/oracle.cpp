@@ -10,6 +10,7 @@ std::vector<Oracle> all_oracles() {
   register_attack_oracles(oracles);
   register_simd_oracles(oracles);
   register_serve_oracles(oracles);
+  register_pdn_oracles(oracles);
   return oracles;
 }
 

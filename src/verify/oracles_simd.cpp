@@ -196,6 +196,21 @@ Property<SimdOpsConfig> simd_ops_property() {
     std::sort(sorted.begin(), sorted.end());
     const double bound = sorted[n / 2];
 
+    // Random CSR system for the spmv kernel: ascending columns per row,
+    // 0-4 nonzeros, ragged on purpose (the vector tiers mask short rows).
+    std::vector<std::size_t> row_start(n + 1, 0);
+    std::vector<std::size_t> cols;
+    std::vector<double> vals;
+    for (std::size_t r = 0; r < n; ++r) {
+      std::size_t col = rng() % 3;
+      for (std::size_t e = 0; e < 4 && col < n; ++e) {
+        cols.push_back(col);
+        vals.push_back(rng.gaussian());
+        col += 1 + rng() % (n / 3 + 1);
+      }
+      row_start[r + 1] = cols.size();
+    }
+
     util::set_simd_tier_override(util::SimdTier::kScalar);
     util::aligned_vector<double> rf(n), rd(n), rs(n), rn(n), rq(n), rh(n);
     util::simd::fill(rf.data(), n, 0.5);
@@ -204,6 +219,16 @@ Property<SimdOpsConfig> simd_ops_property() {
     util::simd::div_div(x.data(), y.data(), 0.041, rn.data(), rq.data(), n);
     table.eval_batch(volts.data(), rh.data(), n);
     const std::size_t rc = util::simd::count_le(sorted.data(), n, bound);
+    util::aligned_vector<double> r_axpy(n), r_xpby(n), r_asd(n), r_spmv(n);
+    std::copy(y.begin(), y.end(), r_axpy.begin());
+    util::simd::axpy(1.75, x.data(), r_axpy.data(), n);
+    std::copy(y.begin(), y.end(), r_xpby.begin());
+    util::simd::xpby(x.data(), -0.375, r_xpby.data(), n);
+    std::copy(y.begin(), y.end(), r_asd.begin());
+    util::simd::add_scaled_diff(2.5, x.data(), volts.data(), r_asd.data(), n);
+    const double r_dot = util::simd::dot(x.data(), y.data(), n);
+    util::simd::spmv(row_start.data(), cols.data(), vals.data(), x.data(),
+                     r_spmv.data(), n);
 
     for (const util::SimdTier tier : available_tiers()) {
       util::set_simd_tier_override(tier);
@@ -231,6 +256,31 @@ Property<SimdOpsConfig> simd_ops_property() {
                     util::to_string(tier));
       if (util::simd::count_le(sorted.data(), n, bound) != rc)
         return fail(std::string("count_le diverges under ") +
+                    util::to_string(tier));
+      std::copy(y.begin(), y.end(), a.begin());
+      util::simd::axpy(1.75, x.data(), a.data(), n);
+      if (!same_bits(r_axpy.data(), a.data(), n))
+        return fail(std::string("axpy diverges under ") +
+                    util::to_string(tier));
+      std::copy(y.begin(), y.end(), a.begin());
+      util::simd::xpby(x.data(), -0.375, a.data(), n);
+      if (!same_bits(r_xpby.data(), a.data(), n))
+        return fail(std::string("xpby diverges under ") +
+                    util::to_string(tier));
+      std::copy(y.begin(), y.end(), a.begin());
+      util::simd::add_scaled_diff(2.5, x.data(), volts.data(), a.data(), n);
+      if (!same_bits(r_asd.data(), a.data(), n))
+        return fail(std::string("add_scaled_diff diverges under ") +
+                    util::to_string(tier));
+      const double d = util::simd::dot(x.data(), y.data(), n);
+      if (std::bit_cast<std::uint64_t>(d) !=
+          std::bit_cast<std::uint64_t>(r_dot))
+        return fail(std::string("dot diverges under ") +
+                    util::to_string(tier));
+      util::simd::spmv(row_start.data(), cols.data(), vals.data(), x.data(),
+                       a.data(), n);
+      if (!same_bits(r_spmv.data(), a.data(), n))
+        return fail(std::string("spmv diverges under ") +
                     util::to_string(tier));
     }
     return pass();

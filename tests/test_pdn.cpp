@@ -1,8 +1,10 @@
-// Tests for the PDN substrate: sparse algebra, CG convergence, mesh
-// physics (superposition, reciprocity, distance decay), droop dynamics and
+// Tests for the PDN substrate: sparse algebra, CG convergence, the
+// preconditioned solver variants and their setup cache, mesh physics
+// (superposition, reciprocity, distance decay), droop dynamics and
 // transient-vs-static consistency.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "pdn/coupling.h"
 #include "pdn/droop_filter.h"
 #include "pdn/grid.h"
+#include "pdn/solver.h"
 #include "pdn/sparse.h"
 #include "pdn/transient.h"
 #include "util/contracts.h"
@@ -105,6 +108,208 @@ TEST(Cg, SolvesLaplacianSystem) {
   EXPECT_GT(x[n / 2 + 5], x[n - 1]);
 }
 
+TEST(Sparse, DiagonalCachedMatchesAt) {
+  lu::Rng rng(41);
+  const std::size_t n = 23;
+  lp::SparseMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 7) m.add(i, i, 1.0 + static_cast<double>(rng() % 100));
+    if (i + 1 < n) m.add(i, i + 1, -0.25);
+  }
+  m.freeze();
+  const auto diag = m.diagonal();
+  ASSERT_EQ(diag.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(diag[i], m.at(i, i)) << "row " << i;
+  }
+  EXPECT_DOUBLE_EQ(diag[7], 0.0);  // structurally absent diagonal
+}
+
+// ------------------------------------------------------------- pdn solver
+
+namespace {
+
+// Max relative (inf-norm) deviation of `x` from the plain Jacobi-CG
+// reference solution of G x = rhs at the production tolerance.
+double deviation_from_reference(const lp::SparseMatrix& g,
+                                const std::vector<double>& rhs,
+                                const std::vector<double>& x) {
+  std::vector<double> ref(g.size(), 0.0);
+  const auto res = lp::conjugate_gradient(g, rhs, ref, 1e-12);
+  EXPECT_TRUE(res.converged);
+  double diff = 0.0;
+  double scale = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    diff = std::max(diff, std::abs(x[i] - ref[i]));
+    scale = std::max(scale, std::abs(ref[i]));
+  }
+  return diff / std::max(scale, 1e-30);
+}
+
+}  // namespace
+
+TEST(PdnSolver, ResolveSelectsKind) {
+  using lp::SolverContext;
+  using lp::SolverKind;
+  EXPECT_EQ(SolverContext::resolve(SolverKind::kAuto, 15, 15, 16384),
+            SolverKind::kPcgIc0);
+  EXPECT_EQ(SolverContext::resolve(SolverKind::kAuto, 150, 150, 16384),
+            SolverKind::kTwoGrid);
+  EXPECT_EQ(SolverContext::resolve(SolverKind::kAuto, 4, 4, 16),
+            SolverKind::kTwoGrid);
+  // Degenerate strips cannot coarsen: forced two-grid degrades to IC(0).
+  EXPECT_EQ(SolverContext::resolve(SolverKind::kTwoGrid, 1, 40, 0),
+            SolverKind::kPcgIc0);
+  EXPECT_EQ(SolverContext::resolve(SolverKind::kTwoGrid, 40, 2, 0),
+            SolverKind::kPcgIc0);
+  EXPECT_EQ(SolverContext::resolve(SolverKind::kPcgSsor, 1, 1, 0),
+            SolverKind::kPcgSsor);
+  EXPECT_EQ(SolverContext::resolve(SolverKind::kReferenceCg, 99, 99, 0),
+            SolverKind::kReferenceCg);
+}
+
+TEST(PdnSolver, AutoThresholdSwitchesToTwoGrid) {
+  lp::PdnParams low;
+  low.two_grid_threshold = 64;
+  const lp::PdnGrid coarse_capable(10, 10, low);
+  EXPECT_EQ(coarse_capable.solver_context().resolved_kind(),
+            lp::SolverKind::kTwoGrid);
+  const lp::PdnGrid below(10, 10, lp::PdnParams{});
+  EXPECT_EQ(below.solver_context().resolved_kind(), lp::SolverKind::kPcgIc0);
+}
+
+TEST(PdnSolver, VariantsAgreeWithReferenceOnRandomShapes) {
+  lu::Rng rng(57);
+  const lp::SolverKind kinds[] = {lp::SolverKind::kPcgIc0,
+                                  lp::SolverKind::kPcgSsor,
+                                  lp::SolverKind::kTwoGrid};
+  for (int trial = 0; trial < 6; ++trial) {
+    const int nx = 1 + static_cast<int>(rng() % 24);
+    const int ny = 1 + static_cast<int>(rng() % 24);
+    for (const lp::SolverKind kind : kinds) {
+      lp::PdnParams p;
+      p.solver = kind;
+      const lp::PdnGrid grid(nx, ny, p);
+      std::vector<lp::CurrentInjection> draws;
+      std::vector<double> rhs(grid.node_count(), 0.0);
+      for (int d = 0; d < 4; ++d) {
+        const std::size_t node = rng() % grid.node_count();
+        const double current = 0.1 + 0.1 * static_cast<double>(d);
+        draws.push_back({node, current});
+        rhs[node] += current;
+      }
+      const auto droop = grid.dc_droop(draws);
+      EXPECT_LT(deviation_from_reference(grid.conductance(), rhs, droop),
+                1e-7)
+          << nx << "x" << ny << " " << lp::to_string(kind);
+    }
+  }
+}
+
+TEST(PdnSolver, DegenerateShapesAndAllPadRowsAgree) {
+  // 1xN / Nx1 strips (two-grid must degrade, IC(0) must still factor) and
+  // stride-1 pads (every bottom/top node padded).
+  struct Shape {
+    int nx, ny;
+  };
+  const Shape shapes[] = {{1, 1}, {1, 37}, {37, 1}, {2, 2}, {3, 19}};
+  for (const auto& s : shapes) {
+    for (const lp::SolverKind kind :
+         {lp::SolverKind::kPcgIc0, lp::SolverKind::kPcgSsor,
+          lp::SolverKind::kTwoGrid}) {
+      lp::PdnParams p;
+      p.solver = kind;
+      p.bottom_pad_stride = 1;
+      p.top_pad_stride = 1;
+      const lp::PdnGrid grid(s.nx, s.ny, p);
+      std::vector<double> rhs(grid.node_count(), 0.0);
+      rhs[grid.node_count() / 2] = 1.0;
+      const auto droop = grid.dc_droop(
+          std::vector<lp::CurrentInjection>{{grid.node_count() / 2, 1.0}});
+      EXPECT_LT(deviation_from_reference(grid.conductance(), rhs, droop),
+                1e-7)
+          << s.nx << "x" << s.ny << " " << lp::to_string(kind);
+    }
+  }
+}
+
+TEST(PdnSolver, Ic0DoesNotFallBackOnMeshSystems) {
+  for (const int dim : {1, 2, 7, 30}) {
+    lp::PdnParams p;
+    p.solver = lp::SolverKind::kPcgIc0;
+    const lp::PdnGrid grid(dim, dim, p);
+    EXPECT_EQ(grid.solver_context().resolved_kind(),
+              lp::SolverKind::kPcgIc0)
+        << dim;
+  }
+}
+
+TEST(PdnSolver, PreconditioningReducesIterations) {
+  lp::PdnParams ref;
+  ref.solver = lp::SolverKind::kReferenceCg;
+  lp::PdnParams pcg;
+  pcg.solver = lp::SolverKind::kPcgIc0;
+  const lp::PdnGrid grid_ref(40, 40, ref);
+  const lp::PdnGrid grid_pcg(40, 40, pcg);
+  const std::vector<lp::CurrentInjection> draws = {
+      {grid_ref.node_index(20, 20), 1.0}};
+  std::vector<double> a(grid_ref.node_count(), 0.0);
+  std::vector<double> b(grid_ref.node_count(), 0.0);
+  const auto res_ref = grid_ref.dc_droop_into(draws, a);
+  const auto res_pcg = grid_pcg.dc_droop_into(draws, b);
+  EXPECT_TRUE(res_ref.converged);
+  EXPECT_TRUE(res_pcg.converged);
+  EXPECT_LT(res_pcg.iterations * 2, res_ref.iterations)
+      << "IC(0) should cut iterations well below half of plain CG";
+}
+
+TEST(PdnSolver, WarmStartConvergesFasterAndAgrees) {
+  lp::PdnParams p;
+  p.solver = lp::SolverKind::kPcgIc0;
+  const lp::PdnGrid grid(30, 30, p);
+  std::vector<lp::CurrentInjection> draws = {{grid.node_index(7, 21), 1.0},
+                                             {grid.node_index(22, 4), 0.5}};
+  std::vector<double> droop(grid.node_count(), 0.0);
+  const auto cold = grid.dc_droop_into(draws, droop, /*warm_start=*/false);
+  ASSERT_TRUE(cold.converged);
+
+  // Small perturbation: the previous solution is an excellent guess.
+  for (auto& d : draws) d.current *= 1.01;
+  const auto warm = grid.dc_droop_into(draws, droop, /*warm_start=*/true);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+
+  std::vector<double> rhs(grid.node_count(), 0.0);
+  for (const auto& d : draws) rhs[d.node] += d.current;
+  EXPECT_LT(deviation_from_reference(grid.conductance(), rhs, droop), 1e-7);
+}
+
+TEST(PdnSolver, TopologyKeyDistinguishesShapes) {
+  const lp::PdnGrid a(12, 9, lp::PdnParams{});
+  const lp::PdnGrid b(12, 9, lp::PdnParams{});
+  const lp::PdnGrid c(9, 12, lp::PdnParams{});
+  lp::PdnParams stiffer;
+  stiffer.pad_conductance = 80.0;
+  const lp::PdnGrid d(12, 9, stiffer);
+  EXPECT_EQ(a.topology_key(), b.topology_key());
+  EXPECT_FALSE(a.topology_key() == c.topology_key());
+  EXPECT_FALSE(a.topology_key() == d.topology_key());
+}
+
+TEST(PdnSolver, ContextCacheSharedAcrossIdenticalGrids) {
+  lp::SolverContext::clear_cache();
+  const auto before = lp::SolverContext::cache_stats();
+  const lp::PdnGrid a(12, 9, lp::PdnParams{});
+  const auto mid = lp::SolverContext::cache_stats();
+  EXPECT_EQ(mid.misses - before.misses, 1u);
+  const lp::PdnGrid b(12, 9, lp::PdnParams{});
+  const auto after = lp::SolverContext::cache_stats();
+  EXPECT_EQ(after.hits - mid.hits, 1u);
+  EXPECT_EQ(after.misses, mid.misses);
+  // Same setup object, not merely equivalent ones.
+  EXPECT_EQ(&a.solver_context(), &b.solver_context());
+}
+
 // -------------------------------------------------------------------- grid
 
 class PdnGridTest : public ::testing::Test {
@@ -118,6 +323,14 @@ TEST_F(PdnGridTest, MeshDimensions) {
   EXPECT_EQ(grid_.nodes_y(), 15);
   EXPECT_EQ(grid_.node_count(), 225u);
   EXPECT_GT(grid_.pad_count(), 10u);
+}
+
+TEST_F(PdnGridTest, PadCountMatchesIsPad) {
+  std::size_t manual = 0;
+  for (std::size_t n = 0; n < grid_.node_count(); ++n) {
+    if (grid_.is_pad(n)) ++manual;
+  }
+  EXPECT_EQ(grid_.pad_count(), manual);
 }
 
 TEST_F(PdnGridTest, SiteToNodeMapping) {
@@ -258,6 +471,38 @@ TEST_F(PdnGridTest, TransientStartsAtZeroAndRises) {
 TEST_F(PdnGridTest, TransientUnstableStepRejected) {
   EXPECT_THROW(lp::TransientSolver(grid_, 3.2e-5, /*step_ns=*/100.0),
                lu::PreconditionError);
+}
+
+TEST_F(PdnGridTest, TransientStabilityBoundTracksDiagonal) {
+  // The ctor enforces dt_s < C / max_diag with max_diag from the cached
+  // diagonal; pin the boundary from both sides.
+  double max_diag = 0.0;
+  for (const double d : grid_.conductance().diagonal()) {
+    max_diag = std::max(max_diag, d);
+  }
+  const double cap = 3.2e-5;
+  const double limit_ns = cap / max_diag * 1e9;
+  EXPECT_NO_THROW(lp::TransientSolver(grid_, cap, limit_ns * 0.999));
+  EXPECT_THROW(lp::TransientSolver(grid_, cap, limit_ns * 1.001),
+               lu::PreconditionError);
+}
+
+TEST_F(PdnGridTest, SettleJumpsToDcSolution) {
+  lp::TransientSolver solver(grid_);
+  const std::vector<lp::CurrentInjection> draws = {
+      {grid_.node_index(7, 7), 1.0}, {grid_.node_index(2, 11), 0.4}};
+  // Partially relax first so settle() starts from a nontrivial state.
+  solver.run(draws, 50);
+  const auto cold = solver.settle(draws);
+  EXPECT_TRUE(cold.converged);
+  const auto dc = grid_.dc_droop(draws);
+  for (std::size_t i = 0; i < dc.size(); ++i) {
+    EXPECT_NEAR(solver.droop(i), dc[i], 1e-9) << "node " << i;
+  }
+  // Settling again from the settled state is (near) free.
+  const auto again = solver.settle(draws);
+  EXPECT_TRUE(again.converged);
+  EXPECT_LE(again.iterations, 1u);
 }
 
 // ------------------------------------------------------------ droop filter
