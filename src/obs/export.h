@@ -1,0 +1,124 @@
+// Live telemetry exposition over the obs::Registry: renderers for the
+// Prometheus text format and the /statusz JSON document, quantile
+// estimation over fixed-bucket histograms, a text-format validity checker
+// (shared by tests and the CI scrape check), and the ExpositionServer that
+// serves all of it — /metrics, /statusz, /healthz — from one embedded
+// obs::HttpServer thread.
+//
+// Everything renders from Registry::snapshot(), a lock-protected read of
+// integer shard sums, so a scrape observes the process without perturbing
+// it: campaign results are byte-identical whether or not a collector is
+// hammering the endpoints (pinned by tests/test_export.cpp). The renderers
+// exist with -DLEAKYDSP_OBS=OFF too — the registry is simply empty, and
+// the server still answers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/http.h"
+#include "obs/metrics.h"
+
+namespace leakydsp::util {
+struct HostInfo;
+}  // namespace leakydsp::util
+
+namespace leakydsp::obs {
+
+/// Maps a registry metric name to a Prometheus-compatible one:
+/// [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (the registry's namespace separator) and
+/// every other invalid byte become '_'; a leading digit gains a '_'
+/// prefix. This is THE name mapping — the Prometheus renderer and the
+/// JSON renderer both call it, so the two surfaces always agree on what a
+/// metric is called. Any `{...}` label suffix of a labeled counter is
+/// preserved verbatim (the base is sanitized, the label part is not a
+/// metric name).
+std::string sanitize_metric_name(std::string_view name);
+
+/// Estimated q-quantile (q in [0, 1]) of a bucketed histogram by monotone
+/// interpolation: walk the cumulative counts to the bucket containing rank
+/// q * total, then interpolate linearly between the bucket's lower and
+/// upper edge. The first bucket's lower edge is min(0, edge[0]); the
+/// overflow bucket cannot be interpolated and returns the last finite
+/// edge (a deliberate lower bound). Returns 0 for an empty histogram.
+/// Monotone in q by construction.
+double estimate_quantile(const Registry::HistogramSnapshot& histogram,
+                         double q);
+
+/// Renders a registry snapshot in the Prometheus text exposition format:
+/// counters (labeled children grouped under their sanitized base), gauges,
+/// and histograms as cumulative `_bucket{le="..."}` lines with the
+/// implicit `le="+Inf"` last bucket plus `_sum` / `_count`, followed by
+/// estimated `_p50` / `_p95` / `_p99` gauges for each non-empty histogram.
+std::string render_prometheus(const Registry::Snapshot& snapshot);
+
+/// Renders the /statusz JSON document: build/host metadata, a summary of
+/// the registry (sanitized names, via the same mapping as /metrics), and
+/// the service-provided introspection fragment (`service_json` must be a
+/// complete JSON value, or "" for null).
+std::string render_statusz(const util::HostInfo& host,
+                           const Registry::Snapshot& snapshot,
+                           const std::string& service_json);
+
+/// Validates Prometheus text exposition: every line is a comment or a
+/// `name[{labels}] value` sample, histogram `_bucket` series have
+/// ascending `le` edges, non-decreasing cumulative counts and a final
+/// `le="+Inf"` bucket that equals the family's `_count`. On failure sets
+/// `*error` (when non-null) and returns false. This is the "small parser
+/// check" CI runs against a live scrape.
+bool check_prometheus_text(const std::string& text, std::string* error);
+
+/// What /healthz needs to know, probed from the service on every request.
+struct HealthProbe {
+  std::size_t jobs_remaining = 0;     ///< campaigns not yet finished
+  std::uint64_t ns_since_progress = 0;  ///< since the last completed block
+};
+
+struct ExpositionConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  /// /healthz answers 503 when jobs remain but no block completed within
+  /// this deadline — the stall detector.
+  std::chrono::milliseconds stall_deadline{10000};
+};
+
+/// The exposition endpoint server. Construction binds and starts serving;
+/// the providers (set any time, from any thread) plug the campaign service
+/// in. Without providers, /statusz reports a null service and /healthz is
+/// always healthy.
+class ExpositionServer {
+ public:
+  using StatusProvider = std::function<std::string()>;  ///< JSON fragment
+  using HealthProvider = std::function<HealthProbe()>;
+
+  explicit ExpositionServer(ExpositionConfig config,
+                            Registry* registry = &Registry::global());
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  void set_status_provider(StatusProvider provider);
+  void set_health_provider(HealthProvider provider);
+
+  std::uint16_t port() const;
+  std::uint64_t requests_served() const;
+  void stop();
+
+ private:
+  HttpResponse handle(const HttpRequest& request);
+
+  ExpositionConfig config_;
+  Registry* registry_;
+  mutable std::mutex mutex_;  ///< providers (set vs. request races)
+  StatusProvider status_provider_;
+  HealthProvider health_provider_;
+  std::unique_ptr<HttpServer> server_;  ///< last member: stops first
+};
+
+}  // namespace leakydsp::obs

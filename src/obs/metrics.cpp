@@ -1,12 +1,19 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.h"
 
 namespace leakydsp::obs {
 
 namespace {
+
+/// Fixed-point scale of the per-histogram sum cell: integer micro-units
+/// keep the shard merge a permutation-invariant integer add while losing
+/// nothing at the millisecond/iteration magnitudes observed here.
+constexpr double kSumScale = 1e6;
+constexpr double kSumClamp = 9.2e18 / kSumScale;  // int64 headroom
 
 std::uint64_t next_registry_serial() {
   static std::atomic<std::uint64_t> serial{1};
@@ -60,7 +67,7 @@ Registry::MetricId Registry::register_metric(Kind kind,
     LD_REQUIRE(std::is_sorted(edges.begin(), edges.end()),
                "histogram '" << name << "' edges must ascend");
     d.edges = std::move(edges);
-    d.cells = d.edges.size() + 1;  // + overflow
+    d.cells = d.edges.size() + 2;  // + overflow + fixed-point sum
   } else if (kind == Kind::kCounter) {
     d.cells = 1;
   } else {
@@ -163,6 +170,14 @@ void Registry::set(MetricId gauge_id, std::int64_t value) {
 }
 
 void Registry::observe(MetricId histogram_id, double value) {
+  if (std::isnan(value)) {
+    // NaN compares false against every edge, so the old fall-through filed
+    // it in the overflow bucket as if it were a huge observation. Drop it
+    // and count the drop where a scrape can see it (rare path: the
+    // registration lookup per call is fine here).
+    add(counter("obs.histogram.nan_dropped"), 1);
+    return;
+  }
   Shard& shard = local_shard();
   const Descriptor& d = metrics_[histogram_id];
   std::size_t bucket = d.edges.size();  // overflow
@@ -173,6 +188,13 @@ void Registry::observe(MetricId histogram_id, double value) {
     }
   }
   shard.cells[d.slot + bucket].fetch_add(1, std::memory_order_relaxed);
+  // Running sum in fixed point: the uint64 add wraps exactly like int64
+  // two's complement, so negative observations subtract correctly.
+  const double clamped = std::clamp(value, -kSumClamp, kSumClamp);
+  const auto scaled = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(std::llround(clamped * kSumScale)));
+  shard.cells[d.slot + d.cells - 1].fetch_add(scaled,
+                                              std::memory_order_relaxed);
 }
 
 Registry::Snapshot Registry::snapshot() const {
@@ -196,6 +218,9 @@ Registry::Snapshot Registry::snapshot() const {
     } else {
       HistogramSnapshot h;
       h.upper_edges = d.edges;
+      h.sum = static_cast<double>(static_cast<std::int64_t>(cells.back())) /
+              kSumScale;
+      cells.pop_back();  // the sum cell is not a bucket
       h.counts = std::move(cells);
       for (const std::uint64_t c : h.counts) h.total += c;
       snap.histograms.emplace_back(d.name, std::move(h));

@@ -70,13 +70,23 @@ class Registry {
   void set(MetricId gauge_id, std::int64_t value);
 
   /// Buckets `value` into the histogram: the first bucket whose upper edge
-  /// is >= value, else the overflow bucket.
+  /// is >= value, else the overflow bucket. The observation also
+  /// accumulates into the histogram's running sum (fixed-point micro-units
+  /// in a shard cell, so the merge stays a permutation-invariant integer
+  /// add). NaN observations are dropped — NaN compares false against every
+  /// edge, and silently filing it as "bigger than +inf" would corrupt the
+  /// overflow bucket — and counted in the `obs.histogram.nan_dropped`
+  /// counter instead (registered lazily on the first NaN).
   void observe(MetricId histogram_id, double value);
 
   struct HistogramSnapshot {
     std::vector<double> upper_edges;    ///< per finite bucket
     std::vector<std::uint64_t> counts;  ///< edges.size() + 1 (overflow last)
     std::uint64_t total = 0;
+    /// Sum of all observations, recovered from the fixed-point shard cell
+    /// (1e-6 resolution, values clamped to +-9.2e12 — ample for the
+    /// millisecond/iteration/byte magnitudes observed here).
+    double sum = 0.0;
   };
 
   /// Merged totals, each section sorted by metric name — deterministic

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/contracts.h"
 #include "util/crc32.h"
 #include "util/simd_ops.h"
@@ -175,6 +176,7 @@ SolverContext::SolverContext(const SparseMatrix& a, int nx, int ny,
              "mesh " << nx << "x" << ny << " disagrees with matrix size "
                      << n_);
   OBS_COUNT("pdn.solver.setup.calls", 1);
+  OBS_SPAN("pdn.solver.setup");
 
   const std::span<const double> diag = a.diagonal();
   inv_diag_.resize(n_);
@@ -198,6 +200,18 @@ SolverContext::SolverContext(const SparseMatrix& a, int nx, int ny,
     case SolverKind::kAuto:
       break;  // rejected above
   }
+
+#if defined(LEAKYDSP_OBS)
+  // Registered after the build: IC(0) setup may have fallen back to SSOR,
+  // and the per-kind series must be named after what actually runs.
+  obs::Registry& reg = obs::Registry::global();
+  reg.add(reg.labeled_counter("pdn.solver.resolved_kind", to_string(resolved_),
+                              /*max_labels=*/8),
+          1);
+  iters_histogram_id_ = reg.histogram(
+      "pdn.solve.iters." + to_string(resolved_),
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+#endif
 }
 
 void SolverContext::build_ic0(const SparseMatrix& a) {
@@ -511,7 +525,12 @@ CgResult SolverContext::solve(const SparseMatrix& a, std::span<const double> b,
 
   if (resolved_ == SolverKind::kReferenceCg) {
     if (!warm_start) std::fill(x.begin(), x.end(), 0.0);
-    return conjugate_gradient(a, b, x, tolerance, max_iterations);
+    CgResult result = conjugate_gradient(a, b, x, tolerance, max_iterations);
+#if defined(LEAKYDSP_OBS)
+    obs::Registry::global().observe(
+        iters_histogram_id_, static_cast<double>(result.iterations));
+#endif
+    return result;
   }
 
   Workspace ws;
@@ -539,9 +558,11 @@ CgResult SolverContext::solve(const SparseMatrix& a, std::span<const double> b,
       case SolverKind::kPcgSsor:
         apply_ssor(a, rr, zz);
         break;
-      case SolverKind::kTwoGrid:
+      case SolverKind::kTwoGrid: {
+        OBS_SPAN("pdn.solver.vcycle");
         apply_two_grid(a, rr, zz, ws);
         break;
+      }
       default:
         LD_REQUIRE(false, "unhandled solver kind");
     }
@@ -561,7 +582,7 @@ CgResult SolverContext::solve(const SparseMatrix& a, std::span<const double> b,
     result.iterations = it;
     if (r_norm <= stop) {
       result.converged = true;
-      return result;
+      break;
     }
     a.multiply(p, ap);
     const double p_ap = util::simd::dot(p.data(), ap.data(), n_);
@@ -576,6 +597,10 @@ CgResult SolverContext::solve(const SparseMatrix& a, std::span<const double> b,
     rz = rz_next;
     util::simd::xpby(z.data(), beta, p.data(), n_);
   }
+#if defined(LEAKYDSP_OBS)
+  obs::Registry::global().observe(iters_histogram_id_,
+                                  static_cast<double>(result.iterations));
+#endif
   return result;
 }
 

@@ -143,6 +143,10 @@ class SolverContext {
 
   SolverKind requested_;
   SolverKind resolved_;
+  /// Per-resolved-kind iteration histogram (obs::Registry::MetricId),
+  /// registered at construction so every solve() pays only the shard add.
+  /// Unused when built with -DLEAKYDSP_OBS=OFF.
+  std::uint32_t iters_histogram_id_ = 0;
   int nx_ = 0;
   int ny_ = 0;
   std::size_t n_ = 0;

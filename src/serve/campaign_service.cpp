@@ -7,17 +7,26 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <sstream>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/trace_store.h"
 #include "util/contracts.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace leakydsp::serve {
 
 namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// One schedulable unit: a block index of some resident campaign's current
 /// plan (attack step or record wave). The pointer stays valid until the
@@ -87,6 +96,16 @@ struct CampaignService::Impl {
   std::size_t next_deque = 0;       ///< round-robin push cursor
   std::size_t resident_bytes = 0;
 
+  // ---- introspection state (guarded by `mutex` unless atomic) ----
+  std::vector<CampaignState> job_states;  ///< per job, enqueue order
+  /// Per job (enqueue order): traces done / total. Total stays 0 until the
+  /// job is first admitted (the world, and with it max_traces, does not
+  /// exist before then).
+  std::vector<std::pair<std::size_t, std::size_t>> job_traces;
+  std::vector<obs::Registry::MetricId> worker_gauge_ids;
+  std::atomic<bool> draining{false};
+  std::atomic<std::uint64_t> last_progress_ns{0};
+
   std::atomic<std::size_t> jobs_done{0};
   std::atomic<bool> aborted{false};
   std::exception_ptr error;  ///< first failure; guarded by `mutex`
@@ -110,6 +129,42 @@ struct CampaignService::Impl {
     cv.notify_all();
   }
 
+  /// Mirrors scheduler state into registry gauges so a /metrics scrape
+  /// tracks the drain live (ServiceStats only lands in the struct at the
+  /// end). Caller holds `mutex`; the deque mutexes nest under it exactly
+  /// as in push_blocks_locked.
+  void publish_stats_locked() {
+#if defined(LEAKYDSP_OBS)
+    OBS_GAUGE_SET("serve.stats.campaigns_completed", stats.campaigns_completed);
+    OBS_GAUGE_SET("serve.stats.evictions", stats.evictions);
+    OBS_GAUGE_SET("serve.stats.rehydrations", stats.rehydrations);
+    OBS_GAUGE_SET("serve.stats.steps_completed", stats.steps_completed);
+    OBS_GAUGE_SET("serve.stats.max_step_gap", stats.max_step_gap);
+    OBS_GAUGE_SET("serve.stats.peak_resident", stats.peak_resident);
+    OBS_GAUGE_SET("serve.stats.peak_resident_bytes", stats.peak_resident_bytes);
+    OBS_GAUGE_SET("serve.stats.blocks_run",
+                  stats_blocks_run.load(std::memory_order_relaxed));
+    OBS_GAUGE_SET("serve.stats.blocks_stolen",
+                  stats_blocks_stolen.load(std::memory_order_relaxed));
+    OBS_GAUGE_SET("serve.resident", residents.size());
+    OBS_GAUGE_SET("serve.pending", pending.size());
+    OBS_GAUGE_SET("serve.resident_bytes", resident_bytes);
+    obs::Registry& reg = obs::Registry::global();
+    for (std::size_t w = 0; w < deques.size(); ++w) {
+      if (worker_gauge_ids.size() <= w) {
+        worker_gauge_ids.push_back(
+            reg.gauge("serve.worker.queue_depth.w" + std::to_string(w)));
+      }
+      std::size_t depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(deques[w]->mutex);
+        depth = deques[w]->items.size();
+      }
+      reg.set(worker_gauge_ids[w], static_cast<std::int64_t>(depth));
+    }
+#endif
+  }
+
   /// Deals the blocks of `resident`'s current plan (or wave) across the
   /// worker deques round-robin. Caller holds `mutex`.
   void push_blocks_locked(Resident& resident, std::size_t count) {
@@ -120,6 +175,7 @@ struct CampaignService::Impl {
       std::lock_guard<std::mutex> lock(dq.mutex);
       dq.items.push_back({&resident, b});
     }
+    OBS_COUNT("serve.blocks.dealt", count);
     bump_epoch();
   }
 
@@ -181,9 +237,20 @@ struct CampaignService::Impl {
         resident->cursor = campaign.start_record(resident->world->rng());
       } else if (queued.has_checkpoint || queued.job.resume) {
         resident->task.emplace(campaign.load_task());
-        if (queued.has_checkpoint) ++stats.rehydrations;
+        if (queued.has_checkpoint) {
+          ++stats.rehydrations;
+          OBS_COUNT("serve.rehydrations", 1);
+        }
       } else {
         resident->task.emplace(campaign.start(resident->world->rng()));
+      }
+      job_states[job_index] = CampaignState::kResident;
+      if (resident->is_record) {
+        job_traces[job_index] = {resident->record_done,
+                                 queued.job.record->traces};
+      } else {
+        job_traces[job_index] = {resident->task->traces_done(),
+                                 campaign.config().max_traces};
       }
       OBS_LOG(obs::LogLevel::kDebug, "serve", "campaign admitted",
               obs::f("campaign", queued.job.id),
@@ -196,6 +263,7 @@ struct CampaignService::Impl {
       stats.peak_resident = std::max(stats.peak_resident, residents.size());
       plan_next_locked(ref);
     }
+    publish_stats_locked();
   }
 
   /// Plans the resident's next step (or record wave) and deals its blocks;
@@ -210,6 +278,7 @@ struct CampaignService::Impl {
       if (remaining == 0) {
         resident.writer->finish();
         outcomes[resident.job_index].traces_recorded = resident.record_done;
+        job_states[resident.job_index] = CampaignState::kFinished;
         ++stats.campaigns_completed;
         OBS_LOG(obs::LogLevel::kDebug, "serve", "record job finished",
                 obs::f("campaign", job.id),
@@ -248,6 +317,7 @@ struct CampaignService::Impl {
     CampaignOutcome& outcome = outcomes[resident.job_index];
     outcome.result = campaign.take_result(std::move(*resident.task));
     resident.task.reset();
+    job_states[resident.job_index] = CampaignState::kFinished;
     ++stats.campaigns_completed;
     OBS_LOG(obs::LogLevel::kDebug, "serve", "campaign finished",
             obs::f("campaign", outcome.id),
@@ -319,11 +389,15 @@ struct CampaignService::Impl {
           stats.max_step_gap, stats.steps_completed - resident.last_step_seq);
     }
     resident.last_step_seq = stats.steps_completed;
+    job_traces[resident.job_index].first = resident.is_record
+                                               ? resident.record_done
+                                               : resident.task->traces_done();
 #if defined(LEAKYDSP_OBS)
     obs::Registry::global().add(obs::Registry::global().labeled_counter(
         "serve.campaign.steps", job.id));
 #endif
     OBS_COUNT("serve.steps", 1);
+    publish_stats_locked();
 
     if (!resident.is_record && !more) {
       finish_campaign_locked(resident);
@@ -340,8 +414,10 @@ struct CampaignService::Impl {
       campaign.suspend(*resident.task);
       resident.task.reset();
       jobs[resident.job_index].has_checkpoint = true;
+      job_states[resident.job_index] = CampaignState::kEvicted;
       ++stats.evictions;
       ++outcome.evictions;
+      OBS_COUNT("serve.evictions", 1);
 #if defined(LEAKYDSP_OBS)
       obs::Registry::global().add(obs::Registry::global().labeled_counter(
           "serve.campaign.evictions", job.id));
@@ -377,6 +453,7 @@ struct CampaignService::Impl {
     }
     OBS_COUNT("serve.blocks", 1);
     stats_blocks_run.fetch_add(1, std::memory_order_relaxed);
+    last_progress_ns.store(now_ns(), std::memory_order_relaxed);
     if (resident.blocks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       complete_step(resident);
     }
@@ -398,6 +475,7 @@ struct CampaignService::Impl {
       if (!have && steal(worker, item)) {
         have = true;
         ++stats_blocks_stolen;
+        OBS_COUNT("serve.blocks.stolen", 1);
       }
       if (have) {
         try {
@@ -442,6 +520,8 @@ void CampaignService::enqueue(CampaignJob job) {
   CampaignOutcome outcome;
   outcome.id = job.id;
   impl_->outcomes.push_back(std::move(outcome));
+  impl_->job_states.push_back(CampaignState::kQueued);
+  impl_->job_traces.emplace_back(0, 0);
   impl_->jobs.push_back({std::move(job), false});
 }
 
@@ -468,6 +548,8 @@ std::vector<CampaignOutcome> CampaignService::drain() {
   for (std::size_t j = 0; j < impl.jobs.size(); ++j) {
     impl.pending.push_back(j);
   }
+  impl.last_progress_ns.store(now_ns(), std::memory_order_relaxed);
+  impl.draining.store(true, std::memory_order_release);
   OBS_LOG(obs::LogLevel::kInfo, "serve", "drain started",
           obs::f("jobs", impl.jobs.size()), obs::f("workers", impl.pool_size),
           obs::f("max_resident", impl.config.max_resident),
@@ -485,9 +567,15 @@ std::vector<CampaignOutcome> CampaignService::drain() {
       impl.stats_blocks_stolen.load(std::memory_order_relaxed);
   impl.stats.blocks_run =
       impl.stats_blocks_run.load(std::memory_order_relaxed);
+  std::vector<CampaignOutcome> outcomes;
   {
+    // Move the outcomes out under the lock: introspect() may be reading
+    // them from a scrape thread right up to (and after) this return.
     std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.publish_stats_locked();
     if (impl.error) std::rethrow_exception(impl.error);
+    outcomes = std::move(impl.outcomes);
+    impl.outcomes.clear();
   }
   OBS_LOG(obs::LogLevel::kInfo, "serve", "drain finished",
           obs::f("campaigns", impl.stats.campaigns_completed),
@@ -495,7 +583,128 @@ std::vector<CampaignOutcome> CampaignService::drain() {
           obs::f("evictions", impl.stats.evictions),
           obs::f("stolen", impl.stats.blocks_stolen),
           obs::f("max_step_gap", impl.stats.max_step_gap));
-  return std::move(impl.outcomes);
+  return outcomes;
+}
+
+std::string to_string(CampaignState state) {
+  switch (state) {
+    case CampaignState::kQueued:
+      return "queued";
+    case CampaignState::kResident:
+      return "resident";
+    case CampaignState::kEvicted:
+      return "evicted";
+    case CampaignState::kFinished:
+      return "finished";
+  }
+  return "unknown";
+}
+
+ServiceIntrospection CampaignService::introspect() const {
+  Impl& impl = *impl_;
+  ServiceIntrospection view;
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  view.draining = impl.draining.load(std::memory_order_acquire);
+  view.jobs_total = impl.jobs.size();
+  view.jobs_done = impl.jobs_done.load(std::memory_order_acquire);
+  view.resident = impl.residents.size();
+  view.pending = impl.pending.size();
+  view.resident_bytes = impl.resident_bytes;
+  for (const auto& dq : impl.deques) {
+    std::lock_guard<std::mutex> dq_lock(dq->mutex);
+    view.worker_queue_depths.push_back(dq->items.size());
+  }
+  view.stats = impl.stats;
+  view.stats.blocks_run =
+      impl.stats_blocks_run.load(std::memory_order_relaxed);
+  view.stats.blocks_stolen =
+      impl.stats_blocks_stolen.load(std::memory_order_relaxed);
+  view.campaigns.reserve(impl.jobs.size());
+  for (std::size_t j = 0; j < impl.jobs.size(); ++j) {
+    CampaignStatus status;
+    status.id = impl.jobs[j].job.id;
+    status.state = impl.job_states[j];
+    status.is_record = impl.jobs[j].job.record.has_value();
+    status.traces_done = impl.job_traces[j].first;
+    status.traces_total = impl.job_traces[j].second;
+    // drain() hands the outcomes to its caller at the end; a scrape that
+    // lands after that still sees every job's lifecycle fields above.
+    if (j < impl.outcomes.size()) {
+      status.steps = impl.outcomes[j].steps;
+      status.evictions = impl.outcomes[j].evictions;
+    }
+    view.campaigns.push_back(std::move(status));
+  }
+  for (const auto& resident : impl.residents) {
+    CampaignStatus& status = view.campaigns[resident->job_index];
+    status.approx_bytes = resident->task_bytes;
+    if (resident->last_step_seq != 0) {
+      status.step_gap = impl.stats.steps_completed - resident->last_step_seq;
+    }
+  }
+  return view;
+}
+
+std::string CampaignService::statusz_json() const {
+  const ServiceIntrospection view = introspect();
+  std::ostringstream out;
+  out << "{\n";
+  out << "    \"draining\": " << (view.draining ? "true" : "false") << ",\n";
+  out << "    \"jobs_total\": " << view.jobs_total << ",\n";
+  out << "    \"jobs_done\": " << view.jobs_done << ",\n";
+  out << "    \"resident\": " << view.resident << ",\n";
+  out << "    \"pending\": " << view.pending << ",\n";
+  out << "    \"resident_bytes\": " << view.resident_bytes << ",\n";
+  out << "    \"worker_queue_depths\": [";
+  for (std::size_t w = 0; w < view.worker_queue_depths.size(); ++w) {
+    if (w > 0) out << ", ";
+    out << view.worker_queue_depths[w];
+  }
+  out << "],\n";
+  out << "    \"stats\": {\"campaigns_completed\": "
+      << view.stats.campaigns_completed
+      << ", \"evictions\": " << view.stats.evictions
+      << ", \"rehydrations\": " << view.stats.rehydrations
+      << ", \"steps_completed\": " << view.stats.steps_completed
+      << ", \"blocks_run\": " << view.stats.blocks_run
+      << ", \"blocks_stolen\": " << view.stats.blocks_stolen
+      << ", \"max_step_gap\": " << view.stats.max_step_gap
+      << ", \"peak_resident\": " << view.stats.peak_resident
+      << ", \"peak_resident_bytes\": " << view.stats.peak_resident_bytes
+      << "},\n";
+  out << "    \"campaigns\": [";
+  for (std::size_t j = 0; j < view.campaigns.size(); ++j) {
+    const CampaignStatus& status = view.campaigns[j];
+    if (j > 0) out << ",";
+    out << "\n      {\"id\": \"" << util::json_escape(status.id)
+        << "\", \"state\": \"" << to_string(status.state)
+        << "\", \"record\": " << (status.is_record ? "true" : "false")
+        << ", \"traces_done\": " << status.traces_done
+        << ", \"traces_total\": " << status.traces_total
+        << ", \"steps\": " << status.steps
+        << ", \"evictions\": " << status.evictions
+        << ", \"step_gap\": " << status.step_gap
+        << ", \"approx_bytes\": " << status.approx_bytes << "}";
+  }
+  out << (view.campaigns.empty() ? "]\n" : "\n    ]\n");
+  out << "  }";
+  return out.str();
+}
+
+HealthSnapshot CampaignService::health() const {
+  Impl& impl = *impl_;
+  HealthSnapshot snapshot;
+  const std::size_t total = impl.jobs.size();
+  const std::size_t done = impl.jobs_done.load(std::memory_order_acquire);
+  snapshot.jobs_remaining = total > done ? total - done : 0;
+  if (impl.draining.load(std::memory_order_acquire) &&
+      snapshot.jobs_remaining > 0) {
+    const std::uint64_t last =
+        impl.last_progress_ns.load(std::memory_order_relaxed);
+    const std::uint64_t now = now_ns();
+    snapshot.ns_since_progress = now > last ? now - last : 0;
+  }
+  return snapshot;
 }
 
 }  // namespace leakydsp::serve

@@ -141,6 +141,51 @@ struct ServiceStats {
   std::size_t peak_resident_bytes = 0;
 };
 
+/// Lifecycle of one job as seen by live introspection (/statusz).
+enum class CampaignState : std::uint8_t {
+  kQueued,    ///< waiting for a residency slot, no progress yet
+  kResident,  ///< hydrated, its blocks are in the worker deques
+  kEvicted,   ///< suspended to its durable checkpoint, re-queued
+  kFinished,  ///< outcome recorded
+};
+
+std::string to_string(CampaignState state);
+
+/// Point-in-time view of one job.
+struct CampaignStatus {
+  std::string id;
+  CampaignState state = CampaignState::kQueued;
+  bool is_record = false;
+  std::size_t traces_done = 0;
+  std::size_t traces_total = 0;  ///< 0 until the job was first admitted
+  std::size_t steps = 0;
+  std::size_t evictions = 0;
+  /// Globally completed steps since this campaign last completed one
+  /// (resident campaigns only; the live form of ServiceStats::max_step_gap).
+  std::size_t step_gap = 0;
+  std::size_t approx_bytes = 0;  ///< budget charge while resident
+};
+
+/// Point-in-time view of the whole service: what /statusz renders.
+struct ServiceIntrospection {
+  bool draining = false;
+  std::size_t jobs_total = 0;
+  std::size_t jobs_done = 0;
+  std::size_t resident = 0;
+  std::size_t pending = 0;
+  std::size_t resident_bytes = 0;
+  std::vector<std::size_t> worker_queue_depths;
+  ServiceStats stats;                    ///< live (mid-drain) totals
+  std::vector<CampaignStatus> campaigns; ///< enqueue order
+};
+
+/// Stall probe for /healthz: how much work remains and how long ago the
+/// last block completed.
+struct HealthSnapshot {
+  std::size_t jobs_remaining = 0;
+  std::uint64_t ns_since_progress = 0;
+};
+
 /// The service. Typical use:
 ///   CampaignService service(config);
 ///   for (auto& job : jobs) service.enqueue(std::move(job));
@@ -166,6 +211,19 @@ class CampaignService {
 
   /// Statistics of the completed drain().
   const ServiceStats& stats() const;
+
+  /// Point-in-time view of the scheduler, safe to call from any thread at
+  /// any moment (including mid-drain): a lock-protected read that never
+  /// perturbs scheduling decisions or results.
+  ServiceIntrospection introspect() const;
+
+  /// introspect() rendered as the /statusz "service" JSON fragment.
+  std::string statusz_json() const;
+
+  /// Stall probe for /healthz. ns_since_progress is 0 until drain()
+  /// starts; afterwards it measures from the last completed block (or the
+  /// drain start while the first block is still running).
+  HealthSnapshot health() const;
 
  private:
   struct Impl;

@@ -1,0 +1,210 @@
+#include "util/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace leakydsp::util {
+
+namespace {
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+/// Row identity: the concatenation of every string-valued field, in
+/// insertion order. Benches key their rows with strings (section, grid,
+/// variant) and measure with numbers, so this needs no per-bench schema.
+std::string row_key(const JsonValue::Object& row) {
+  std::string key;
+  for (const auto& [name, value] : row) {
+    if (!value.is_string()) continue;
+    if (!key.empty()) key += "|";
+    key += name + "=" + value.as_string();
+  }
+  return key.empty() ? "<unkeyed>" : key;
+}
+
+bool matches_any(const std::string& field,
+                 const std::vector<std::string>& patterns) {
+  return std::any_of(patterns.begin(), patterns.end(),
+                     [&](const std::string& p) {
+                       return field.find(p) != std::string::npos;
+                     });
+}
+
+double tolerance_for(const std::string& field, const BenchDiffOptions& opts) {
+  for (const auto& [pattern, tol] : opts.field_tols) {
+    if (field.find(pattern) != std::string::npos) return tol;
+  }
+  return opts.rel_tol;
+}
+
+/// Compares every numeric/bool field of `base` against `cand` (string
+/// fields are the identity and never diffed; candidate-only fields are
+/// ignored). Appends deltas and errors to `result`.
+void diff_row(const std::string& key, const JsonValue::Object& base,
+              const JsonValue& cand, const BenchDiffOptions& opts,
+              BenchDiffResult& result) {
+  ++result.rows_compared;
+  for (const auto& [field, base_value] : base) {
+    if (!base_value.is_number() && !base_value.is_bool()) continue;
+    if (matches_any(field, opts.ignore_fields)) continue;
+    const JsonValue* cand_value = cand.find(field);
+    if (cand_value == nullptr) {
+      result.errors.push_back("row '" + key + "': candidate is missing field '" +
+                              field + "'");
+      result.pass = false;
+      continue;
+    }
+    BenchDelta delta;
+    delta.row = key;
+    delta.field = field;
+    delta.tolerance = tolerance_for(field, opts);
+    if (base_value.is_bool()) {
+      if (!cand_value->is_bool()) {
+        result.errors.push_back("row '" + key + "': field '" + field +
+                                "' changed type");
+        result.pass = false;
+        continue;
+      }
+      delta.baseline = base_value.as_bool() ? 1.0 : 0.0;
+      delta.candidate = cand_value->as_bool() ? 1.0 : 0.0;
+      delta.rel_change = delta.baseline == delta.candidate ? 0.0 : 1.0;
+      delta.regression = delta.baseline != delta.candidate;
+    } else {
+      if (!cand_value->is_number()) {
+        result.errors.push_back("row '" + key + "': field '" + field +
+                                "' changed type");
+        result.pass = false;
+        continue;
+      }
+      delta.baseline = base_value.as_number();
+      delta.candidate = cand_value->as_number();
+      delta.rel_change = std::abs(delta.candidate - delta.baseline) /
+                         std::max(std::abs(delta.baseline), 1e-12);
+      delta.regression = delta.rel_change > delta.tolerance;
+    }
+    if (delta.regression) result.pass = false;
+    ++result.fields_compared;
+    result.deltas.push_back(std::move(delta));
+  }
+}
+
+}  // namespace
+
+BenchDiffResult diff_bench_reports(const JsonValue& baseline,
+                                   const JsonValue& candidate,
+                                   const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  if (!baseline.is_object() || !candidate.is_object()) {
+    result.errors.push_back("both reports must be JSON objects");
+    result.pass = false;
+    return result;
+  }
+
+  const JsonValue* base_name = baseline.find("bench");
+  const JsonValue* cand_name = candidate.find("bench");
+  if (base_name != nullptr && cand_name != nullptr &&
+      base_name->is_string() && cand_name->is_string() &&
+      base_name->as_string() != cand_name->as_string()) {
+    result.errors.push_back("bench mismatch: baseline is '" +
+                            base_name->as_string() + "', candidate is '" +
+                            cand_name->as_string() + "'");
+    result.pass = false;
+    return result;
+  }
+
+  if (options.compare_metrics) {
+    const JsonValue* base_metrics = baseline.find("metrics");
+    const JsonValue* cand_metrics = candidate.find("metrics");
+    if (base_metrics != nullptr && base_metrics->is_object()) {
+      if (cand_metrics == nullptr || !cand_metrics->is_object()) {
+        result.errors.push_back("candidate is missing the metrics block");
+        result.pass = false;
+      } else {
+        diff_row("metrics", base_metrics->as_object(), *cand_metrics, options,
+                 result);
+      }
+    }
+  }
+
+  const JsonValue* base_results = baseline.find("results");
+  const JsonValue* cand_results = candidate.find("results");
+  if (base_results == nullptr || !base_results->is_array()) {
+    result.errors.push_back("baseline has no results array");
+    result.pass = false;
+    return result;
+  }
+  if (cand_results == nullptr || !cand_results->is_array()) {
+    result.errors.push_back("candidate has no results array");
+    result.pass = false;
+    return result;
+  }
+
+  // Index candidate rows by identity. Duplicate keys keep the first — the
+  // benches here never emit duplicates, and first-match is deterministic.
+  std::vector<std::pair<std::string, const JsonValue*>> cand_rows;
+  for (const JsonValue& row : cand_results->as_array()) {
+    if (!row.is_object()) continue;
+    cand_rows.emplace_back(row_key(row.as_object()), &row);
+  }
+
+  for (const JsonValue& row : base_results->as_array()) {
+    if (!row.is_object()) {
+      result.errors.push_back("baseline results contain a non-object row");
+      result.pass = false;
+      continue;
+    }
+    const std::string key = row_key(row.as_object());
+    const auto it =
+        std::find_if(cand_rows.begin(), cand_rows.end(),
+                     [&](const auto& kv) { return kv.first == key; });
+    if (it == cand_rows.end()) {
+      if (!options.allow_missing_rows) {
+        result.errors.push_back("candidate is missing row '" + key + "'");
+        result.pass = false;
+      }
+      continue;
+    }
+    diff_row(key, row.as_object(), *it->second, options, result);
+  }
+  return result;
+}
+
+std::string BenchDiffResult::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"pass\": " << (pass ? "true" : "false") << ",\n";
+  out << "  \"rows_compared\": " << rows_compared << ",\n";
+  out << "  \"fields_compared\": " << fields_compared << ",\n";
+  out << "  \"errors\": [";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << json_escape(errors[i]) << "\"";
+  }
+  out << (errors.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"regressions\": [";
+  bool first = true;
+  for (const BenchDelta& delta : deltas) {
+    if (!delta.regression) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"row\": \"" << json_escape(delta.row) << "\", \"field\": \""
+        << json_escape(delta.field)
+        << "\", \"baseline\": " << format_double(delta.baseline)
+        << ", \"candidate\": " << format_double(delta.candidate)
+        << ", \"rel_change\": " << format_double(delta.rel_change)
+        << ", \"tolerance\": " << format_double(delta.tolerance) << "}";
+  }
+  out << (first ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace leakydsp::util

@@ -1,0 +1,69 @@
+// Structural regression gate over two BENCH_*.json reports (bench_json.h
+// emits them, tools/leakydsp_benchdiff drives this): rows are matched by
+// the concatenation of their string-valued fields (section, grid, variant,
+// ... — whatever the bench chose as identity), numeric fields are compared
+// under configurable relative tolerances, and the verdict is available
+// both as a flat delta list and as machine-readable JSON for CI.
+//
+// The `host` block is never compared — reports from different machines
+// are not like for like, and the caller decides which fields (wall times,
+// peak RSS) to ignore instead. Candidate-only fields and rows are ignored
+// too: a grown bench must not fail the gate for measuring more.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leakydsp::util {
+
+class JsonValue;
+
+struct BenchDiffOptions {
+  /// Default relative tolerance: |candidate - baseline| / max(|baseline|,
+  /// 1e-12) must not exceed this.
+  double rel_tol = 0.10;
+  /// Per-field overrides, matched by substring against the field name;
+  /// first match wins, falling back to rel_tol.
+  std::vector<std::pair<std::string, double>> field_tols;
+  /// Fields skipped entirely (substring match) — wall-clock noise like
+  /// "_ms" or "peak_rss" when gating across machines.
+  std::vector<std::string> ignore_fields;
+  /// Compare the top-level `metrics` block too (same tolerances).
+  bool compare_metrics = true;
+  /// Tolerate baseline rows absent from the candidate (shrunk sweeps)
+  /// instead of failing structurally.
+  bool allow_missing_rows = false;
+};
+
+/// One compared value.
+struct BenchDelta {
+  std::string row;    ///< row identity, or "metrics" for the metrics block
+  std::string field;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_change = 0.0;
+  double tolerance = 0.0;
+  bool regression = false;  ///< |rel_change| exceeded tolerance
+};
+
+struct BenchDiffResult {
+  bool pass = true;
+  std::vector<std::string> errors;  ///< structural problems
+  std::vector<BenchDelta> deltas;   ///< every compared field, in row order
+  std::size_t rows_compared = 0;
+  std::size_t fields_compared = 0;
+
+  /// Machine-readable verdict: {"pass": ..., "errors": [...],
+  /// "regressions": [...], "rows_compared": ..., "fields_compared": ...}.
+  std::string to_json() const;
+};
+
+/// Diffs two parsed bench reports. Both must be objects with a "results"
+/// array of flat rows; malformed shapes land in `errors` (never throws for
+/// shape problems the caller can't prevent).
+BenchDiffResult diff_bench_reports(const JsonValue& baseline,
+                                   const JsonValue& candidate,
+                                   const BenchDiffOptions& options);
+
+}  // namespace leakydsp::util

@@ -1,0 +1,334 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace leakydsp::util {
+
+JsonValue JsonValue::null() { return {}; }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(Array a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::object(Object o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  LD_REQUIRE(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  LD_REQUIRE(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  LD_REQUIRE(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  LD_REQUIRE(is_array(), "JSON value is not an array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  LD_REQUIRE(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  LD_REQUIRE(is_object(), "find() on a non-object JSON value");
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    LD_REQUIRE(pos_ == text_.size(),
+               "trailing garbage at byte " << pos_ << " of JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    LD_REQUIRE(false, "JSON parse error at byte " << pos_ << ": " << what);
+    __builtin_unreachable();
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return JsonValue::object(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return JsonValue::array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by any emitter in this repo; reject them loudly).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace leakydsp::util

@@ -1,0 +1,71 @@
+// Minimal JSON tree: parse and query, no serialization framework. Grown
+// for the bench-regression gate (tools/leakydsp_benchdiff structurally
+// diffs two BENCH_*.json reports) and reused by the /statusz renderer for
+// string escaping. Objects preserve insertion order — BENCH reports are
+// ordered documents and the diff output should read like them.
+//
+// The parser accepts standard JSON (objects, arrays, strings with the
+// usual escapes incl. \uXXXX, numbers, true/false/null) and throws
+// util::PreconditionError with byte-offset context on malformed input.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace leakydsp::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double n);
+  static JsonValue string(std::string s);
+  static JsonValue array(Array a);
+  static JsonValue object(Object o);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each throws util::PreconditionError on a kind
+  /// mismatch so diff code can rely on the shape it validated.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// First member named `key` of an object (nullptr when absent; throws
+  /// when this is not an object).
+  const JsonValue* find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). Throws util::PreconditionError on malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslash, control characters; no surrounding quotes added).
+std::string json_escape(std::string_view s);
+
+}  // namespace leakydsp::util

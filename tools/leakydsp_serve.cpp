@@ -8,16 +8,22 @@
 //   leakydsp_serve --campaigns 64 --resume        # continue a killed run
 //   leakydsp_serve --campaigns 8 --max-resident 2 --budget-mb 4 \
 //                  --quantum 1 --threads 4        # tight-residency smoke
+//   leakydsp_serve --campaigns 64 --metrics-port 9090
+//       # live /metrics, /statusz and /healthz on 127.0.0.1:9090 while
+//       # draining (--metrics-port 0 picks an ephemeral port and prints it)
 //
 // Every campaign's result is byte-identical to a standalone
 // TraceCampaign::run of the same spec, whatever the scheduling. Exit
 // status 0 iff every campaign drained without error.
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "serve/campaign_service.h"
 #include "serve/standard_jobs.h"
@@ -49,7 +55,8 @@ int main(int argc, char** argv) {
     const util::Cli cli(argc, argv,
                         {"campaigns", "traces", "seed", "threads",
                          "max-resident", "budget-mb", "quantum",
-                         "checkpoint-dir", "resume!"},
+                         "checkpoint-dir", "resume!", "metrics-port",
+                         "metrics-host", "stall-deadline-ms"},
                         obs::cli_options());
     const std::string trace_out = obs::apply_cli(cli);
     const auto campaigns =
@@ -75,6 +82,33 @@ int main(int argc, char** argv) {
     config.checkpoint_dir = checkpoint_dir;
 
     serve::CampaignService service(config);
+
+    // Optional live exposition: /metrics, /statusz and /healthz answer for
+    // the whole drain, reading only lock-protected snapshots — results stay
+    // byte-identical whether or not anyone scrapes.
+    std::unique_ptr<obs::ExpositionServer> metrics_server;
+    if (cli.has("metrics-port")) {
+      obs::ExpositionConfig metrics_config;
+      metrics_config.bind_address = cli.get_string("metrics-host", "127.0.0.1");
+      metrics_config.port =
+          static_cast<std::uint16_t>(cli.get_int("metrics-port", 0));
+      metrics_config.stall_deadline =
+          std::chrono::milliseconds(cli.get_int("stall-deadline-ms", 10000));
+      metrics_server =
+          std::make_unique<obs::ExpositionServer>(std::move(metrics_config));
+      metrics_server->set_status_provider(
+          [&service] { return service.statusz_json(); });
+      metrics_server->set_health_provider([&service] {
+        const serve::HealthSnapshot health = service.health();
+        return obs::HealthProbe{health.jobs_remaining,
+                                health.ns_since_progress};
+      });
+      std::cout << "metrics: http://" << cli.get_string("metrics-host",
+                                                        "127.0.0.1")
+                << ":" << metrics_server->port()
+                << "  (/metrics /statusz /healthz)\n";
+    }
+
     std::size_t resumed = 0;
     for (std::size_t i = 0; i < campaigns; ++i) {
       const serve::StandardCampaignSpec spec =
@@ -124,6 +158,11 @@ int main(int argc, char** argv) {
               << stats.rehydrations << " rehydrations, "
               << stats.blocks_stolen << " blocks stolen, peak "
               << stats.peak_resident << " resident\n";
+    if (metrics_server) {
+      std::cout << "metrics: served " << metrics_server->requests_served()
+                << " request(s)\n";
+      metrics_server->stop();
+    }
     obs::write_trace_out(trace_out);
     // Every campaign finished: its checkpoint is consumed state, and
     // leaving it behind would make a later --resume of the same seeds
