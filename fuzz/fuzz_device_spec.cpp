@@ -1,0 +1,10 @@
+// libFuzzer target for the JSON -> DeviceSpec parser and generator.
+#include <cstddef>
+#include <cstdint>
+
+#include "harness/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return leakydsp::fuzz::fuzz_device_spec(data, size);
+}

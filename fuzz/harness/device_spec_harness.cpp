@@ -1,0 +1,43 @@
+#include <string>
+
+#include "fabric/device.h"
+#include "fabric/device_spec.h"
+#include "harness/harness.h"
+#include "pdn/grid.h"
+
+namespace leakydsp::fuzz {
+
+int fuzz_device_spec(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  namespace fb = leakydsp::fabric;
+  try {
+    const fb::DeviceSpec spec = fb::parse_device_spec(text);
+    const fb::Device device = fb::generate_device(spec);
+
+    // Bounded queries only: the spec caps dims at 4096, so per-column
+    // work is fine but whole-die site enumeration is not.
+    (void)device.site_type({0, 0});
+    (void)device.site_type({device.width() - 1, device.height() - 1});
+    (void)device.clock_region(1);
+    (void)device.clock_region(
+        static_cast<int>(device.clock_regions().size()));
+    for (const fb::SiteType type :
+         {fb::SiteType::kClb, fb::SiteType::kDsp, fb::SiteType::kBram,
+          fb::SiteType::kIo}) {
+      (void)device.total_sites(type);
+    }
+    (void)device.sites_of_type(fb::SiteType::kDsp,
+                               fb::Rect{0, 0, 7, 7});
+    (void)pdn::params_from_pad_spec(spec.pads);
+
+    // A parsed spec must survive the round trip: emit and re-parse.
+    const fb::DeviceSpec again =
+        fb::parse_device_spec(fb::spec_to_json(spec));
+    (void)(again == spec);
+  } catch (const fb::SpecError&) {
+    // Malformed JSON, unknown keys, out-of-domain values.
+  }
+  return 0;
+}
+
+}  // namespace leakydsp::fuzz

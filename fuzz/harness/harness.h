@@ -31,4 +31,11 @@ int fuzz_checkpoint(const std::uint8_t* data, std::size_t size);
 /// util::PreconditionError. Returns 0 always.
 int fuzz_cli(const std::uint8_t* data, std::size_t size);
 
+/// Parses `data` as a JSON device spec, expands it with generate_device,
+/// and drives bounded floorplan queries (site types, clock regions,
+/// per-type counts, PDN params). Malformed or out-of-domain input must
+/// raise fabric::SpecError; a valid spec round-trips through
+/// spec_to_json. Returns 0 always.
+int fuzz_device_spec(const std::uint8_t* data, std::size_t size);
+
 }  // namespace leakydsp::fuzz

@@ -794,6 +794,20 @@ void TraceCampaign::finalize_state(RunState& state) const {
       state.poi_sum / (static_cast<double>(state.result.traces_run) *
                        static_cast<double>(poi_count_));
   state.completed = true;
+  attach_final_scores(state);
+}
+
+void TraceCampaign::attach_final_scores(RunState& state) const {
+  if (!config_.keep_final_scores || !state.result.final_scores.empty()) {
+    return;
+  }
+  const auto scores = state.cpa.snapshot();
+  state.result.final_scores.reserve(scores.size() * 256);
+  for (const auto& byte_scores : scores) {
+    state.result.final_scores.insert(state.result.final_scores.end(),
+                                     byte_scores.score.begin(),
+                                     byte_scores.score.end());
+  }
 }
 
 void TraceCampaign::suspend(const Task& task) const {
@@ -811,6 +825,9 @@ CampaignResult TraceCampaign::take_result(Task&& task) const {
     finalize_state(state);
     if (!config_.checkpoint_dir.empty()) write_checkpoint(state);
   }
+  // A state rehydrated from an already-completed checkpoint skipped
+  // finalize_state, and the serialized result never carries the scores.
+  attach_final_scores(state);
   return std::move(state.result);
 }
 
@@ -850,7 +867,10 @@ CampaignResult TraceCampaign::resume(bool stop_when_broken) {
   OBS_LOG(obs::LogLevel::kInfo, "campaign", "resumed from checkpoint",
           obs::f("dir", config_.checkpoint_dir), obs::f("traces", state.t),
           obs::f("completed", state.completed));
-  if (state.completed) return state.result;
+  if (state.completed) {
+    attach_final_scores(state);
+    return state.result;
+  }
   return run_loop(state, stop_when_broken);
 }
 

@@ -1,7 +1,9 @@
 #include "fabric/device.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "fabric/device_spec.h"
 #include "util/contracts.h"
 
 namespace leakydsp::fabric {
@@ -31,15 +33,16 @@ std::string to_string(SiteType type) {
 }
 
 Device::Device(Architecture arch, std::string name, int width, int height,
-               std::vector<int> dsp_columns, std::vector<int> bram_columns,
-               int region_cols, int region_rows)
+               std::vector<SiteType> column_types, int region_cols,
+               int region_rows)
     : arch_(arch),
       name_(std::move(name)),
       width_(width),
       height_(height),
-      dsp_columns_(std::move(dsp_columns)),
-      bram_columns_(std::move(bram_columns)) {
+      column_types_(std::move(column_types)) {
   LD_REQUIRE(width_ > 0 && height_ > 0, "empty die");
+  LD_REQUIRE(column_types_.size() == static_cast<std::size_t>(width_),
+             "need one column type per column");
   LD_REQUIRE(width_ % region_cols == 0 && height_ % region_rows == 0,
              "die does not tile into clock regions");
   const int rw = width_ / region_cols;
@@ -55,47 +58,29 @@ Device::Device(Architecture arch, std::string name, int width, int height,
   }
 }
 
-Device Device::basys3() {
-  return Device(Architecture::kSeries7, "Basys3 (XC7A35T-like)",
-                /*width=*/60, /*height=*/60,
-                /*dsp_columns=*/{16, 36, 52}, /*bram_columns=*/{8, 28, 44},
-                /*region_cols=*/2, /*region_rows=*/3);
-}
+Device Device::basys3() { return generate_device(basys3_spec()); }
 
-Device Device::axu3egb() {
-  return Device(Architecture::kUltraScalePlus, "AXU3EGB (ZU3EG-like)",
-                /*width=*/84, /*height=*/72,
-                /*dsp_columns=*/{14, 34, 54, 74},
-                /*bram_columns=*/{8, 26, 46, 66},
-                /*region_cols=*/2, /*region_rows=*/3);
-}
+Device Device::axu3egb() { return generate_device(axu3egb_spec()); }
 
-Device Device::aws_f1() {
-  return Device(Architecture::kUltraScalePlus, "AWS F1 (VU9P-like)",
-                /*width=*/120, /*height=*/96,
-                /*dsp_columns=*/{14, 34, 54, 74, 94, 114},
-                /*bram_columns=*/{8, 28, 48, 68, 88, 108},
-                /*region_cols=*/2, /*region_rows=*/6);
-}
+Device Device::aws_f1() { return generate_device(aws_f1_spec()); }
 
 SiteType Device::site_type(SiteCoord p) const {
-  LD_REQUIRE(contains(p), "site (" << p.x << "," << p.y << ") outside die");
-  if (p.x == 0 || p.x == width_ - 1) return SiteType::kIo;
-  if (std::find(dsp_columns_.begin(), dsp_columns_.end(), p.x) !=
-      dsp_columns_.end()) {
-    return SiteType::kDsp;
+  if (!contains(p)) {
+    std::ostringstream oss;
+    oss << "site (" << p.x << "," << p.y << ") outside the " << width_ << "x"
+        << height_ << " die of " << name_;
+    throw FabricError(oss.str());
   }
-  if (std::find(bram_columns_.begin(), bram_columns_.end(), p.x) !=
-      bram_columns_.end()) {
-    return SiteType::kBram;
-  }
-  return SiteType::kClb;
+  return column_types_[static_cast<std::size_t>(p.x)];
 }
 
 const ClockRegion& Device::clock_region(int index) const {
-  LD_REQUIRE(index >= 1 && index <= static_cast<int>(regions_.size()),
-             "clock region " << index << " out of range 1.."
-                             << regions_.size());
+  if (index < 1 || index > static_cast<int>(regions_.size())) {
+    std::ostringstream oss;
+    oss << "clock region " << index << " out of range 1.." << regions_.size()
+        << " on " << name_;
+    throw FabricError(oss.str());
+  }
   return regions_[static_cast<std::size_t>(index - 1)];
 }
 
@@ -108,16 +93,16 @@ std::vector<SiteCoord> Device::sites_of_type(SiteType type,
   const int x1 = std::min(rect.x1, width_ - 1);
   const int y1 = std::min(rect.y1, height_ - 1);
   for (int x = x0; x <= x1; ++x) {
-    for (int y = y0; y <= y1; ++y) {
-      const SiteCoord p{x, y};
-      if (site_type(p) == type) out.push_back(p);
-    }
+    if (column_types_[static_cast<std::size_t>(x)] != type) continue;
+    for (int y = y0; y <= y1; ++y) out.push_back(SiteCoord{x, y});
   }
   return out;
 }
 
 std::size_t Device::total_sites(SiteType type) const {
-  return sites_of_type(type, die()).size();
+  const auto columns = static_cast<std::size_t>(
+      std::count(column_types_.begin(), column_types_.end(), type));
+  return columns * static_cast<std::size_t>(height_);
 }
 
 }  // namespace leakydsp::fabric

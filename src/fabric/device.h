@@ -14,8 +14,18 @@
 #include <vector>
 
 #include "fabric/geometry.h"
+#include "util/contracts.h"
 
 namespace leakydsp::fabric {
+
+/// Typed error of the fabric geometry layer: out-of-die site queries,
+/// bad clock-region indices, invalid device specs. Derives from
+/// util::PreconditionError so generic catch sites keep working while
+/// callers (and tests) can assert the precise type.
+class FabricError : public util::PreconditionError {
+ public:
+  using util::PreconditionError::PreconditionError;
+};
 
 /// DSP/IO primitive generation. Determines which hardware primitives a
 /// design may instantiate (DSP48E1+IDELAYE2 vs DSP48E2+IDELAYE3).
@@ -43,8 +53,17 @@ struct ClockRegion {
   Rect bounds;
 };
 
+struct DeviceSpec;
+class Device;
+
+/// Expands a parametric DeviceSpec into a Device (see device_spec.h).
+Device generate_device(const DeviceSpec& spec);
+
 /// Immutable device floorplan: a grid of typed sites partitioned into clock
-/// regions. Construct via the named factories.
+/// regions. Construct via the named factories or generate_device() — the
+/// factories are themselves thin wrappers over the named specs in
+/// device_spec.h, pinned byte-identical to the historical hand-built
+/// floorplans by the fabric.generated_vs_hardcoded oracle.
 class Device {
  public:
   /// Basys3's XC7A35T-like floorplan: 60x60 sites, 6 clock regions (2x3),
@@ -69,13 +88,16 @@ class Device {
 
   bool contains(SiteCoord p) const { return die().contains(p); }
 
-  /// Type of the site at `p`. Throws when outside the die.
+  /// Type of the site at `p`. O(1): the die is column-striped, so the
+  /// type is a per-column lookup. Throws FabricError (with the offending
+  /// coordinates in the message) when `p` lies outside the die.
   SiteType site_type(SiteCoord p) const;
 
   /// All clock regions, ordered by index (1..6).
   const std::vector<ClockRegion>& clock_regions() const { return regions_; }
 
-  /// Clock region by 1-based index; throws on bad index.
+  /// Clock region by 1-based index; throws FabricError (naming the index
+  /// and the valid range) on a bad index.
   const ClockRegion& clock_region(int index) const;
 
   /// Sites of a given type inside `rect` (clipped to the die).
@@ -85,16 +107,19 @@ class Device {
   std::size_t total_sites(SiteType type) const;
 
  private:
+  friend Device generate_device(const DeviceSpec& spec);
+
+  /// `column_types` carries one resolved SiteType per column (size ==
+  /// width); the constructor only assembles the clock-region tiling.
   Device(Architecture arch, std::string name, int width, int height,
-         std::vector<int> dsp_columns, std::vector<int> bram_columns,
-         int region_cols, int region_rows);
+         std::vector<SiteType> column_types, int region_cols,
+         int region_rows);
 
   Architecture arch_;
   std::string name_;
   int width_;
   int height_;
-  std::vector<int> dsp_columns_;
-  std::vector<int> bram_columns_;
+  std::vector<SiteType> column_types_;
   std::vector<ClockRegion> regions_;
 };
 

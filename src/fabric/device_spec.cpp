@@ -1,0 +1,419 @@
+#include "fabric/device_spec.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace leakydsp::fabric {
+
+namespace {
+
+// Domain bounds. The caps bound the work a hostile spec can demand from
+// generate_device (O(width) resolution, O(regions) tiling) — the fuzz
+// harness runs arbitrary parsed specs through it.
+constexpr int kMinDim = 4;
+constexpr int kMaxDim = 4096;
+constexpr int kMaxRegionsPerAxis = 64;
+constexpr std::size_t kMaxColumnRules = 64;
+
+[[noreturn]] void spec_fail(const std::string& message) {
+  throw SpecError("device spec: " + message);
+}
+
+int nodes_along(int sites, int pitch) { return (sites + pitch - 1) / pitch; }
+
+const char* type_token(SiteType type) {
+  switch (type) {
+    case SiteType::kDsp:
+      return "dsp";
+    case SiteType::kBram:
+      return "bram";
+    case SiteType::kIo:
+      return "io";
+    case SiteType::kClb:
+      return "clb";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void validate_spec(const DeviceSpec& spec) {
+  if (spec.name.empty()) spec_fail("name must be non-empty");
+  if (spec.width < kMinDim || spec.width > kMaxDim) {
+    std::ostringstream oss;
+    oss << "width = " << spec.width << " outside [" << kMinDim << ", "
+        << kMaxDim << "]";
+    spec_fail(oss.str());
+  }
+  if (spec.height < kMinDim || spec.height > kMaxDim) {
+    std::ostringstream oss;
+    oss << "height = " << spec.height << " outside [" << kMinDim << ", "
+        << kMaxDim << "]";
+    spec_fail(oss.str());
+  }
+  if (spec.region_cols < 1 || spec.region_cols > kMaxRegionsPerAxis) {
+    std::ostringstream oss;
+    oss << "regions.cols = " << spec.region_cols << " outside [1, "
+        << kMaxRegionsPerAxis << "]";
+    spec_fail(oss.str());
+  }
+  if (spec.region_rows < 1 || spec.region_rows > kMaxRegionsPerAxis) {
+    std::ostringstream oss;
+    oss << "regions.rows = " << spec.region_rows << " outside [1, "
+        << kMaxRegionsPerAxis << "]";
+    spec_fail(oss.str());
+  }
+  if (spec.width % spec.region_cols != 0) {
+    std::ostringstream oss;
+    oss << "regions.cols = " << spec.region_cols
+        << " does not divide width = " << spec.width;
+    spec_fail(oss.str());
+  }
+  if (spec.height % spec.region_rows != 0) {
+    std::ostringstream oss;
+    oss << "regions.rows = " << spec.region_rows
+        << " does not divide height = " << spec.height;
+    spec_fail(oss.str());
+  }
+  if (spec.columns.size() > kMaxColumnRules) {
+    std::ostringstream oss;
+    oss << "columns has " << spec.columns.size() << " rules, max "
+        << kMaxColumnRules;
+    spec_fail(oss.str());
+  }
+  for (std::size_t i = 0; i < spec.columns.size(); ++i) {
+    const ColumnRule& rule = spec.columns[i];
+    if (rule.type == SiteType::kClb) {
+      std::ostringstream oss;
+      oss << "columns[" << i
+          << "].type = clb (CLB is the background type, not a rule)";
+      spec_fail(oss.str());
+    }
+    if (rule.phase < 0 || rule.phase >= spec.width) {
+      std::ostringstream oss;
+      oss << "columns[" << i << "].phase = " << rule.phase << " outside [0, "
+          << spec.width << ")";
+      spec_fail(oss.str());
+    }
+    if (rule.period < 0) {
+      std::ostringstream oss;
+      oss << "columns[" << i << "].period = " << rule.period
+          << " must be >= 0 (0 = single column at phase)";
+      spec_fail(oss.str());
+    }
+  }
+  const PadSpec& pads = spec.pads;
+  if (pads.node_pitch < 1 ||
+      pads.node_pitch > std::min(spec.width, spec.height)) {
+    std::ostringstream oss;
+    oss << "pads.node_pitch = " << pads.node_pitch << " outside [1, "
+        << std::min(spec.width, spec.height) << "]";
+    spec_fail(oss.str());
+  }
+  if (pads.bottom_stride < 1 || pads.top_stride < 1) {
+    std::ostringstream oss;
+    oss << "pad strides must be >= 1 (bottom_stride = " << pads.bottom_stride
+        << ", top_stride = " << pads.top_stride << ")";
+    spec_fail(oss.str());
+  }
+  const int nx = nodes_along(spec.width, pads.node_pitch);
+  if (pads.left_column < 0 || pads.left_column >= nx) {
+    std::ostringstream oss;
+    oss << "pads.left_column = " << pads.left_column << " outside [0, " << nx
+        << ") node columns";
+    spec_fail(oss.str());
+  }
+  // Every clock-region row band must span >= 2 PDN node rows: the left
+  // pad column places a pad on every other node row, so a 2-row band is
+  // guaranteed a pad — the "pad set non-empty per region" invariant the
+  // fabric.spec_invariants oracle checks.
+  const int band_height = spec.height / spec.region_rows;
+  if (band_height < 2 * pads.node_pitch) {
+    std::ostringstream oss;
+    oss << "clock-region row height " << band_height << " must be >= 2 * "
+        << "pads.node_pitch = " << 2 * pads.node_pitch
+        << " so every region band contains a PDN pad row";
+    spec_fail(oss.str());
+  }
+}
+
+std::vector<SiteType> resolve_column_types(const DeviceSpec& spec) {
+  std::vector<SiteType> types(static_cast<std::size_t>(spec.width),
+                              SiteType::kClb);
+  // Later writes must not override earlier ones (first matching rule
+  // wins), so apply rules in reverse and the IO edges last.
+  for (std::size_t r = spec.columns.size(); r-- > 0;) {
+    const ColumnRule& rule = spec.columns[r];
+    if (rule.period == 0) {
+      types[static_cast<std::size_t>(rule.phase)] = rule.type;
+    } else {
+      for (int x = rule.phase; x < spec.width; x += rule.period) {
+        types[static_cast<std::size_t>(x)] = rule.type;
+      }
+    }
+  }
+  if (spec.io_edges) {
+    types.front() = SiteType::kIo;
+    types.back() = SiteType::kIo;
+  }
+  return types;
+}
+
+Device generate_device(const DeviceSpec& spec) {
+  validate_spec(spec);
+  return Device(spec.arch, spec.name, spec.width, spec.height,
+                resolve_column_types(spec), spec.region_cols,
+                spec.region_rows);
+}
+
+DeviceSpec basys3_spec() {
+  DeviceSpec spec;
+  spec.name = "Basys3 (XC7A35T-like)";
+  spec.arch = Architecture::kSeries7;
+  spec.width = 60;
+  spec.height = 60;
+  spec.region_cols = 2;
+  spec.region_rows = 3;
+  // The real XC7A35T's column placement is irregular (20- and 16-column
+  // gaps), so the legacy columns stay explicit single-column rules.
+  for (const int x : {16, 36, 52}) {
+    spec.columns.push_back({SiteType::kDsp, x, 0});
+  }
+  for (const int x : {8, 28, 44}) {
+    spec.columns.push_back({SiteType::kBram, x, 0});
+  }
+  return spec;
+}
+
+DeviceSpec axu3egb_spec() {
+  DeviceSpec spec;
+  spec.name = "AXU3EGB (ZU3EG-like)";
+  spec.arch = Architecture::kUltraScalePlus;
+  spec.width = 84;
+  spec.height = 72;
+  spec.region_cols = 2;
+  spec.region_rows = 3;
+  // DSP columns repeat every 20 from 14: {14, 34, 54, 74}.
+  spec.columns.push_back({SiteType::kDsp, 14, 20});
+  // BRAM: one odd column at 8, then 26 + 20k: {8, 26, 46, 66}.
+  spec.columns.push_back({SiteType::kBram, 8, 0});
+  spec.columns.push_back({SiteType::kBram, 26, 20});
+  return spec;
+}
+
+DeviceSpec aws_f1_spec() {
+  DeviceSpec spec;
+  spec.name = "AWS F1 (VU9P-like)";
+  spec.arch = Architecture::kUltraScalePlus;
+  spec.width = 120;
+  spec.height = 96;
+  spec.region_cols = 2;
+  spec.region_rows = 6;
+  // Fully periodic: DSP {14, 34, ..., 114}, BRAM {8, 28, ..., 108}.
+  spec.columns.push_back({SiteType::kDsp, 14, 20});
+  spec.columns.push_back({SiteType::kBram, 8, 20});
+  return spec;
+}
+
+// ------------------------------------------------------------ JSON I/O
+
+namespace {
+
+using util::JsonValue;
+
+[[noreturn]] void parse_fail(const std::string& path,
+                             const std::string& message) {
+  spec_fail(path + ": " + message);
+}
+
+int require_int(const JsonValue& value, const std::string& path, int lo,
+                int hi) {
+  if (!value.is_number()) parse_fail(path, "expected a number");
+  const double n = value.as_number();
+  if (std::floor(n) != n || n < static_cast<double>(lo) ||
+      n > static_cast<double>(hi)) {
+    std::ostringstream oss;
+    oss << "expected an integer in [" << lo << ", " << hi << "], got " << n;
+    parse_fail(path, oss.str());
+  }
+  return static_cast<int>(n);
+}
+
+bool require_bool(const JsonValue& value, const std::string& path) {
+  if (!value.is_bool()) parse_fail(path, "expected true or false");
+  return value.as_bool();
+}
+
+const std::string& require_string(const JsonValue& value,
+                                  const std::string& path) {
+  if (!value.is_string()) parse_fail(path, "expected a string");
+  return value.as_string();
+}
+
+const JsonValue::Object& require_object(const JsonValue& value,
+                                        const std::string& path) {
+  if (!value.is_object()) parse_fail(path, "expected an object");
+  return value.as_object();
+}
+
+void reject_unknown_keys(const JsonValue::Object& object,
+                         const std::string& path,
+                         const std::vector<std::string>& known) {
+  for (const auto& [key, value] : object) {
+    bool found = false;
+    for (const auto& k : known) found = found || k == key;
+    if (!found) parse_fail(path, "unknown key \"" + key + "\"");
+  }
+}
+
+Architecture parse_arch(const JsonValue& value, const std::string& path) {
+  const std::string& token = require_string(value, path);
+  if (token == "7-series") return Architecture::kSeries7;
+  if (token == "ultrascale+") return Architecture::kUltraScalePlus;
+  parse_fail(path, "expected \"7-series\" or \"ultrascale+\", got \"" +
+                       token + "\"");
+}
+
+SiteType parse_column_type(const JsonValue& value, const std::string& path) {
+  const std::string& token = require_string(value, path);
+  if (token == "dsp") return SiteType::kDsp;
+  if (token == "bram") return SiteType::kBram;
+  if (token == "io") return SiteType::kIo;
+  parse_fail(path, "expected \"dsp\", \"bram\" or \"io\", got \"" + token +
+                       "\"");
+}
+
+}  // namespace
+
+DeviceSpec parse_device_spec(std::string_view json_text) {
+  JsonValue root;
+  try {
+    root = util::parse_json(json_text);
+  } catch (const SpecError&) {
+    throw;
+  } catch (const util::PreconditionError& e) {
+    // JSON syntax errors fold into the one typed failure mode of the
+    // untrusted spec surface.
+    spec_fail(std::string("malformed JSON — ") + e.what());
+  }
+  const auto& object = require_object(root, "$");
+  reject_unknown_keys(object, "$",
+                      {"name", "arch", "width", "height", "regions",
+                       "io_edges", "columns", "pads"});
+
+  DeviceSpec spec;
+  const JsonValue* name = root.find("name");
+  if (name == nullptr) parse_fail("$", "missing required key \"name\"");
+  spec.name = require_string(*name, "$.name");
+
+  const JsonValue* arch = root.find("arch");
+  if (arch == nullptr) parse_fail("$", "missing required key \"arch\"");
+  spec.arch = parse_arch(*arch, "$.arch");
+
+  const JsonValue* width = root.find("width");
+  if (width == nullptr) parse_fail("$", "missing required key \"width\"");
+  spec.width = require_int(*width, "$.width", kMinDim, kMaxDim);
+
+  const JsonValue* height = root.find("height");
+  if (height == nullptr) parse_fail("$", "missing required key \"height\"");
+  spec.height = require_int(*height, "$.height", kMinDim, kMaxDim);
+
+  if (const JsonValue* regions = root.find("regions")) {
+    const auto& robj = require_object(*regions, "$.regions");
+    reject_unknown_keys(robj, "$.regions", {"cols", "rows"});
+    if (const JsonValue* cols = regions->find("cols")) {
+      spec.region_cols =
+          require_int(*cols, "$.regions.cols", 1, kMaxRegionsPerAxis);
+    }
+    if (const JsonValue* rows = regions->find("rows")) {
+      spec.region_rows =
+          require_int(*rows, "$.regions.rows", 1, kMaxRegionsPerAxis);
+    }
+  }
+
+  if (const JsonValue* io_edges = root.find("io_edges")) {
+    spec.io_edges = require_bool(*io_edges, "$.io_edges");
+  }
+
+  if (const JsonValue* columns = root.find("columns")) {
+    if (!columns->is_array()) parse_fail("$.columns", "expected an array");
+    const auto& rules = columns->as_array();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      std::ostringstream path;
+      path << "$.columns[" << i << "]";
+      const auto& robj = require_object(rules[i], path.str());
+      reject_unknown_keys(robj, path.str(), {"type", "phase", "period"});
+      ColumnRule rule;
+      const JsonValue* type = rules[i].find("type");
+      if (type == nullptr) {
+        parse_fail(path.str(), "missing required key \"type\"");
+      }
+      rule.type = parse_column_type(*type, path.str() + ".type");
+      const JsonValue* phase = rules[i].find("phase");
+      if (phase == nullptr) {
+        parse_fail(path.str(), "missing required key \"phase\"");
+      }
+      rule.phase = require_int(*phase, path.str() + ".phase", 0, kMaxDim - 1);
+      if (const JsonValue* period = rules[i].find("period")) {
+        rule.period = require_int(*period, path.str() + ".period", 0, kMaxDim);
+      }
+      spec.columns.push_back(rule);
+    }
+  }
+
+  if (const JsonValue* pads = root.find("pads")) {
+    const auto& pobj = require_object(*pads, "$.pads");
+    reject_unknown_keys(pobj, "$.pads",
+                        {"node_pitch", "bottom_stride", "top_stride",
+                         "left_column"});
+    if (const JsonValue* pitch = pads->find("node_pitch")) {
+      spec.pads.node_pitch =
+          require_int(*pitch, "$.pads.node_pitch", 1, kMaxDim);
+    }
+    if (const JsonValue* stride = pads->find("bottom_stride")) {
+      spec.pads.bottom_stride =
+          require_int(*stride, "$.pads.bottom_stride", 1, kMaxDim);
+    }
+    if (const JsonValue* stride = pads->find("top_stride")) {
+      spec.pads.top_stride =
+          require_int(*stride, "$.pads.top_stride", 1, kMaxDim);
+    }
+    if (const JsonValue* column = pads->find("left_column")) {
+      spec.pads.left_column =
+          require_int(*column, "$.pads.left_column", 0, kMaxDim);
+    }
+  }
+
+  validate_spec(spec);
+  return spec;
+}
+
+std::string spec_to_json(const DeviceSpec& spec) {
+  std::ostringstream oss;
+  oss << "{\n  \"name\": \"" << util::json_escape(spec.name) << "\",\n"
+      << "  \"arch\": \""
+      << (spec.arch == Architecture::kSeries7 ? "7-series" : "ultrascale+")
+      << "\",\n  \"width\": " << spec.width
+      << ",\n  \"height\": " << spec.height << ",\n  \"regions\": {\"cols\": "
+      << spec.region_cols << ", \"rows\": " << spec.region_rows << "},\n"
+      << "  \"io_edges\": " << (spec.io_edges ? "true" : "false") << ",\n"
+      << "  \"columns\": [";
+  for (std::size_t i = 0; i < spec.columns.size(); ++i) {
+    const ColumnRule& rule = spec.columns[i];
+    oss << (i == 0 ? "\n" : ",\n") << "    {\"type\": \""
+        << type_token(rule.type) << "\", \"phase\": " << rule.phase
+        << ", \"period\": " << rule.period << "}";
+  }
+  oss << (spec.columns.empty() ? "]" : "\n  ]") << ",\n"
+      << "  \"pads\": {\"node_pitch\": " << spec.pads.node_pitch
+      << ", \"bottom_stride\": " << spec.pads.bottom_stride
+      << ", \"top_stride\": " << spec.pads.top_stride
+      << ", \"left_column\": " << spec.pads.left_column << "}\n}\n";
+  return oss.str();
+}
+
+}  // namespace leakydsp::fabric

@@ -1,0 +1,120 @@
+// Parametric floorplan generation (ROADMAP item 3, OpenFPGA-style
+// tileable grids): a DeviceSpec describes a column-striped die — grid
+// dimensions, repeating DSP/BRAM/IO column rules with period + phase,
+// clock-region tiling and the PDN pad placement grid — and
+// generate_device() expands it into an immutable fabric::Device. The
+// three hardcoded boards are named specs (basys3_spec() etc.), pinned
+// byte-identical to their historical floorplans by the
+// fabric.generated_vs_hardcoded differential oracle.
+//
+// Specs also parse from a small JSON format (see parse_device_spec):
+// that is the untrusted surface the fuzz_device_spec harness drives, so
+// every validation failure must surface as the typed SpecError.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fabric/device.h"
+
+namespace leakydsp::fabric {
+
+/// Thrown when a DeviceSpec fails validation or cannot be parsed; the
+/// message names the offending field (and JSON path for parse errors).
+class SpecError : public FabricError {
+ public:
+  using FabricError::FabricError;
+};
+
+/// One column-striping rule: the columns x = phase, phase + period,
+/// phase + 2*period, ... (while x < width) carry `type`. period == 0
+/// places a single column at `phase` — the degenerate case the irregular
+/// legacy boards need. Rules resolve in list order, first match wins;
+/// IO die edges (when enabled) take precedence over every rule, and
+/// columns matched by no rule are CLB background.
+struct ColumnRule {
+  SiteType type = SiteType::kDsp;
+  int phase = 0;
+  int period = 0;
+
+  bool operator==(const ColumnRule&) const = default;
+};
+
+/// PDN pad placement of a generated die, mirroring the pad-layout fields
+/// of pdn::PdnParams (fabric cannot depend on pdn, so the spec carries
+/// plain values and pdn::params_from_pad_spec applies them). Pads sit on
+/// the bottom and top node rows at the given strides plus one full
+/// column of pads (every other node row) at `left_column`.
+struct PadSpec {
+  int node_pitch = 4;     ///< die sites per PDN mesh node (each axis)
+  int bottom_stride = 2;  ///< bottom-row pad column stride [nodes]
+  int top_stride = 5;     ///< top-row pad column stride [nodes]
+  int left_column = 1;    ///< node column carrying the left pad stack
+
+  bool operator==(const PadSpec&) const = default;
+};
+
+/// Parametric floorplan description. validate_spec() defines the domain.
+struct DeviceSpec {
+  std::string name;
+  Architecture arch = Architecture::kSeries7;
+  int width = 0;
+  int height = 0;
+  int region_cols = 1;  ///< clock-region tiling (must divide width)
+  int region_rows = 1;  ///< clock-region tiling (must divide height)
+  bool io_edges = true; ///< x = 0 and x = width-1 are IO columns
+  std::vector<ColumnRule> columns;
+  PadSpec pads;
+
+  bool operator==(const DeviceSpec&) const = default;
+};
+
+/// Checks every domain constraint (dimensions, region tiling, rule
+/// ranges, pad layout — including that every clock-region row band spans
+/// at least two PDN node rows, which guarantees the left pad column puts
+/// a pad inside every region band). Throws SpecError naming the first
+/// violated field.
+void validate_spec(const DeviceSpec& spec);
+
+/// Expands a validated spec into a Device. Throws SpecError when the
+/// spec is invalid.
+Device generate_device(const DeviceSpec& spec);
+
+/// The per-column site types generate_device resolves from the rules —
+/// exposed so oracles can check the tiling arithmetic independently.
+std::vector<SiteType> resolve_column_types(const DeviceSpec& spec);
+
+// Named specs of the historical factories. generate_device() on each is
+// byte-identical to the legacy hand-built floorplan (oracle-pinned).
+DeviceSpec basys3_spec();
+DeviceSpec axu3egb_spec();
+DeviceSpec aws_f1_spec();
+
+/// Parses the JSON spec format:
+///
+///   {
+///     "name": "custom-200",
+///     "arch": "ultrascale+",          // or "7-series"
+///     "width": 200, "height": 200,
+///     "regions": {"cols": 4, "rows": 4},          // optional, default 1x1
+///     "io_edges": true,                           // optional, default true
+///     "columns": [                                // optional, default none
+///       {"type": "dsp", "phase": 16, "period": 24},
+///       {"type": "bram", "phase": 8, "period": 24}
+///     ],
+///     "pads": {"node_pitch": 4, "bottom_stride": 2,
+///              "top_stride": 5, "left_column": 1}  // optional, defaults
+///   }
+///
+/// Unknown keys, wrong value kinds, non-integral numbers and every
+/// validate_spec() violation throw SpecError with the JSON path in the
+/// message (JSON syntax errors are rethrown as SpecError too, so the
+/// whole untrusted surface has one typed failure mode).
+DeviceSpec parse_device_spec(std::string_view json_text);
+
+/// Renders a spec back into the JSON format parse_device_spec accepts
+/// (round-trip: parse(to_json(s)) == s for valid specs).
+std::string spec_to_json(const DeviceSpec& spec);
+
+}  // namespace leakydsp::fabric

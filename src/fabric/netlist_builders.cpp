@@ -1,5 +1,6 @@
 #include "fabric/netlist_builders.h"
 
+#include <sstream>
 #include <string>
 
 #include "util/contracts.h"
@@ -39,6 +40,24 @@ Netlist build_leakydsp_netlist(Architecture arch, std::size_t n_dsp) {
   const CellId out = nl.add_cell(CellType::kPort, "readout");
   nl.connect(capture, out);
   return nl;
+}
+
+Netlist build_leakydsp_netlist(const Device& device, SiteCoord site,
+                               std::size_t n_dsp) {
+  LD_REQUIRE(n_dsp >= 1, "LeakyDSP needs at least one DSP block");
+  for (std::size_t i = 0; i < n_dsp; ++i) {
+    const SiteCoord block{site.x, site.y + static_cast<int>(i)};
+    // site_type throws FabricError with coordinates when off-die; the
+    // type check reuses the same error so callers see one failure mode.
+    if (device.site_type(block) != SiteType::kDsp) {
+      std::ostringstream oss;
+      oss << "site (" << block.x << "," << block.y << ") of the " << n_dsp
+          << "-block cascade at (" << site.x << "," << site.y
+          << ") is not a DSP site on " << device.name();
+      throw FabricError(oss.str());
+    }
+  }
+  return build_leakydsp_netlist(device.architecture(), n_dsp);
 }
 
 Netlist build_tdc_netlist(std::size_t carry4_count, int column,

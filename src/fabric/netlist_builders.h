@@ -17,6 +17,14 @@ namespace leakydsp::fabric {
 /// signal and capture clock, and a capture FF bank on the final P output.
 Netlist build_leakydsp_netlist(Architecture arch, std::size_t n_dsp);
 
+/// Placement-aware variant: validates that `site` and the n_dsp - 1
+/// sites above it in the same column are DSP sites of `device` (the
+/// cascade footprint), then builds the same netlist for the device's
+/// architecture. Throws FabricError when the cascade does not fit —
+/// placement sweeps use this to reject attacker sites near the die top.
+Netlist build_leakydsp_netlist(const Device& device, SiteCoord site,
+                               std::size_t n_dsp);
+
 /// Classic TDC sensor [11]: a LUT-based initial delay line followed by
 /// `carry4_count` CARRY4 cells placed in one vertically continuous column,
 /// each output sampled by an FF in the same slice.

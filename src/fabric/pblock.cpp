@@ -1,5 +1,8 @@
 #include "fabric/pblock.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/contracts.h"
 
 namespace leakydsp::fabric {
@@ -24,6 +27,19 @@ void validate_floorplan(const Device& device,
 std::size_t capacity(const Device& device, const Pblock& pblock,
                      SiteType type) {
   return device.sites_of_type(type, pblock.range).size();
+}
+
+Pblock tenant_pblock(const Device& device, std::string name,
+                     SiteCoord center, int half_span) {
+  LD_REQUIRE(half_span >= 0, "negative Pblock half_span");
+  (void)device.site_type(center);  // FabricError when outside the die
+  Rect range{center.x - half_span, center.y - half_span,
+             center.x + half_span, center.y + half_span};
+  range.x0 = std::max(range.x0, 0);
+  range.y0 = std::max(range.y0, 0);
+  range.x1 = std::min(range.x1, device.width() - 1);
+  range.y1 = std::min(range.y1, device.height() - 1);
+  return Pblock{std::move(name), range};
 }
 
 }  // namespace leakydsp::fabric

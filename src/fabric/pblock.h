@@ -27,4 +27,11 @@ void validate_floorplan(const Device& device,
 std::size_t capacity(const Device& device, const Pblock& pblock,
                      SiteType type);
 
+/// A tenant Pblock centered on `center` with `half_span` sites of margin
+/// on each side, clipped to the die — how placement sweeps carve a
+/// victim region around an arbitrary site on a generated device. Throws
+/// FabricError when `center` lies outside the die.
+Pblock tenant_pblock(const Device& device, std::string name,
+                     SiteCoord center, int half_span);
+
 }  // namespace leakydsp::fabric

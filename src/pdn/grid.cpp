@@ -1,5 +1,6 @@
 #include "pdn/grid.h"
 
+#include "fabric/device_spec.h"
 #include "obs/metrics.h"
 #include "util/contracts.h"
 
@@ -8,6 +9,14 @@ namespace leakydsp::pdn {
 namespace {
 int node_dim(int sites, int pitch) { return (sites + pitch - 1) / pitch; }
 }  // namespace
+
+PdnParams params_from_pad_spec(const fabric::PadSpec& pads, PdnParams base) {
+  base.node_pitch = pads.node_pitch;
+  base.bottom_pad_stride = pads.bottom_stride;
+  base.top_pad_stride = pads.top_stride;
+  base.left_pad_node_column = pads.left_column;
+  return base;
+}
 
 PdnGrid::PdnGrid(const fabric::Device& device, PdnParams params)
     : PdnGrid(node_dim(device.width(), params.node_pitch),

@@ -21,6 +21,10 @@
 #include "pdn/solver.h"
 #include "pdn/sparse.h"
 
+namespace leakydsp::fabric {
+struct PadSpec;
+}
+
 namespace leakydsp::pdn {
 
 /// Electrical and layout parameters of the PDN mesh.
@@ -51,6 +55,14 @@ struct PdnParams {
   /// Node count at which kAuto switches from IC(0) PCG to two-grid.
   std::size_t two_grid_threshold = 16384;
 };
+
+/// PdnParams with the pad-placement fields (node pitch, edge strides,
+/// left pad column) taken from a generated device's fabric::PadSpec and
+/// everything else from `base` — how placement sweeps build the mesh a
+/// DeviceSpec describes. The spec side lives in fabric (which cannot
+/// depend on pdn), so the mapping lives here.
+PdnParams params_from_pad_spec(const fabric::PadSpec& pads,
+                               PdnParams base = {});
 
 /// A current draw at one mesh node [normalized current units].
 struct CurrentInjection {

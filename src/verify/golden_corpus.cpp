@@ -7,6 +7,8 @@
 #include "attack/cpa.h"
 #include "core/leaky_dsp.h"
 #include "crypto/aes128.h"
+#include "fabric/device_spec.h"
+#include "scenario/placement_sweep.h"
 #include "sensors/tdc.h"
 #include "sim/scenarios.h"
 #include "sim/sensor_rig.h"
@@ -179,6 +181,59 @@ GoldenFile campaign_corpus(const sim::Basys3Scenario& scenario) {
   return golden;
 }
 
+// -------------------------------------------------- generated_die.ldgc
+
+GoldenFile generated_die_corpus() {
+  // A mid-size parametric die (no hand-built factory equivalent): 180x180
+  // UltraScale+-like, 8 periodic DSP columns at 12 + 22k, BRAM interleaved
+  // at 6 + 22k, 2x3 clock regions — pinning the generate_device ->
+  // PdnGrid -> sensor -> campaign pipeline on a floorplan that only the
+  // spec generator can produce.
+  fabric::DeviceSpec spec;
+  spec.name = "Golden 180x180";
+  spec.arch = fabric::Architecture::kUltraScalePlus;
+  spec.width = 180;
+  spec.height = 180;
+  spec.region_cols = 2;
+  spec.region_rows = 3;
+  spec.columns.push_back({fabric::SiteType::kDsp, 12, 22});
+  spec.columns.push_back({fabric::SiteType::kBram, 6, 22});
+
+  scenario::CellWorldSpec world_spec;
+  world_spec.device_spec = spec;
+  world_spec.victim_site = {90, 90};   // CLB between the column stripes
+  world_spec.sensor_site = {78, 60};   // DSP column 12 + 3*22
+  world_spec.cell_seed = kCorpusSeed ^ 0x6E0ull;
+  world_spec.campaign.max_traces = 150;
+  world_spec.campaign.break_check_stride = 75;
+  world_spec.campaign.rank_stride = 150;
+  world_spec.campaign.stop_when_broken = false;
+
+  GoldenFile golden;
+  {
+    auto world = scenario::make_sweep_world(world_spec);
+    crypto::Block plaintext{};
+    for (std::size_t i = 0; i < plaintext.size(); ++i) {
+      plaintext[i] = static_cast<std::uint8_t>(i * 29 + 5);
+    }
+    golden.entries.push_back(exact(
+        "generated.trace",
+        world->campaign().generate_trace(plaintext, world->rng())));
+  }
+  const auto result = scenario::run_sweep_campaign(world_spec, /*threads=*/1);
+  golden.entries.push_back(exact(
+      "generated.campaign.summary",
+      {static_cast<double>(result.traces_to_break),
+       result.broken ? 1.0 : 0.0, static_cast<double>(result.traces_run)}));
+  // Sweep campaigns keep their final score vectors for fusion; byte 0's
+  // 256-guess vector pins that path end to end.
+  golden.entries.push_back(exact(
+      "generated.cpa.byte0.scores",
+      std::vector<double>(result.final_scores.begin(),
+                          result.final_scores.begin() + 256)));
+  return golden;
+}
+
 }  // namespace
 
 std::vector<std::pair<std::string, GoldenFile>> compute_golden_corpus() {
@@ -187,6 +242,7 @@ std::vector<std::pair<std::string, GoldenFile>> compute_golden_corpus() {
   corpus.emplace_back("sensors.ldgc", sensor_corpus(scenario));
   corpus.emplace_back("cpa.ldgc", cpa_corpus());
   corpus.emplace_back("campaign.ldgc", campaign_corpus(scenario));
+  corpus.emplace_back("generated_die.ldgc", generated_die_corpus());
   return corpus;
 }
 

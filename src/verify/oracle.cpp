@@ -11,6 +11,7 @@ std::vector<Oracle> all_oracles() {
   register_simd_oracles(oracles);
   register_serve_oracles(oracles);
   register_pdn_oracles(oracles);
+  register_fabric_oracles(oracles);
   return oracles;
 }
 

@@ -69,6 +69,7 @@ void register_attack_oracles(std::vector<Oracle>& out);
 void register_simd_oracles(std::vector<Oracle>& out);
 void register_serve_oracles(std::vector<Oracle>& out);
 void register_pdn_oracles(std::vector<Oracle>& out);
+void register_fabric_oracles(std::vector<Oracle>& out);
 
 /// Every registered oracle, in deterministic order.
 std::vector<Oracle> all_oracles();

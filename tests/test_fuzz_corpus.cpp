@@ -13,6 +13,7 @@
 
 #include "attack/campaign.h"
 #include "core/leaky_dsp.h"
+#include "fabric/device_spec.h"
 #include "harness/harness.h"
 #include "sim/scenarios.h"
 #include "sim/sensor_rig.h"
@@ -64,6 +65,32 @@ TEST(FuzzCorpus, CheckpointReplaysClean) {
 
 TEST(FuzzCorpus, CliReplaysClean) {
   replay("cli", leakydsp::fuzz::fuzz_cli);
+}
+
+TEST(FuzzCorpus, DeviceSpecReplaysClean) {
+  replay("device_spec", leakydsp::fuzz::fuzz_device_spec);
+}
+
+TEST(FuzzCorpus, ValidDeviceSpecSeedsParse) {
+  // The valid_ seeds must parse into specs and expand into devices — the
+  // corpus has to reach past the JSON and validation layers into the
+  // generator itself.
+  std::size_t valid = 0;
+  for (const auto& path : corpus_files("device_spec")) {
+    if (path.find("valid_") == std::string::npos) continue;
+    SCOPED_TRACE(path);
+    const auto bytes = lt::read_file(path);
+    const std::string text(bytes.begin(), bytes.end());
+    const auto spec = leakydsp::fabric::parse_device_spec(text);
+    const auto device = leakydsp::fabric::generate_device(spec);
+    EXPECT_EQ(device.width(), spec.width);
+    EXPECT_EQ(device.height(), spec.height);
+    // And the emitter must round-trip what the parser accepted.
+    EXPECT_TRUE(leakydsp::fabric::parse_device_spec(
+                    leakydsp::fabric::spec_to_json(spec)) == spec);
+    ++valid;
+  }
+  EXPECT_GE(valid, 3u);
 }
 
 TEST(FuzzCorpus, ValidTraceStoreSeedsParse) {

@@ -117,7 +117,8 @@ TEST(OracleRegistry, CoversEveryOptimizedReferencePair) {
         "sensors.leakydsp_batch_vs_scalar", "sensors.tdc_batch_vs_scalar",
         "store.v2_roundtrip_vs_memory", "attack.cpa_class_accum_vs_gemm",
         "attack.campaign_parallel_vs_serial",
-        "attack.campaign_resume_vs_straight"}) {
+        "attack.campaign_resume_vs_straight", "fabric.spec_invariants",
+        "fabric.generated_vs_hardcoded"}) {
     EXPECT_TRUE(names.count(required)) << "oracle missing: " << required;
   }
 }
